@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per artifact, reporting the headline quantities as custom metrics), plus
+// micro-benchmarks of the router engines — the real-code counterparts of
+// the processing costs that parameterize the simulator.
+//
+//	go test -bench=. -benchmem .
+package gcopss_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/experiments"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/trace"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// benchOpts is the experiment scale used by the table/figure benches: small
+// enough for tight iteration, large enough for every paper effect.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.012, Seed: 42}
+}
+
+func newBenchWorkbench(b *testing.B) *experiments.Workbench {
+	b.Helper()
+	w, err := experiments.NewWorkbench(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkFig3Trace regenerates the trace characterization (Fig. 3c/3d).
+func BenchmarkFig3Trace(b *testing.B) {
+	w := newBenchWorkbench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.TotalUpdates), "updates")
+			b.ReportMetric(r.PlayersPerArea.Mean, "players/area")
+		}
+	}
+}
+
+// BenchmarkFig4Microbenchmark runs the three-system testbed comparison and
+// reports the mean latencies (paper: ≈8.5 ms / ≈25 ms / ≈12 s).
+func BenchmarkFig4Microbenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(experiments.Options{Scale: 0.05, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.GCOPSS.Latency.Mean(), "gcopss-ms")
+			b.ReportMetric(r.IP.Latency.Mean(), "ipserver-ms")
+			b.ReportMetric(r.NDN.Latency.Mean()/1000, "ndn-s")
+		}
+	}
+}
+
+// BenchmarkTable1RPs runs the RP/server sweep and reports the congestion
+// ratio between 1 and 3 RPs and the server/G-COPSS latency gap.
+func BenchmarkTable1RPs(b *testing.B) {
+	w := newBenchWorkbench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			one, _ := r.Row("G-COPSS", "1")
+			three, _ := r.Row("G-COPSS", "3")
+			srv, _ := r.Row("IP Server", "3")
+			b.ReportMetric(one.LatencyMs/three.LatencyMs, "congestion-x")
+			b.ReportMetric(srv.LatencyMs/three.LatencyMs, "server-gap-x")
+			b.ReportMetric(srv.LoadGB/three.LoadGB, "load-ratio")
+		}
+	}
+}
+
+// BenchmarkFig5AutoBalance runs the traffic-concentration panels and
+// reports the number of automatic splits and the settled latency.
+func BenchmarkFig5AutoBalance(b *testing.B) {
+	w := newBenchWorkbench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(r.Auto.Splits)), "splits")
+			b.ReportMetric(r.Auto.MeanMs, "auto-ms")
+			b.ReportMetric(r.ThreeRP.MeanMs, "3rp-ms")
+		}
+	}
+}
+
+// BenchmarkFig6Scalability runs the player sweep and reports the server
+// knee (latency blow-up factor from 50 to 400 players) against G-COPSS.
+func BenchmarkFig6Scalability(b *testing.B) {
+	w := newBenchWorkbench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first, last := r.Points[0], r.Points[len(r.Points)-1]
+			b.ReportMetric(last.ServerLatencyMs/first.ServerLatencyMs, "server-blowup-x")
+			b.ReportMetric(last.GCOPSSLatencyMs/first.GCOPSSLatencyMs, "gcopss-growth-x")
+		}
+	}
+}
+
+// BenchmarkTable2Hybrid runs the full-trace comparison and reports the load
+// ordering (G-COPSS < hybrid < server) and hybrid's latency win.
+func BenchmarkTable2Hybrid(b *testing.B) {
+	w := newBenchWorkbench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			gc, _ := r.Row("G-COPSS")
+			hy, _ := r.Row("hybrid-G-COPSS")
+			srv, _ := r.Row("IP Server")
+			b.ReportMetric(srv.LoadGB/gc.LoadGB, "server/gcopss-load")
+			b.ReportMetric(hy.LoadGB/gc.LoadGB, "hybrid/gcopss-load")
+			b.ReportMetric(gc.LatencyMs/hy.LatencyMs, "hybrid-latency-win")
+		}
+	}
+}
+
+// BenchmarkTable3Movement runs the movement experiment and reports the
+// convergence means of the three snapshot schemes.
+func BenchmarkTable3Movement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := newBenchWorkbench(b) // object state evolves; fresh world per run
+		r, err := experiments.Table3(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			qr5, _ := r.Scheme("QR, window=5")
+			qr15, _ := r.Scheme("QR, window=15")
+			cyc, _ := r.Scheme("Cyclic-Multicast")
+			b.ReportMetric(qr5.TotalMean, "qr5-ms")
+			b.ReportMetric(qr15.TotalMean, "qr15-ms")
+			b.ReportMetric(cyc.TotalMean, "cyclic-ms")
+			b.ReportMetric(qr15.BytesGB/cyc.BytesGB, "qr/cyclic-bytes")
+		}
+	}
+}
+
+// --- Engine micro-benchmarks: the real costs behind the simulator's
+// --- parameters (ST lookup, FIB LPM, full router forwarding path).
+
+// benchRouterWithSubscriptions builds a router whose ST holds the
+// subscriptions of the paper's 62-player microbenchmark population.
+func benchRouterWithSubscriptions(b *testing.B, mode copss.MatchMode) *core.Router {
+	b.Helper()
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := core.NewRouter("bench", core.WithMatchMode(mode))
+	face := ndn.FaceID(1)
+	for _, a := range m.Areas() {
+		for j := 0; j < 2; j++ {
+			face++
+			r.AddFace(face, core.FaceClient)
+			r.HandlePacket(time.Unix(0, 0), face, &wire.Packet{
+				Type: wire.TypeSubscribe,
+				CDs:  a.SubscriptionCDs(),
+			})
+		}
+	}
+	return r
+}
+
+// BenchmarkSTMulticastLookup measures the Subscription Table fast path: one
+// multicast forwarded against 62 players' subscriptions.
+func BenchmarkSTMulticastLookup(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    copss.MatchMode
+	}{
+		{"bloom", copss.MatchBloom},
+		{"bloom-verified", copss.MatchBloomVerified},
+		{"exact", copss.MatchExact},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := benchRouterWithSubscriptions(b, mode.m)
+			st := r.ST()
+			target := cd.MustParse("/3/4")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.FacesFor(target)
+			}
+		})
+	}
+}
+
+// BenchmarkRouterMulticastPath measures the full G-COPSS data path at a
+// router hosting an RP: decapsulation-equivalent dispatch plus fan-out.
+func BenchmarkRouterMulticastPath(b *testing.B) {
+	r := benchRouterWithSubscriptions(b, copss.MatchBloomVerified)
+	if _, err := r.BecomeRP(copss.RPInfo{
+		Name:     "/rp",
+		Prefixes: copss.PartitionPrefixes([]string{"1", "2", "3", "4", "5"}),
+		Seq:      1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pkt := &wire.Packet{
+		Type:    wire.TypeMulticast,
+		CDs:     []cd.CD{cd.MustParse("/3/4")},
+		Origin:  "p",
+		Payload: make([]byte, 200),
+	}
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.HandlePacket(now, 2, pkt)
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic-trace throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	world := gamemap.NewWorld(m)
+	if err := world.PopulateObjects(gamemap.PaperObjectCounts(), 0, nil); err != nil {
+		b.Fatal(err)
+	}
+	cfg := trace.PaperConfig()
+	cfg.TotalUpdates = 100_000
+	cfg.Duration = time.Hour
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		tr, err := trace.Generate(world, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Updates) != 100_000 {
+			b.Fatal("short trace")
+		}
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkWireRoundTrip measures packet encode+decode, the per-hop
+// serialization cost of the TCP deployment.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	pkt := &wire.Packet{
+		Type:    wire.TypeMulticast,
+		CDs:     []cd.CD{cd.MustParse("/3/4")},
+		Origin:  "player17",
+		Seq:     42,
+		Payload: make([]byte, 200),
+		SentAt:  123456789,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := wire.Encode(pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

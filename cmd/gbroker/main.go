@@ -1,0 +1,126 @@
+// Command gbroker runs a snapshot broker against a gcopssd router.
+//
+// The broker subscribes to the leaf CDs of its serving areas, maintains
+// object snapshots from the update stream (Eq. 1 of the paper), answers NDN
+// snapshot queries (manifest, per-object, recent-update log) and runs
+// cyclic-multicast sessions for movers.
+//
+//	gbroker -name broker1 -router localhost:7001 -areas "/1/1,/1/2,/1"
+//
+// An empty -areas serves every leaf of the map.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/broker"
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/transport"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gbroker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name    = flag.String("name", "broker1", "broker name")
+		router  = flag.String("router", "localhost:7000", "router address")
+		areas   = flag.String("areas", "", "comma-separated areas to serve (empty = whole map)")
+		regions = flag.Int("regions", 5, "map regions")
+		zones   = flag.Int("zones", 5, "zones per region")
+		tick    = flag.Duration("tick", 2*time.Millisecond, "cyclic multicast pacing")
+		decay   = flag.Float64("decay", gamemap.DefaultDecay, "snapshot size decay λ")
+	)
+	flag.Parse()
+
+	m, err := gamemap.NewGrid(*regions, *zones)
+	if err != nil {
+		return err
+	}
+	var leaves []cd.CD
+	if *areas == "" {
+		leaves = m.Leaves()
+	} else {
+		for _, s := range strings.Split(*areas, ",") {
+			s = strings.TrimSpace(s)
+			if s == "/" {
+				s = ""
+			}
+			c, err := cd.Parse(s)
+			if err != nil {
+				return fmt.Errorf("bad area %q: %w", s, err)
+			}
+			area, ok := m.Area(c)
+			if !ok {
+				return fmt.Errorf("area %q not on the %dx%d map", s, *regions, *zones)
+			}
+			leaves = append(leaves, area.LeafCD())
+		}
+	}
+
+	b := broker.New(*name, leaves, *decay)
+	client, err := transport.NewClient(*name, *router)
+	if err != nil {
+		return err
+	}
+	defer client.Close() //nolint:errcheck // shutdown path
+
+	if err := client.Subscribe(b.SubscriptionCDs()...); err != nil {
+		return err
+	}
+	// Make the snapshot namespace routable network-wide.
+	if err := client.AnnouncePrefix(broker.SnapshotPrefix, uint64(time.Now().UnixNano())); err != nil {
+		return err
+	}
+	log.Printf("%s serving %d leaves via %s", *name, len(leaves), *router)
+
+	// Cyclic session pacing.
+	go func() {
+		ticker := time.NewTicker(*tick)
+		defer ticker.Stop()
+		for range ticker.C {
+			for _, pkt := range b.Tick() {
+				if err := client.Send(pkt); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Periodic stats line.
+	go func() {
+		ticker := time.NewTicker(10 * time.Second)
+		defer ticker.Stop()
+		for range ticker.C {
+			u, q, c := b.Stats()
+			log.Printf("%s: %d updates applied, %d queries served, %d objects cycled, sessions %v",
+				*name, u, q, c, b.ActiveSessions())
+		}
+	}()
+
+	for {
+		pkt, err := client.Receive()
+		if err != nil {
+			return fmt.Errorf("connection closed: %w", err)
+		}
+		if pkt.Type == wire.TypeMulticast && pkt.Origin == *name {
+			continue // our own cyclic emissions echoed back
+		}
+		for _, out := range b.HandlePacket(pkt) {
+			if err := client.Send(out); err != nil {
+				return fmt.Errorf("send: %w", err)
+			}
+		}
+	}
+}

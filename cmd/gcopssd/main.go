@@ -1,0 +1,98 @@
+// Command gcopssd runs one G-COPSS router daemon over TCP.
+//
+// Each daemon is a full Fig. 2 router: an NDN engine (FIB/PIT/Content
+// Store) glued to the G-COPSS pub/sub engine (Subscription Table, RP
+// logic). Connections from peers become faces; the handshake declares
+// whether the peer is another router or an end host.
+//
+// A three-node deployment with an RP on the first node:
+//
+//	gcopssd -name R1 -listen :7001 -rp /rp1 -rp-prefixes "/,/1,/2,/3,/4,/5"
+//	gcopssd -name R2 -listen :7002 -connect localhost:7001
+//	gcopssd -name R3 -listen :7003 -connect localhost:7002
+//
+// Players then attach with gplayer.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/transport"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gcopssd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name     = flag.String("name", "R1", "router name")
+		listen   = flag.String("listen", ":7000", "listen address for faces")
+		rpName   = flag.String("rp", "", "host an RP under this name (e.g. /rp1)")
+		rpPrefix = flag.String("rp-prefixes", "/,/1,/2,/3,/4,/5", "comma-separated CD prefixes the RP serves")
+		connects multiFlag
+	)
+	flag.Var(&connects, "connect", "neighbor router address (repeatable)")
+	flag.Parse()
+
+	d := transport.NewDaemon(*name)
+	addr, err := d.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gcopssd %s listening on %s", *name, addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for _, peer := range connects {
+		if err := d.ConnectRouter(peer); err != nil {
+			return fmt.Errorf("connect %s: %w", peer, err)
+		}
+		log.Printf("gcopssd %s linked to %s", *name, peer)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- d.Run(ctx) }()
+
+	if *rpName != "" {
+		// Give the neighbor links a moment to attach before flooding.
+		time.Sleep(300 * time.Millisecond)
+		var prefixes []cd.CD
+		for _, p := range strings.Split(*rpPrefix, ",") {
+			c, err := cd.Parse(strings.TrimSpace(p))
+			if err != nil {
+				return fmt.Errorf("bad RP prefix %q: %w", p, err)
+			}
+			prefixes = append(prefixes, c)
+		}
+		if err := d.BecomeRP(copss.RPInfo{Name: *rpName, Prefixes: prefixes, Seq: 1}); err != nil {
+			return err
+		}
+		log.Printf("gcopssd %s hosting RP %s serving %v", *name, *rpName, prefixes)
+	}
+
+	return <-errc
+}

@@ -1,0 +1,207 @@
+// Command gplayer attaches a player to a gcopssd router.
+//
+// The player is positioned in an area of a uniform hierarchical map and
+// subscribes per the paper's visibility rules (its own area plus the
+// airspace leaves of its ancestors). Stdin lines are published as updates;
+// received updates are printed.
+//
+//	gplayer -name soldier7 -router localhost:7002 -area /1/2
+//
+// Commands on stdin:
+//
+//	<text>            publish <text> to the current position
+//	/move <area>      relocate (resubscribes per the movement rules)
+//	/quit             exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/broker"
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/transport"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// fetchMgr routes incoming Data packets to in-progress snapshot downloads.
+type fetchMgr struct {
+	mu      sync.Mutex
+	fetches []*broker.QRFetch
+	client  *transport.Client
+}
+
+// begin starts QR downloads for the given leaves.
+func (m *fetchMgr) begin(leaves []cd.CD) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, leaf := range leaves {
+		f := broker.NewQRFetch(leaf, 15)
+		m.fetches = append(m.fetches, f)
+		for _, pkt := range f.Start() {
+			if err := m.client.Send(pkt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handleData feeds a Data packet to the active fetches; it reports the
+// number of objects received by fetches that just completed.
+func (m *fetchMgr) handleData(pkt *wire.Packet) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	completed := 0
+	var still []*broker.QRFetch
+	for _, f := range m.fetches {
+		follow, done := f.HandleData(pkt)
+		for _, out := range follow {
+			m.client.Send(out) //nolint:errcheck // connection errors surface on Receive
+		}
+		if done {
+			completed += f.Received()
+		} else {
+			still = append(still, f)
+		}
+	}
+	m.fetches = still
+	return completed
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gplayer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name    = flag.String("name", "player1", "player name")
+		router  = flag.String("router", "localhost:7000", "router address")
+		areaStr = flag.String("area", "/1/1", "starting area on the map")
+		regions = flag.Int("regions", 5, "map regions")
+		zones   = flag.Int("zones", 5, "zones per region")
+	)
+	flag.Parse()
+
+	m, err := gamemap.NewGrid(*regions, *zones)
+	if err != nil {
+		return err
+	}
+	areaCD, err := cd.Parse(normalizeArea(*areaStr))
+	if err != nil {
+		return fmt.Errorf("bad area %q: %w", *areaStr, err)
+	}
+	area, ok := m.Area(areaCD)
+	if !ok {
+		return fmt.Errorf("area %q not on the %dx%d map", *areaStr, *regions, *zones)
+	}
+	player := gamemap.NewPlayer(*name, area)
+
+	client, err := transport.NewClient(*name, *router)
+	if err != nil {
+		return err
+	}
+	defer client.Close() //nolint:errcheck // shutdown path
+
+	if err := client.Subscribe(player.SubscriptionCDs()...); err != nil {
+		return err
+	}
+	log.Printf("%s joined at %v, subscribed to %v", *name, area.CD(), player.SubscriptionCDs())
+
+	mgr := &fetchMgr{client: client}
+	go receiveLoop(client, *name, mgr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	var seq uint64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "/quit":
+			return nil
+		case strings.HasPrefix(line, "/move "):
+			destStr := normalizeArea(strings.TrimSpace(strings.TrimPrefix(line, "/move ")))
+			destCD, err := cd.Parse(destStr)
+			if err != nil {
+				log.Printf("bad area: %v", err)
+				continue
+			}
+			dest, ok := m.Area(destCD)
+			if !ok {
+				log.Printf("no such area %q", destStr)
+				continue
+			}
+			res, err := player.Move(dest)
+			if err != nil {
+				log.Printf("move: %v", err)
+				continue
+			}
+			if len(res.Unsubscribe) > 0 {
+				if err := client.Unsubscribe(res.Unsubscribe...); err != nil {
+					return err
+				}
+			}
+			if len(res.Subscribe) > 0 {
+				if err := client.Subscribe(res.Subscribe...); err != nil {
+					return err
+				}
+			}
+			log.Printf("moved (%v): +%v -%v, %d snapshot areas to fetch",
+				res.Type, res.Subscribe, res.Unsubscribe, len(res.Snapshots))
+			if len(res.Snapshots) > 0 {
+				// Download the unseen areas from whatever broker serves
+				// /snapshot (objects arrive asynchronously; see the log).
+				if err := mgr.begin(res.Snapshots); err != nil {
+					return err
+				}
+			}
+		default:
+			seq++
+			if err := client.Publish(player.PublishCD(), seq, []byte(line)); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func normalizeArea(s string) string {
+	if s == "/" {
+		return ""
+	}
+	return s
+}
+
+func receiveLoop(client *transport.Client, self string, mgr *fetchMgr) {
+	for {
+		pkt, err := client.Receive()
+		if err != nil {
+			log.Printf("connection closed: %v", err)
+			os.Exit(0)
+		}
+		switch {
+		case pkt.Type == wire.TypeData:
+			if n := mgr.handleData(pkt); n > 0 {
+				log.Printf("snapshot area downloaded (%d changed objects)", n)
+			}
+		case pkt.Type == wire.TypeMulticast && pkt.Origin != self && pkt.Origin != core.FlushOrigin:
+			latency := ""
+			if pkt.SentAt != 0 {
+				latency = fmt.Sprintf(" (%.2fms)", float64(time.Now().UnixNano()-pkt.SentAt)/1e6)
+			}
+			log.Printf("[%v] %s: %s%s", pkt.CD(), pkt.Origin, pkt.Payload, latency)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command tracegen synthesizes Counter-Strike-like game traces matching the
+// published statistics of the paper's filtered capture (Section V-B): player
+// count, duration, total updates, heavy-tailed per-player activity
+// (Fig. 3c), per-area population (Fig. 3d), and optionally the Table III
+// movement schedule.
+//
+//	tracegen -out cs.trace                 # full paper-scale trace
+//	tracegen -out small.trace -updates 50000 -duration 30m -moves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("out", "cs.trace", "output file")
+		players  = flag.Int("players", 414, "number of players")
+		updates  = flag.Int("updates", 1_686_905, "total updates")
+		duration = flag.Duration("duration", 7*time.Hour+5*time.Minute+25*time.Second, "trace duration")
+		seed     = flag.Int64("seed", 20120618, "random seed")
+		moves    = flag.Bool("moves", false, "append the Table III movement schedule")
+	)
+	flag.Parse()
+
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		return err
+	}
+	world := gamemap.NewWorld(m)
+	if err := world.PopulateObjects(gamemap.PaperObjectCounts(), 0, rand.New(rand.NewSource(*seed))); err != nil {
+		return err
+	}
+
+	cfg := trace.PaperConfig()
+	cfg.Players = *players
+	cfg.TotalUpdates = *updates
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+
+	fmt.Printf("generating %d updates from %d players over %v...\n", *updates, *players, *duration)
+	tr, err := trace.Generate(world, cfg)
+	if err != nil {
+		return err
+	}
+	if *moves {
+		mv := trace.PaperMoves()
+		mv.Seed = *seed
+		fmt.Println("generating movement schedule...")
+		if err := trace.GenerateMoves(world, tr, mv); err != nil {
+			return err
+		}
+		fmt.Printf("  %d moves\n", len(tr.Moves))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // error surfaced by Write below
+
+	if err := tr.Write(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	counts, _ := trace.ActivityCDF(tr)
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("  mean inter-arrival: %v\n", tr.MeanInterArrival())
+	fmt.Printf("  per-player updates: min=%d median=%d max=%d\n",
+		counts[0], counts[len(counts)/2], counts[len(counts)-1])
+	areas := tr.PlayersPerArea()
+	minA, maxA := 1<<30, 0
+	for _, n := range areas {
+		if n < minA {
+			minA = n
+		}
+		if n > maxA {
+			maxA = n
+		}
+	}
+	fmt.Printf("  players per area: %d..%d over %d areas\n", minA, maxA, len(areas))
+	return nil
+}

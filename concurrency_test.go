@@ -1,0 +1,68 @@
+package gcopss
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPublishers exercises the facade's concurrency contract:
+// many goroutines publishing, moving and draining simultaneously. Run with
+// -race to validate the locking.
+func TestConcurrentPublishers(t *testing.T) {
+	n := smallNet(t)
+	defer n.Close()
+	if err := n.AttachBroker("R2", "broker"); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	players := make([]*Player, workers)
+	for i := range players {
+		p, err := n.Join(fmt.Sprintf("w%d", i), []string{"R1", "R2", "R3"}[i%3], "/1/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		players[i] = p
+	}
+
+	var wg sync.WaitGroup
+	for i, p := range players {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if err := p.Publish(fmt.Sprintf("obj%d", k), []byte("x")); err != nil {
+					t.Errorf("worker %d publish: %v", i, err)
+					return
+				}
+				// Drain own inbox as we go.
+				for {
+					select {
+					case <-p.Updates():
+						continue
+					default:
+					}
+					break
+				}
+				if k == 25 && i%2 == 0 {
+					if _, err := p.MoveTo("/2/2", SnapshotQueryResponse); err != nil {
+						t.Errorf("worker %d move: %v", i, err)
+						return
+					}
+					if _, err := p.MoveTo("/1/1", 0); err != nil {
+						t.Errorf("worker %d move back: %v", i, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	routers, ps, brokers, _ := n.Stats()
+	if routers != 3 || ps != workers || brokers != 1 {
+		t.Errorf("stats = %d %d %d", routers, ps, brokers)
+	}
+}

@@ -1,0 +1,124 @@
+// Counterstrike: a trace-driven session in the style of the paper's
+// evaluation. A synthetic Counter-Strike-like trace (heavy-tailed player
+// activity, 5×5 map, per-area object populations) is replayed through a
+// G-COPSS fabric; the example reports who saw what, the hierarchy-induced
+// fan-out per layer, and the multicast advantage over naive unicast.
+//
+//	go run ./examples/counterstrike
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	gcopss "github.com/icn-gaming/gcopss"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/trace"
+)
+
+func main() {
+	// The paper's world: 5×5 map with 3,197 objects.
+	world := gamemap.NewWorld(mustMap())
+	check(world.PopulateObjects(gamemap.PaperObjectCounts(), 0, rand.New(rand.NewSource(1))))
+
+	// A small slice of the CS workload: 60 players, 2 minutes.
+	cfg := trace.PaperConfig()
+	cfg.Players = 60
+	cfg.TotalUpdates = 3000
+	cfg.Duration = 2 * time.Minute
+	cfg.Seed = 7
+	tr, err := trace.Generate(world, cfg)
+	check(err)
+
+	// Fabric: four routers in a diamond, RP in the middle.
+	net, err := gcopss.New(5, 5)
+	check(err)
+	defer net.Close()
+	for _, r := range []string{"core", "east", "west", "south"} {
+		check(net.AddRouter(r))
+	}
+	for _, edge := range []string{"east", "west", "south"} {
+		check(net.Link("core", edge))
+	}
+	check(net.StartRP("core", "/rp"))
+
+	// Join the trace's players, spread over the edge routers.
+	routers := []string{"east", "west", "south"}
+	players := make([]*gcopss.Player, len(tr.Players))
+	received := make([]int, len(tr.Players))
+	for i, info := range tr.Players {
+		p, err := net.Join(info.ID, routers[i%len(routers)], info.Area.Key())
+		check(err)
+		players[i] = p
+	}
+
+	// Replay the updates (instant delivery: the facade demonstrates
+	// semantics; timing lives in the testbed and simulator). Inboxes are
+	// drained as we go, like real clients rendering frames.
+	const (
+		layerWorld = iota
+		layerRegionAir
+		layerZone
+	)
+	perLayer := map[int]int{}
+	totalDeliveries := 0
+	drain := func() {
+		for i, p := range players {
+			for {
+				select {
+				case <-p.Updates():
+					received[i]++
+					totalDeliveries++
+					continue
+				default:
+				}
+				break
+			}
+		}
+	}
+	for i, u := range tr.Updates {
+		check(players[u.Player].Publish(u.Object, make([]byte, u.Size)))
+		switch {
+		case u.CD.Len() == 1: // the world airspace leaf "/"
+			perLayer[layerWorld]++
+		case u.CD.IsAirspace():
+			perLayer[layerRegionAir]++
+		default:
+			perLayer[layerZone]++
+		}
+		if i%50 == 0 {
+			drain()
+		}
+	}
+	drain()
+
+	fmt.Printf("replayed %d updates from %d players\n", len(tr.Updates), len(tr.Players))
+	fmt.Printf("updates by layer: %d world / %d region-airspace / %d zone\n",
+		perLayer[layerWorld], perLayer[layerRegionAir], perLayer[layerZone])
+	fmt.Printf("total deliveries: %d (avg fan-out %.1f receivers/update)\n",
+		totalDeliveries, float64(totalDeliveries)/float64(len(tr.Updates)))
+
+	// The content-centric win: a server would unicast every one of those
+	// deliveries through itself.
+	sort.Ints(received)
+	fmt.Printf("per-player deliveries: min=%d median=%d max=%d\n",
+		received[0], received[len(received)/2], received[len(received)-1])
+	fmt.Println("players never learned each other's addresses — only map positions.")
+}
+
+func mustMap() *gamemap.Map {
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Moving: player movement with snapshot brokers (Section IV-A). A builder
+// populates two zones with objects; a scout then teleports around the map
+// and downloads the snapshots of areas he has never seen — first with the
+// query-response mechanism, then with cyclic multicast — while a plane
+// taking off demonstrates that descending and ascending moves transfer only
+// what the mover could not already see (Table III's six movement types).
+//
+//	go run ./examples/moving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gcopss "github.com/icn-gaming/gcopss"
+)
+
+func main() {
+	net, err := gcopss.New(5, 5)
+	check(err)
+	defer net.Close()
+	for _, r := range []string{"R1", "R2", "R3"} {
+		check(net.AddRouter(r))
+	}
+	check(net.Link("R1", "R2"))
+	check(net.Link("R2", "R3"))
+	check(net.StartRP("R1", "/rp1"))
+
+	// One broker serves every area of the map from R2, maintaining
+	// snapshots by subscribing to the update stream.
+	check(net.AttachBroker("R2", "broker"))
+
+	// A builder litters zone 2/3 and the region-2 airspace with objects.
+	builder, err := net.Join("builder", "R1", "/2/3")
+	check(err)
+	for i := 0; i < 6; i++ {
+		check(builder.Publish(fmt.Sprintf("crate%d", i), []byte("wooden crate")))
+	}
+	check(builder.PublishTo("/2", "blimp", []byte("advertising blimp")))
+
+	scout, err := net.Join("scout", "R3", "/1/1")
+	check(err)
+
+	// Lateral move across a region border: the scout must fetch the new
+	// zone AND the new region's airspace (2 leaf areas — Table III type 5).
+	rep, err := scout.MoveTo("/2/3", gcopss.SnapshotQueryResponse)
+	check(err)
+	report("scout (query-response)", rep)
+
+	// Back home, then the same trip with cyclic multicast.
+	_, err = scout.MoveTo("/1/1", gcopss.SnapshotCyclic)
+	check(err)
+	rep, err = scout.MoveTo("/2/3", gcopss.SnapshotCyclic)
+	check(err)
+	report("scout (cyclic multicast)", rep)
+
+	// A plane taking off from a zone sees its sibling zones for the first
+	// time (type 2: 4 areas); landing again costs nothing (type 1).
+	plane, err := net.Join("plane", "R2", "/3/1")
+	check(err)
+	rep, err = plane.MoveTo("/3", gcopss.SnapshotQueryResponse)
+	check(err)
+	report("plane take-off", rep)
+	rep, err = plane.MoveTo("/3/2", gcopss.SnapshotQueryResponse)
+	check(err)
+	report("plane landing", rep)
+
+	// And a satellite launch: everything outside the old region (24 areas).
+	rep, err = plane.MoveTo("/3", gcopss.SnapshotQueryResponse)
+	check(err)
+	rep, err = plane.MoveTo("/", gcopss.SnapshotQueryResponse)
+	check(err)
+	report("satellite launch", rep)
+
+	// Finally, offline support: the scout logs off, misses some action in
+	// its zone, and catches up from the broker's recent-update log on
+	// resume.
+	check(scout.Suspend())
+	neighbor, err := net.Join("neighbor", "R1", "/2/3")
+	check(err)
+	for i := 0; i < 3; i++ {
+		check(neighbor.Publish(fmt.Sprintf("barricade%d", i), []byte("raised")))
+	}
+	resume, err := scout.Resume()
+	check(err)
+	// The broker's log covers the recent history of the visible areas; the
+	// barricades raised while the scout slept are at its tail.
+	last := resume.Missed[len(resume.Missed)-1]
+	fmt.Printf("%-26s caught up on %d logged updates (latest: %s by %s)\n",
+		"scout back online", len(resume.Missed), last.ObjectID, last.Origin)
+}
+
+func report(who string, rep *gcopss.MoveReport) {
+	fmt.Printf("%-26s %-42s areas=%2d objects=%d\n", who, rep.Type, rep.SnapshotAreas, rep.Objects)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: three players with different altitudes on a hierarchical map,
+// exchanging updates through a 3-router G-COPSS fabric without any of them
+// knowing who else is listening.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gcopss "github.com/icn-gaming/gcopss"
+)
+
+func main() {
+	// A world of 5 regions × 5 zones, carried by three routers in a line.
+	net, err := gcopss.New(5, 5)
+	check(err)
+	defer net.Close()
+
+	for _, r := range []string{"R1", "R2", "R3"} {
+		check(net.AddRouter(r))
+	}
+	check(net.Link("R1", "R2"))
+	check(net.Link("R2", "R3"))
+
+	// R1 anchors the multicast trees: it serves the whole map partition.
+	check(net.StartRP("R1", "/rp1"))
+
+	// Three players, three layers of the hierarchy (Fig. 1c of the paper):
+	// a soldier on the ground of zone 1/2, a plane over region 1, and a
+	// satellite watching the whole map.
+	soldier, err := net.Join("soldier", "R3", "/1/2")
+	check(err)
+	plane, err := net.Join("plane", "R2", "/1")
+	check(err)
+	sat, err := net.Join("satellite", "R1", "/")
+	check(err)
+
+	// The soldier acts in his zone: the plane and the satellite see it.
+	check(soldier.Publish("flag", []byte("captured the flag")))
+	show("plane", plane)
+	show("satellite", sat)
+
+	// The plane acts over region 1: the soldier sees the sky above him.
+	check(plane.Publish("bomb-bay", []byte("doors open")))
+	show("soldier", soldier)
+	show("satellite", sat)
+
+	// The satellite acts at the top: everyone sees it.
+	check(sat.Publish("orbit", []byte("scanning")))
+	show("soldier", soldier)
+	show("plane", plane)
+
+	// A soldier in a sibling zone is invisible to ours — but not to the
+	// plane flying above both.
+	other, err := net.Join("other", "R1", "/1/3")
+	check(err)
+	check(other.Publish("mine", []byte("planted")))
+	show("plane", plane)
+	select {
+	case u := <-soldier.Updates():
+		log.Fatalf("soldier should not see zone 1/3, got %+v", u)
+	default:
+		fmt.Println("soldier         : (sees nothing from zone 1/3, as intended)")
+	}
+}
+
+func show(who string, p *gcopss.Player) {
+	u := <-p.Updates()
+	fmt.Printf("%-15s : [%s] %s -> %q (object %s)\n", who, u.CD, u.Origin, u.Data, u.ObjectID)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/icn-gaming/gcopss
+
+go 1.22

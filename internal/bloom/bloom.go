@@ -1,0 +1,216 @@
+// Package bloom provides the Bloom filters used by the COPSS Subscription
+// Table fast path. The paper stores, per face, a Bloom filter over the
+// subscribed CDs so that forwarding a Multicast packet reduces to a few bit
+// probes per prefix of the packet's CD.
+//
+// The implementation uses double hashing over two 64-bit FNV-1a derived
+// values (Kirsch–Mitzenmacher), which needs only the standard library.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter. The zero value is unusable; construct
+// with New or NewWithEstimates.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint64 // number of hash functions
+	n    uint64 // number of inserted elements (approximate if duplicates)
+}
+
+// New creates a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64 and forced to be at least 64; k is clamped to [1, 32].
+func New(m, k uint64) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	m = (m + 63) / 64 * 64
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return &Filter{bits: make([]uint64, m/64), m: m, k: k}
+}
+
+// NewWithEstimates creates a filter sized for n expected elements at the
+// given target false-positive probability p (0 < p < 1).
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(float64(n) * math.Log(p) / math.Log(1/math.Pow(2, math.Ln2))))
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	return New(m, k)
+}
+
+// HashPair is the precomputed double-hashing state of one key. The paper's
+// first-hop optimization ("calculate the hash values at the 1st hop router
+// and the routers forward hash values along with the names. So routers only
+// need to perform simple bit comparison") ships these pairs inside packets
+// so downstream Subscription Tables probe without re-hashing.
+type HashPair struct {
+	H1, H2 uint64
+}
+
+// Hash derives the double-hashing pair for a key.
+func Hash(data []byte) HashPair {
+	h := fnv.New64a()
+	h.Write(data) //nolint:errcheck // fnv never errors
+	h1 := h.Sum64()
+	// Derive a second, independent-enough value by hashing h1's bytes with a
+	// different seed byte prepended.
+	var buf [9]byte
+	buf[0] = 0x9e
+	binary.LittleEndian.PutUint64(buf[1:], h1)
+	h2h := fnv.New64a()
+	h2h.Write(buf[:]) //nolint:errcheck
+	h2 := h2h.Sum64()
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15 // avoid a degenerate stride
+	}
+	return HashPair{H1: h1, H2: h2}
+}
+
+// HashString derives the pair for a string key.
+func HashString(s string) HashPair { return Hash([]byte(s)) }
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	f.AddPair(Hash(data))
+}
+
+// AddPair inserts a precomputed key.
+func (f *Filter) AddPair(p HashPair) {
+	for i := uint64(0); i < f.k; i++ {
+		idx := (p.H1 + i*p.H2) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
+
+// Test reports whether data may have been inserted. False positives are
+// possible; false negatives are not.
+func (f *Filter) Test(data []byte) bool {
+	return f.TestPair(Hash(data))
+}
+
+// TestPair probes with a precomputed key — the "simple bit comparison" fast
+// path of the first-hop hash optimization.
+func (f *Filter) TestPair(p HashPair) bool {
+	for i := uint64(0); i < f.k; i++ {
+		idx := (p.H1 + i*p.H2) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestString reports possible membership of a string key.
+func (f *Filter) TestString(s string) bool { return f.Test([]byte(s)) }
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Count returns the number of Add calls since construction or Reset.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes returns the number of hash functions.
+func (f *Filter) Hashes() uint64 { return f.k }
+
+// FillRatio returns the fraction of set bits, a congestion indicator for
+// deciding when to rebuild the filter larger.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.m)
+}
+
+// EstimatedFalsePositiveRate returns the expected false-positive probability
+// for the current fill, (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Union merges other into f. Both filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: geometry mismatch: (%d,%d) vs (%d,%d)", f.m, f.k, other.m, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.n += other.n
+	return nil
+}
+
+// Clone returns an independent copy.
+func (f *Filter) Clone() *Filter {
+	out := &Filter{bits: make([]uint64, len(f.bits)), m: f.m, k: f.k, n: f.n}
+	copy(out.bits, f.bits)
+	return out
+}
+
+// MarshalBinary encodes the filter geometry and bits. It implements
+// encoding.BinaryMarshaler so filters can travel in control packets (the
+// paper's first-hop hash optimization ships precomputed hash state).
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 24+len(f.bits)*8)
+	binary.BigEndian.PutUint64(out[0:], f.m)
+	binary.BigEndian.PutUint64(out[8:], f.k)
+	binary.BigEndian.PutUint64(out[16:], f.n)
+	for i, w := range f.bits {
+		binary.BigEndian.PutUint64(out[24+i*8:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter previously encoded with MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return fmt.Errorf("bloom: short buffer: %d bytes", len(data))
+	}
+	m := binary.BigEndian.Uint64(data[0:])
+	k := binary.BigEndian.Uint64(data[8:])
+	n := binary.BigEndian.Uint64(data[16:])
+	if m == 0 || m%64 != 0 || uint64(len(data)-24) != m/8 {
+		return fmt.Errorf("bloom: inconsistent geometry m=%d len=%d", m, len(data))
+	}
+	f.m, f.k, f.n = m, k, n
+	f.bits = make([]uint64, m/64)
+	for i := range f.bits {
+		f.bits[i] = binary.BigEndian.Uint64(data[24+i*8:])
+	}
+	return nil
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight bit-twiddling population count.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

@@ -1,0 +1,187 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddTest(t *testing.T) {
+	f := New(1024, 4)
+	keys := []string{"/", "/1", "/1/2", "/sports/football", "(root)"}
+	for _, k := range keys {
+		f.AddString(k)
+	}
+	for _, k := range keys {
+		if !f.TestString(k) {
+			t.Errorf("false negative for %q", k)
+		}
+	}
+	if f.Count() != uint64(len(keys)) {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		bf := NewWithEstimates(uint64(len(keys))+1, 0.01)
+		for _, k := range keys {
+			bf.AddString(k)
+		}
+		for _, k := range keys {
+			if !bf.TestString(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateBounded(t *testing.T) {
+	const n = 5000
+	bf := NewWithEstimates(n, 0.01)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		bf.AddString(fmt.Sprintf("member-%d-%d", i, r.Int63()))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if bf.TestString(fmt.Sprintf("nonmember-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 { // 3× the design target leaves headroom for hash variance
+		t.Errorf("false positive rate %.4f exceeds bound", rate)
+	}
+	if est := bf.EstimatedFalsePositiveRate(); est > 0.02 {
+		t.Errorf("estimated fp rate %.4f unexpectedly high", est)
+	}
+}
+
+func TestGeometryClamping(t *testing.T) {
+	f := New(1, 0)
+	if f.Bits() != 64 || f.Hashes() != 1 {
+		t.Errorf("clamped geometry = (%d,%d)", f.Bits(), f.Hashes())
+	}
+	f = New(100, 100)
+	if f.Bits()%64 != 0 || f.Hashes() != 32 {
+		t.Errorf("clamped geometry = (%d,%d)", f.Bits(), f.Hashes())
+	}
+	f = NewWithEstimates(0, 2.0) // degenerate inputs fall back to defaults
+	if f.Bits() == 0 {
+		t.Error("NewWithEstimates produced empty filter")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(256, 3)
+	f.AddString("x")
+	f.Reset()
+	if f.TestString("x") {
+		t.Error("Reset did not clear bits")
+	}
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(256, 3), New(256, 3)
+	a.AddString("a")
+	b.AddString("b")
+	if err := a.Union(b); err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	if !a.TestString("a") || !a.TestString("b") {
+		t.Error("Union lost members")
+	}
+	c := New(512, 3)
+	if err := a.Union(c); err == nil {
+		t.Error("Union should reject geometry mismatch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(256, 3)
+	a.AddString("a")
+	b := a.Clone()
+	b.AddString("b")
+	if a.TestString("b") && a.FillRatio() == b.FillRatio() {
+		t.Error("Clone shares storage with original")
+	}
+	if !b.TestString("a") {
+		t.Error("Clone lost member")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := New(512, 5)
+	for i := 0; i < 40; i++ {
+		a.AddString(fmt.Sprintf("k%d", i))
+	}
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var b Filter
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if !b.TestString(fmt.Sprintf("k%d", i)) {
+			t.Errorf("member k%d lost in round trip", i)
+		}
+	}
+	if b.Bits() != a.Bits() || b.Hashes() != a.Hashes() || b.Count() != a.Count() {
+		t.Error("geometry lost in round trip")
+	}
+	if err := b.UnmarshalBinary(data[:10]); err == nil {
+		t.Error("UnmarshalBinary should reject short buffers")
+	}
+	if err := b.UnmarshalBinary(data[:30]); err == nil {
+		t.Error("UnmarshalBinary should reject inconsistent lengths")
+	}
+}
+
+func TestFillRatioMonotone(t *testing.T) {
+	f := New(1024, 4)
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		f.AddString(fmt.Sprintf("k%d", i))
+		cur := f.FillRatio()
+		if cur < prev {
+			t.Fatalf("fill ratio decreased: %f -> %f", prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= 0 || prev > 1 {
+		t.Errorf("fill ratio out of range: %f", prev)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewWithEstimates(10000, 0.01)
+	key := []byte("/1/2/some-object-name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(key)
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := NewWithEstimates(10000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("/k/%d", i))
+	}
+	key := []byte("/1/2/some-object-name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Test(key)
+	}
+}

@@ -1,0 +1,526 @@
+// Package broker implements the decentralized snapshot brokers of Section
+// IV-A: servers that subscribe to the leaf CDs of their serving areas,
+// maintain up-to-date object snapshots from the update stream, and hand
+// movers the current state of a sub-world through either of the paper's two
+// mechanisms — NDN query-response (pipelined Interests per object) or
+// cyclic multicast (the broker multicasts the area snapshot in a loop while
+// at least one mover is subscribed).
+//
+// A Broker is a pure state machine: hosts deliver packets to HandlePacket
+// and drive Tick from a timer; both return the packets to emit. This lets
+// the same implementation run in the discrete-event testbed and behind a
+// real TCP face.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// SnapshotPrefix is the NDN namespace brokers answer queries under.
+const SnapshotPrefix = "/snapshot"
+
+// CtlComponent and DataComponent are the CD namespaces of the
+// cyclic-multicast control and data channels.
+const (
+	CtlComponent  = "snapctl"
+	DataComponent = "snapdata"
+)
+
+// CtlCD returns the control CD movers publish start/stop requests to for a
+// leaf's cyclic session.
+func CtlCD(leaf cd.CD) cd.CD {
+	return prefixed(CtlComponent, leaf)
+}
+
+// DataCD returns the CD the broker multicasts a leaf's snapshot objects on.
+func DataCD(leaf cd.CD) cd.CD {
+	return prefixed(DataComponent, leaf)
+}
+
+func prefixed(ns string, leaf cd.CD) cd.CD {
+	comps := append([]string{ns}, leaf.Components()...)
+	return cd.MustNew(comps...)
+}
+
+// LeafOfDataCD inverts DataCD.
+func LeafOfDataCD(c cd.CD) (cd.CD, bool) {
+	comps := c.Components()
+	if len(comps) < 1 || comps[0] != DataComponent {
+		return cd.CD{}, false
+	}
+	leaf, err := cd.New(comps[1:]...)
+	if err != nil {
+		return cd.CD{}, false
+	}
+	return leaf, true
+}
+
+// EncodeUpdate frames a game update so brokers can attribute it to an
+// object: "objID\n" + body.
+func EncodeUpdate(objID string, body []byte) []byte {
+	out := make([]byte, 0, len(objID)+1+len(body))
+	out = append(out, objID...)
+	out = append(out, '\n')
+	return append(out, body...)
+}
+
+// DecodeUpdate recovers the object ID and body.
+func DecodeUpdate(payload []byte) (objID string, body []byte, ok bool) {
+	i := strings.IndexByte(string(payload), '\n')
+	if i < 0 {
+		return "", nil, false
+	}
+	return string(payload[:i]), payload[i+1:], true
+}
+
+// objState is the broker's view of one object.
+type objState struct {
+	id      string
+	version int
+	size    float64
+}
+
+// session is one active cyclic-multicast session.
+type session struct {
+	leaf        cd.CD
+	subscribers int
+	order       []string // object rotation
+	next        int
+	cycle       uint64 // completed cycles, for stats
+}
+
+// RecentLogSize bounds the per-leaf log of recent updates kept for players
+// coming back online ("the general pub/sub support provided in COPSS for
+// offline users").
+const RecentLogSize = 256
+
+// recentEntry is one logged update.
+type recentEntry struct {
+	Origin string
+	Seq    uint64
+	ObjID  string
+	Size   int
+}
+
+// Broker maintains snapshots for a set of leaf areas.
+type Broker struct {
+	name     string
+	decay    float64
+	serving  map[string]struct{}             // leaf CD keys
+	objects  map[string]map[string]*objState // leaf key → object id → state
+	area     map[string]string               // object id → leaf key
+	sessions map[string]*session             // leaf key → active session
+	recent   map[string][]recentEntry        // leaf key → recent updates (ring)
+
+	// Stats.
+	updatesApplied uint64
+	queriesServed  uint64
+	objectsCycled  uint64
+}
+
+// New creates a broker serving the given leaf CDs. decay is the λ of the
+// snapshot-size model (0 selects gamemap.DefaultDecay).
+func New(name string, serving []cd.CD, decay float64) *Broker {
+	if decay <= 0 || decay >= 1 {
+		decay = gamemap.DefaultDecay
+	}
+	b := &Broker{
+		name:     name,
+		decay:    decay,
+		serving:  make(map[string]struct{}, len(serving)),
+		objects:  make(map[string]map[string]*objState, len(serving)),
+		area:     make(map[string]string),
+		sessions: make(map[string]*session),
+		recent:   make(map[string][]recentEntry),
+	}
+	for _, leaf := range serving {
+		b.serving[leaf.Key()] = struct{}{}
+		b.objects[leaf.Key()] = make(map[string]*objState)
+	}
+	return b
+}
+
+// Name returns the broker's identifier.
+func (b *Broker) Name() string { return b.name }
+
+// SubscriptionCDs returns the CDs the broker must subscribe to: its serving
+// leaves (to observe updates) and their control channels (to learn about
+// movers). "it only subscribes to the leaf CDs representing its serving area
+// and calculates snapshots on receiving updates".
+func (b *Broker) SubscriptionCDs() []cd.CD {
+	var out []cd.CD
+	for key := range b.serving {
+		leaf, err := cd.FromKey(key)
+		if err != nil {
+			continue
+		}
+		out = append(out, leaf, CtlCD(leaf))
+	}
+	cd.Sort(out)
+	return out
+}
+
+// Serves reports whether the broker is responsible for a leaf.
+func (b *Broker) Serves(leaf cd.CD) bool {
+	_, ok := b.serving[leaf.Key()]
+	return ok
+}
+
+// HandlePacket processes one packet addressed to the broker and returns the
+// packets to emit in response.
+func (b *Broker) HandlePacket(pkt *wire.Packet) []*wire.Packet {
+	switch pkt.Type {
+	case wire.TypeMulticast:
+		return b.handleMulticast(pkt)
+	case wire.TypeInterest:
+		return b.handleInterest(pkt)
+	default:
+		return nil
+	}
+}
+
+// handleMulticast consumes game updates (snapshot maintenance) and cyclic
+// session control messages.
+func (b *Broker) handleMulticast(pkt *wire.Packet) []*wire.Packet {
+	c := pkt.CD()
+	comps := c.Components()
+	if len(comps) > 0 && comps[0] == CtlComponent {
+		leaf, err := cd.New(comps[1:]...)
+		if err != nil {
+			return nil
+		}
+		return b.handleSessionCtl(leaf, string(pkt.Payload))
+	}
+	if _, ok := b.serving[c.Key()]; !ok {
+		return nil
+	}
+	objID, body, ok := DecodeUpdate(pkt.Payload)
+	if !ok {
+		return nil
+	}
+	b.applyUpdate(c, objID, float64(len(body)))
+	log := append(b.recent[c.Key()], recentEntry{
+		Origin: pkt.Origin, Seq: pkt.Seq, ObjID: objID, Size: len(body),
+	})
+	if len(log) > RecentLogSize {
+		log = log[len(log)-RecentLogSize:]
+	}
+	b.recent[c.Key()] = log
+	return nil
+}
+
+// applyUpdate advances an object snapshot per Eq. 1.
+func (b *Broker) applyUpdate(leaf cd.CD, objID string, size float64) {
+	areaObjs := b.objects[leaf.Key()]
+	o, ok := areaObjs[objID]
+	if !ok {
+		o = &objState{id: objID}
+		areaObjs[objID] = o
+		b.area[objID] = leaf.Key()
+	}
+	o.size = b.decay*o.size + size
+	o.version++
+	b.updatesApplied++
+	// A running session picks up new objects on its next rotation.
+	if s, active := b.sessions[leaf.Key()]; active {
+		found := false
+		for _, id := range s.order {
+			if id == objID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.order = append(s.order, objID)
+		}
+	}
+}
+
+// handleSessionCtl starts/stops cyclic sessions ("It starts multicasting on
+// receiving the first Subscribe packet and stops on receiving the last
+// Unsubscribe packet").
+func (b *Broker) handleSessionCtl(leaf cd.CD, verb string) []*wire.Packet {
+	if _, ok := b.serving[leaf.Key()]; !ok {
+		return nil
+	}
+	switch verb {
+	case "start":
+		s, ok := b.sessions[leaf.Key()]
+		if !ok {
+			s = &session{leaf: leaf, order: b.changedObjectIDs(leaf)}
+			b.sessions[leaf.Key()] = s
+		}
+		s.subscribers++
+		// An immediate manifest tells joiners how many objects to expect.
+		return []*wire.Packet{b.manifestPacket(leaf)}
+	case "stop":
+		s, ok := b.sessions[leaf.Key()]
+		if !ok {
+			return nil
+		}
+		s.subscribers--
+		if s.subscribers <= 0 {
+			delete(b.sessions, leaf.Key())
+		}
+	}
+	return nil
+}
+
+// changedObjectIDs returns the sorted IDs of objects with version > 0
+// (version-0 objects ship with the map and cost nothing).
+func (b *Broker) changedObjectIDs(leaf cd.CD) []string {
+	var out []string
+	for id, o := range b.objects[leaf.Key()] {
+		if o.version > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// manifestPacket announces a session's object count on the data channel.
+func (b *Broker) manifestPacket(leaf cd.CD) *wire.Packet {
+	n := len(b.changedObjectIDs(leaf))
+	return &wire.Packet{
+		Type:    wire.TypeMulticast,
+		CDs:     []cd.CD{DataCD(leaf)},
+		Origin:  b.name,
+		Payload: []byte("manifest:" + strconv.Itoa(n)),
+	}
+}
+
+// Tick advances every active cyclic session by one object transmission and
+// returns the multicast packets to emit. Hosts call it on their multicast
+// pacing interval.
+func (b *Broker) Tick() []*wire.Packet {
+	if len(b.sessions) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(b.sessions))
+	for k := range b.sessions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []*wire.Packet
+	for _, k := range keys {
+		s := b.sessions[k]
+		if len(s.order) == 0 {
+			continue
+		}
+		if s.next >= len(s.order) {
+			s.next = 0
+			s.cycle++
+		}
+		id := s.order[s.next]
+		s.next++
+		o := b.objects[k][id]
+		if o == nil {
+			continue
+		}
+		b.objectsCycled++
+		out = append(out, &wire.Packet{
+			Type:    wire.TypeMulticast,
+			CDs:     []cd.CD{DataCD(s.leaf)},
+			Origin:  b.name,
+			Payload: encodeObject(id, o),
+		})
+	}
+	return out
+}
+
+// encodeObject frames one snapshot object: "obj:<id>:<version>:" + padding
+// of the snapshot size.
+func encodeObject(id string, o *objState) []byte {
+	hdr := fmt.Sprintf("obj:%s:%d:", id, o.version)
+	return append([]byte(hdr), make([]byte, int(o.size))...)
+}
+
+// ParseObject recovers the id and version of a cyclic object packet, or
+// manifest count when the packet is a manifest.
+func ParseObject(payload []byte) (id string, version int, manifest int, ok bool) {
+	s := string(payload)
+	if rest, found := strings.CutPrefix(s, "manifest:"); found {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return "", 0, 0, false
+		}
+		return "", 0, n, true
+	}
+	if !strings.HasPrefix(s, "obj:") {
+		return "", 0, -1, false
+	}
+	parts := strings.SplitN(s[4:], ":", 3)
+	if len(parts) != 3 {
+		return "", 0, -1, false
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, -1, false
+	}
+	return parts[0], v, -1, true
+}
+
+// handleInterest answers NDN snapshot queries:
+//
+//	/snapshot<leaf>/_manifest   → the changed-object list "id:size" lines
+//	/snapshot<leaf>/<objID>     → the object snapshot bytes
+func (b *Broker) handleInterest(pkt *wire.Packet) []*wire.Packet {
+	if !strings.HasPrefix(pkt.Name, SnapshotPrefix) {
+		return nil
+	}
+	rest := pkt.Name[len(SnapshotPrefix):]
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 {
+		return nil
+	}
+	leafKey, item := rest[:i], rest[i+1:]
+	// An airspace leaf key ends in '/', which collides with the item
+	// separator; the extra empty segment shows up as an empty leafKey tail.
+	leaf, err := cd.FromKey(leafKey)
+	if err != nil {
+		return nil
+	}
+	if _, ok := b.serving[leaf.Key()]; !ok {
+		return nil
+	}
+	b.queriesServed++
+	if item == "_recent" {
+		// Catch-up for a player coming back online in this area: the
+		// recent update log, newest last.
+		var lines []string
+		for _, e := range b.recent[leaf.Key()] {
+			lines = append(lines, fmt.Sprintf("%s:%d:%s:%d", e.Origin, e.Seq, e.ObjID, e.Size))
+		}
+		return []*wire.Packet{{
+			Type:    wire.TypeData,
+			Name:    pkt.Name,
+			Payload: []byte(strings.Join(lines, "\n")),
+			SentAt:  pkt.SentAt,
+		}}
+	}
+	if item == "_manifest" {
+		var lines []string
+		for _, id := range b.changedObjectIDs(leaf) {
+			o := b.objects[leaf.Key()][id]
+			lines = append(lines, fmt.Sprintf("%s:%d", id, int(o.size)))
+		}
+		return []*wire.Packet{{
+			Type:    wire.TypeData,
+			Name:    pkt.Name,
+			Payload: []byte(strings.Join(lines, "\n")),
+			SentAt:  pkt.SentAt,
+		}}
+	}
+	o, ok := b.objects[leaf.Key()][item]
+	if !ok {
+		// Unchanged object: version 0 ships with the map; answer with an
+		// empty snapshot so the consumer is not left waiting.
+		return []*wire.Packet{{
+			Type:    wire.TypeData,
+			Name:    pkt.Name,
+			Payload: []byte("obj:" + item + ":0:"),
+			SentAt:  pkt.SentAt,
+		}}
+	}
+	return []*wire.Packet{{
+		Type:    wire.TypeData,
+		Name:    pkt.Name,
+		Payload: encodeObject(item, o),
+		SentAt:  pkt.SentAt,
+	}}
+}
+
+// ObjectName returns the NDN name of an object snapshot.
+func ObjectName(leaf cd.CD, objID string) string {
+	return SnapshotPrefix + leaf.Key() + "/" + objID
+}
+
+// ManifestName returns the NDN name of a leaf's manifest.
+func ManifestName(leaf cd.CD) string {
+	return SnapshotPrefix + leaf.Key() + "/_manifest"
+}
+
+// RecentName returns the NDN name of a leaf's recent-update log.
+func RecentName(leaf cd.CD) string {
+	return SnapshotPrefix + leaf.Key() + "/_recent"
+}
+
+// RecentUpdate is one catch-up record returned to a resuming player.
+type RecentUpdate struct {
+	Origin string
+	Seq    uint64
+	ObjID  string
+	Size   int
+}
+
+// ParseRecent decodes a _recent Data payload.
+func ParseRecent(payload []byte) []RecentUpdate {
+	var out []RecentUpdate
+	for _, line := range strings.Split(string(payload), "\n") {
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		seq, err1 := strconv.ParseUint(parts[1], 10, 64)
+		size, err2 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, RecentUpdate{Origin: parts[0], Seq: seq, ObjID: parts[2], Size: size})
+	}
+	return out
+}
+
+// ParseManifest decodes a manifest payload into (id, size) pairs.
+func ParseManifest(payload []byte) map[string]int {
+	out := make(map[string]int)
+	for _, line := range strings.Split(string(payload), "\n") {
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		size, err := strconv.Atoi(line[i+1:])
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = size
+	}
+	return out
+}
+
+// Stats returns cumulative counters.
+func (b *Broker) Stats() (updates, queries, cycled uint64) {
+	return b.updatesApplied, b.queriesServed, b.objectsCycled
+}
+
+// SnapshotSize returns the broker's current snapshot bytes for a leaf.
+func (b *Broker) SnapshotSize(leaf cd.CD) float64 {
+	var total float64
+	for _, o := range b.objects[leaf.Key()] {
+		if o.version > 0 {
+			total += o.size
+		}
+	}
+	return total
+}
+
+// ActiveSessions returns the leaf keys with running cyclic sessions.
+func (b *Broker) ActiveSessions() []string {
+	out := make([]string, 0, len(b.sessions))
+	for k := range b.sessions {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

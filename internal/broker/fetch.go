@@ -1,0 +1,156 @@
+package broker
+
+import (
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// QRFetch drives the query-response snapshot download of one leaf: first
+// the manifest, then the changed objects with a pipelining window ("we let
+// a player have a set of at most N queries outstanding at any time").
+// It is a pure state machine: feed it the Data packets addressed to it and
+// emit what it returns.
+type QRFetch struct {
+	leaf   cd.CD
+	window int
+
+	wanted       []string
+	nextToAsk    int
+	outstanding  int
+	received     map[string]int // object id → version
+	haveManifest bool
+	done         bool
+}
+
+// NewQRFetch prepares a download of leaf's snapshot with the given window.
+func NewQRFetch(leaf cd.CD, window int) *QRFetch {
+	if window < 1 {
+		window = 1
+	}
+	return &QRFetch{leaf: leaf, window: window, received: make(map[string]int)}
+}
+
+// Start returns the manifest Interest.
+func (f *QRFetch) Start() []*wire.Packet {
+	return []*wire.Packet{{Type: wire.TypeInterest, Name: ManifestName(f.leaf)}}
+}
+
+// HandleData consumes a Data packet; it returns follow-up Interests and
+// whether the download completed.
+func (f *QRFetch) HandleData(pkt *wire.Packet) ([]*wire.Packet, bool) {
+	if f.done || pkt.Type != wire.TypeData {
+		return nil, f.done
+	}
+	switch pkt.Name {
+	case ManifestName(f.leaf):
+		if f.haveManifest {
+			return nil, false
+		}
+		f.haveManifest = true
+		for id := range ParseManifest(pkt.Payload) {
+			f.wanted = append(f.wanted, id)
+		}
+		if len(f.wanted) == 0 {
+			f.done = true
+			return nil, true
+		}
+		return f.fill(), false
+	default:
+		id, version, _, ok := ParseObject(pkt.Payload)
+		if !ok || id == "" {
+			return nil, false
+		}
+		if pkt.Name != ObjectName(f.leaf, id) {
+			return nil, false // another leaf's object (parallel fetches)
+		}
+		if _, dup := f.received[id]; dup {
+			return nil, false
+		}
+		f.received[id] = version
+		f.outstanding--
+		out := f.fill()
+		if len(f.received) == len(f.wanted) {
+			f.done = true
+			return out, true
+		}
+		return out, false
+	}
+}
+
+// fill tops the pipeline back up to the window.
+func (f *QRFetch) fill() []*wire.Packet {
+	var out []*wire.Packet
+	for f.outstanding < f.window && f.nextToAsk < len(f.wanted) {
+		id := f.wanted[f.nextToAsk]
+		f.nextToAsk++
+		f.outstanding++
+		out = append(out, &wire.Packet{Type: wire.TypeInterest, Name: ObjectName(f.leaf, id)})
+	}
+	return out
+}
+
+// Done reports completion.
+func (f *QRFetch) Done() bool { return f.done }
+
+// Received returns how many objects arrived.
+func (f *QRFetch) Received() int { return len(f.received) }
+
+// CyclicFetch drives the cyclic-multicast snapshot download of one leaf:
+// subscribe to the data channel, signal the broker, collect one full
+// rotation, then leave.
+type CyclicFetch struct {
+	leaf     cd.CD
+	origin   string
+	expected int // from the manifest; -1 until known
+	received map[string]int
+	done     bool
+}
+
+// NewCyclicFetch prepares a cyclic download of leaf's snapshot. origin
+// identifies the mover in control messages.
+func NewCyclicFetch(leaf cd.CD, origin string) *CyclicFetch {
+	return &CyclicFetch{leaf: leaf, origin: origin, expected: -1, received: make(map[string]int)}
+}
+
+// Start returns the subscription to the data channel plus the session-start
+// control publication.
+func (f *CyclicFetch) Start() []*wire.Packet {
+	return []*wire.Packet{
+		{Type: wire.TypeSubscribe, CDs: []cd.CD{DataCD(f.leaf)}},
+		{Type: wire.TypeMulticast, CDs: []cd.CD{CtlCD(f.leaf)}, Origin: f.origin, Payload: []byte("start")},
+	}
+}
+
+// HandleMulticast consumes a data-channel packet; on completion it returns
+// the unsubscribe and session-stop packets.
+func (f *CyclicFetch) HandleMulticast(pkt *wire.Packet) ([]*wire.Packet, bool) {
+	if f.done || pkt.Type != wire.TypeMulticast {
+		return nil, f.done
+	}
+	if leaf, ok := LeafOfDataCD(pkt.CD()); !ok || leaf != f.leaf {
+		return nil, false
+	}
+	id, version, manifest, ok := ParseObject(pkt.Payload)
+	if !ok {
+		return nil, false
+	}
+	if manifest >= 0 {
+		f.expected = manifest
+	} else {
+		f.received[id] = version
+	}
+	if f.expected >= 0 && len(f.received) >= f.expected {
+		f.done = true
+		return []*wire.Packet{
+			{Type: wire.TypeUnsubscribe, CDs: []cd.CD{DataCD(f.leaf)}},
+			{Type: wire.TypeMulticast, CDs: []cd.CD{CtlCD(f.leaf)}, Origin: f.origin, Payload: []byte("stop")},
+		}, true
+	}
+	return nil, false
+}
+
+// Done reports completion.
+func (f *CyclicFetch) Done() bool { return f.done }
+
+// Received returns how many distinct objects arrived.
+func (f *CyclicFetch) Received() int { return len(f.received) }

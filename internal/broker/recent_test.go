@@ -1,0 +1,79 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+func TestRecentLog(t *testing.T) {
+	b := newTestBroker()
+	leaf := cd.MustParse("/1/1")
+
+	// Empty log answers with an empty payload.
+	out := b.HandlePacket(&wire.Packet{Type: wire.TypeInterest, Name: RecentName(leaf)})
+	if len(out) != 1 || len(ParseRecent(out[0].Payload)) != 0 {
+		t.Fatalf("empty recent = %+v", out)
+	}
+
+	for i := 1; i <= 5; i++ {
+		b.HandlePacket(&wire.Packet{
+			Type:    wire.TypeMulticast,
+			CDs:     []cd.CD{leaf},
+			Origin:  "alice",
+			Seq:     uint64(i),
+			Payload: EncodeUpdate(fmt.Sprintf("obj%d", i), make([]byte, 10*i)),
+		})
+	}
+	out = b.HandlePacket(&wire.Packet{Type: wire.TypeInterest, Name: RecentName(leaf)})
+	recs := ParseRecent(out[0].Payload)
+	if len(recs) != 5 {
+		t.Fatalf("recent = %d records", len(recs))
+	}
+	// Oldest first, fields intact.
+	if recs[0].Seq != 1 || recs[4].Seq != 5 {
+		t.Errorf("ordering wrong: %+v", recs)
+	}
+	if recs[2].Origin != "alice" || recs[2].ObjID != "obj3" || recs[2].Size != 30 {
+		t.Errorf("record corrupted: %+v", recs[2])
+	}
+}
+
+func TestRecentLogBounded(t *testing.T) {
+	b := newTestBroker()
+	leaf := cd.MustParse("/1/1")
+	for i := 1; i <= RecentLogSize+50; i++ {
+		b.HandlePacket(&wire.Packet{
+			Type:    wire.TypeMulticast,
+			CDs:     []cd.CD{leaf},
+			Origin:  "bob",
+			Seq:     uint64(i),
+			Payload: EncodeUpdate("obj", []byte("x")),
+		})
+	}
+	out := b.HandlePacket(&wire.Packet{Type: wire.TypeInterest, Name: RecentName(leaf)})
+	recs := ParseRecent(out[0].Payload)
+	if len(recs) != RecentLogSize {
+		t.Fatalf("log grew to %d", len(recs))
+	}
+	// The log keeps the newest updates.
+	if recs[len(recs)-1].Seq != uint64(RecentLogSize+50) {
+		t.Errorf("newest seq = %d", recs[len(recs)-1].Seq)
+	}
+	if recs[0].Seq != 51 {
+		t.Errorf("oldest kept seq = %d, want 51", recs[0].Seq)
+	}
+}
+
+func TestParseRecentGarbage(t *testing.T) {
+	if got := ParseRecent([]byte("not:valid\nx:y:z\n::::")); len(got) != 0 {
+		t.Errorf("garbage parsed: %+v", got)
+	}
+	// Mixed valid/invalid lines keep the valid ones.
+	got := ParseRecent([]byte("p1:3:obj:42\nbroken\np2:9:o2:7"))
+	if len(got) != 2 || got[1].Origin != "p2" || got[1].Size != 7 {
+		t.Errorf("mixed parse = %+v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package cd
+
+import "testing"
+
+func TestFromKeyAndLen(t *testing.T) {
+	tests := []struct {
+		key string
+		len int
+	}{
+		{"", 0},
+		{"/", 1},
+		{"/1", 1},
+		{"/1/", 2},
+		{"/1/2/3", 3},
+	}
+	for _, tt := range tests {
+		c, err := FromKey(tt.key)
+		if err != nil {
+			t.Fatalf("FromKey(%q): %v", tt.key, err)
+		}
+		if got := c.Len(); got != tt.len {
+			t.Errorf("Len(%q) = %d, want %d", tt.key, got, tt.len)
+		}
+		if c.Key() != tt.key {
+			t.Errorf("Key round trip: %q != %q", c.Key(), tt.key)
+		}
+	}
+	if _, err := FromKey("no-slash"); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := Root().String(); got != "(root)" {
+		t.Errorf("root String = %q", got)
+	}
+	if got := MustParse("/1/2").String(); got != "/1/2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := RelationEqual.String(); got != "equal" {
+		t.Errorf("RelationEqual = %q", got)
+	}
+	if got := Relation(99).String(); got == "" {
+		t.Error("invalid relation should render")
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("MustNew", func() { MustNew("a", "", "b") })
+	assertPanics("MustParse", func() { MustParse("no-slash") })
+	assertPanics("MustChild", func() { MustParse("/a/").MustChild("x") })
+	assertPanics("MustAirspace", func() { MustParse("/a/").MustAirspace() })
+}
+
+func TestSetCloneAndNilLen(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Len() != 0 || nilSet.Members() != nil {
+		t.Error("nil set should be empty")
+	}
+	s := NewSet(MustParse("/a"), MustParse("/b"))
+	cl := s.Clone()
+	cl.Add(MustParse("/c"))
+	if s.Contains(MustParse("/c")) {
+		t.Error("Clone shares storage")
+	}
+	if cl.Len() != 3 || s.Len() != 2 {
+		t.Errorf("lens = %d, %d", cl.Len(), s.Len())
+	}
+	var nilSet2 *Set
+	if nilSet2.Clone().Len() != 0 {
+		t.Error("nil Clone should be empty")
+	}
+}

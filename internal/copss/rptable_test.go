@@ -1,0 +1,142 @@
+package copss
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+func TestRPTableSetAndCover(t *testing.T) {
+	tbl := NewRPTable()
+	if err := tbl.Set("/rp1", []cd.CD{cd.MustParse("/"), cd.MustParse("/1")}, 1); err != nil {
+		t.Fatalf("Set rp1: %v", err)
+	}
+	if err := tbl.Set("/rp2", []cd.CD{cd.MustParse("/2")}, 1); err != nil {
+		t.Fatalf("Set rp2: %v", err)
+	}
+
+	name, prefix, ok := tbl.CoverOf(cd.MustParse("/1/4/obj"))
+	if !ok || name != "/rp1" || prefix != cd.MustParse("/1") {
+		t.Errorf("CoverOf = %q %v %v", name, prefix, ok)
+	}
+	name, _, ok = tbl.CoverOf(cd.MustParse("/"))
+	if !ok || name != "/rp1" {
+		t.Errorf("CoverOf(/) = %q %v", name, ok)
+	}
+	if _, _, ok := tbl.CoverOf(cd.MustParse("/3")); ok {
+		t.Error("CoverOf should miss unserved CD")
+	}
+}
+
+func TestRPTablePrefixFreeInvariant(t *testing.T) {
+	tbl := NewRPTable()
+	if err := tbl.Set("/rp1", []cd.CD{cd.MustParse("/1/1")}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// "/1" would cover rp1's "/1/1" → reject.
+	if err := tbl.Set("/rp2", []cd.CD{cd.MustParse("/1")}, 1); err == nil {
+		t.Error("Set should reject prefix-free violation across RPs")
+	}
+	// An RP may replace its own set wholesale with a newer sequence.
+	if err := tbl.Set("/rp1", []cd.CD{cd.MustParse("/1")}, 2); err != nil {
+		t.Errorf("self-replacement rejected: %v", err)
+	}
+	// Stale announcements are rejected.
+	if err := tbl.Set("/rp1", []cd.CD{cd.MustParse("/9")}, 2); err == nil {
+		t.Error("stale announcement accepted")
+	}
+	if err := tbl.Set("", []cd.CD{cd.MustParse("/9")}, 1); err == nil {
+		t.Error("empty RP name accepted")
+	}
+}
+
+func TestRPTableIntersecting(t *testing.T) {
+	tbl := NewRPTable()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tbl.Set("/rpA", []cd.CD{cd.MustParse("/1/1"), cd.MustParse("/1/2")}, 1))
+	must(tbl.Set("/rpB", []cd.CD{cd.MustParse("/1/3"), cd.MustParse("/1/")}, 1))
+	must(tbl.Set("/rpC", []cd.CD{cd.MustParse("/2")}, 1))
+
+	// Subscribing to /1 requires joining rpA and rpB but not rpC.
+	if got := tbl.IntersectingRPs(cd.MustParse("/1")); !reflect.DeepEqual(got, []string{"/rpA", "/rpB"}) {
+		t.Errorf("IntersectingRPs(/1) = %v", got)
+	}
+	// Subscribing to /1/2 only needs rpA.
+	if got := tbl.IntersectingRPs(cd.MustParse("/1/2")); !reflect.DeepEqual(got, []string{"/rpA"}) {
+		t.Errorf("IntersectingRPs(/1/2) = %v", got)
+	}
+	// Root subscription joins everyone.
+	if got := tbl.IntersectingRPs(cd.Root()); len(got) != 3 {
+		t.Errorf("IntersectingRPs(root) = %v", got)
+	}
+}
+
+func TestRPTableRemoveGetNamesClone(t *testing.T) {
+	tbl := NewRPTable()
+	if err := tbl.Set("/rp1", []cd.CD{cd.MustParse("/1")}, 1); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := tbl.Get("/rp1")
+	if !ok || info.Name != "/rp1" || len(info.Prefixes) != 1 {
+		t.Errorf("Get = %+v %v", info, ok)
+	}
+	cl := tbl.Clone()
+	if !tbl.Remove("/rp1") || tbl.Remove("/rp1") {
+		t.Error("Remove misreports")
+	}
+	if tbl.Len() != 0 {
+		t.Error("Len after remove")
+	}
+	if cl.Len() != 1 {
+		t.Error("Clone shares state with original")
+	}
+	if got := cl.Names(); !reflect.DeepEqual(got, []string{"/rp1"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestPartitionPrefixes(t *testing.T) {
+	ps := PartitionPrefixes([]string{"1", "2", "3", "4", "5"})
+	if len(ps) != 6 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	if err := cd.PrefixFree(ps); err != nil {
+		t.Errorf("not prefix-free: %v", err)
+	}
+	if ps[0] != cd.MustParse("/") {
+		t.Errorf("first prefix = %v, want world airspace leaf", ps[0])
+	}
+}
+
+func TestDistribute(t *testing.T) {
+	ps := PartitionPrefixes([]string{"1", "2", "3", "4", "5"})
+	rps := Distribute(ps, 3, "/rp")
+	if len(rps) != 3 {
+		t.Fatalf("len = %d", len(rps))
+	}
+	total := 0
+	var all []cd.CD
+	for _, rp := range rps {
+		total += len(rp.Prefixes)
+		all = append(all, rp.Prefixes...)
+	}
+	if total != len(ps) {
+		t.Errorf("prefixes lost: %d != %d", total, len(ps))
+	}
+	if err := cd.PrefixFree(all); err != nil {
+		t.Errorf("distributed set not prefix-free: %v", err)
+	}
+	if rps[0].Name != "/rp1" || rps[2].Name != "/rp3" {
+		t.Errorf("names = %v %v", rps[0].Name, rps[2].Name)
+	}
+	// Degenerate n.
+	if got := Distribute(ps, 0, "/rp"); len(got) != 1 || len(got[0].Prefixes) != len(ps) {
+		t.Errorf("Distribute(0) = %+v", got)
+	}
+}

@@ -1,0 +1,312 @@
+// Package copss implements the Content-Oriented Publish/Subscribe System
+// layer of G-COPSS: the per-face Subscription Table (ST) with a Bloom-filter
+// fast path, the RP (Rendezvous Point) table mapping prefix-free CD prefixes
+// to RP names, and the pure pub/sub engine that decides how Subscribe,
+// Unsubscribe and Multicast packets are forwarded.
+package copss
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/icn-gaming/gcopss/internal/bloom"
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+)
+
+// MatchMode selects how the ST answers forwarding queries.
+type MatchMode int
+
+// Match modes. Enum starts at 1 so the zero value is invalid and construction
+// goes through NewST.
+const (
+	// MatchExact consults only the exact subscription sets: no false
+	// positives, deterministic. The simulators use this mode.
+	MatchExact MatchMode = iota + 1
+	// MatchBloom consults only the per-face Bloom filters, as the paper's
+	// data plane does: false positives forward extra packets that end hosts
+	// discard, false negatives cannot occur.
+	MatchBloom
+	// MatchBloomVerified probes the Bloom filter first and confirms hits
+	// against the exact set, modelling the filter as a cache-friendly
+	// pre-check while keeping delivery exact.
+	MatchBloomVerified
+)
+
+// stFilterSize is the per-face Bloom filter geometry: sized for the CD
+// populations of the paper's game maps (tens of CDs per face) with room to
+// spare before false positives matter.
+const (
+	stFilterBits   = 2048
+	stFilterHashes = 5
+)
+
+type faceSubs struct {
+	exact  *cd.Set
+	filter *bloom.Filter
+	dirty  bool // true when filter must be rebuilt (after removals)
+}
+
+func newFaceSubs() *faceSubs {
+	return &faceSubs{exact: cd.NewSet(), filter: bloom.New(stFilterBits, stFilterHashes)}
+}
+
+func (fs *faceSubs) rebuild() {
+	fs.filter.Reset()
+	for _, c := range fs.exact.Members() {
+		fs.filter.AddString(c.Key())
+	}
+	fs.dirty = false
+}
+
+// ST is the Subscription Table: for every face, the set of CDs subscribed
+// through that face, stored both exactly and in a Bloom filter. The paper
+// models it as <Face, BloomFilter<CD>>.
+type ST struct {
+	faces map[ndn.FaceID]*faceSubs
+	mode  MatchMode
+
+	bloomProbes       uint64
+	bloomFalseMatches uint64
+}
+
+// NewST creates an empty subscription table with the given match mode.
+func NewST(mode MatchMode) *ST {
+	if mode == 0 {
+		mode = MatchBloomVerified
+	}
+	return &ST{faces: make(map[ndn.FaceID]*faceSubs), mode: mode}
+}
+
+// Add subscribes face to c; it reports whether the entry is new.
+func (st *ST) Add(face ndn.FaceID, c cd.CD) bool {
+	fs, ok := st.faces[face]
+	if !ok {
+		fs = newFaceSubs()
+		st.faces[face] = fs
+	}
+	if !fs.exact.Add(c) {
+		return false
+	}
+	fs.filter.AddString(c.Key())
+	return true
+}
+
+// Remove unsubscribes face from c; it reports whether the entry existed.
+// Bloom filters cannot delete, so the face's filter is marked for rebuild.
+func (st *ST) Remove(face ndn.FaceID, c cd.CD) bool {
+	fs, ok := st.faces[face]
+	if !ok {
+		return false
+	}
+	if !fs.exact.Remove(c) {
+		return false
+	}
+	fs.dirty = true
+	if fs.exact.Len() == 0 {
+		delete(st.faces, face)
+	}
+	return true
+}
+
+// RemoveFace drops every subscription of a face (e.g. a disconnected
+// client); it reports whether the face had any.
+func (st *ST) RemoveFace(face ndn.FaceID) bool {
+	if _, ok := st.faces[face]; !ok {
+		return false
+	}
+	delete(st.faces, face)
+	return true
+}
+
+// PrefixHashes precomputes the Bloom hash pairs of a CD's prefixes
+// (shortest first) — done once at the first-hop router, per the paper's
+// optimization, and carried in the packet so every downstream ST probe is
+// a bit comparison.
+func PrefixHashes(c cd.CD) []bloom.HashPair {
+	prefixes := c.Prefixes()
+	out := make([]bloom.HashPair, len(prefixes))
+	for i, p := range prefixes {
+		out[i] = bloom.HashString(p.Key())
+	}
+	return out
+}
+
+// FlattenHashes converts pairs to the packet representation (two uint64
+// per pair).
+func FlattenHashes(pairs []bloom.HashPair) []uint64 {
+	out := make([]uint64, 0, len(pairs)*2)
+	for _, p := range pairs {
+		out = append(out, p.H1, p.H2)
+	}
+	return out
+}
+
+// UnflattenHashes inverts FlattenHashes; it returns nil for odd inputs.
+func UnflattenHashes(flat []uint64) []bloom.HashPair {
+	if len(flat)%2 != 0 {
+		return nil
+	}
+	out := make([]bloom.HashPair, len(flat)/2)
+	for i := range out {
+		out[i] = bloom.HashPair{H1: flat[i*2], H2: flat[i*2+1]}
+	}
+	return out
+}
+
+// FacesFor returns the faces a Multicast packet for CD c must be forwarded
+// to: every face whose subscription set contains a prefix of c (including c
+// itself). The result is sorted.
+func (st *ST) FacesFor(c cd.CD) []ndn.FaceID {
+	return st.facesFor(c, nil)
+}
+
+// FacesForHashed is FacesFor with precomputed prefix hash pairs (the
+// first-hop optimization). Invalid pair counts fall back to hashing.
+func (st *ST) FacesForHashed(c cd.CD, pairs []bloom.HashPair) []ndn.FaceID {
+	if len(pairs) != c.Len()+1 {
+		pairs = nil // inconsistent with the prefix count: recompute
+	}
+	return st.facesFor(c, pairs)
+}
+
+func (st *ST) facesFor(c cd.CD, pairs []bloom.HashPair) []ndn.FaceID {
+	if pairs == nil && st.mode != MatchExact {
+		pairs = PrefixHashes(c)
+	}
+	var out []ndn.FaceID
+	for id, fs := range st.faces {
+		if st.matches(fs, c, pairs) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (st *ST) matches(fs *faceSubs, c cd.CD, pairs []bloom.HashPair) bool {
+	switch st.mode {
+	case MatchExact:
+		return fs.exact.ContainsPrefixOf(c)
+	case MatchBloom:
+		if fs.dirty {
+			fs.rebuild()
+		}
+		for _, p := range pairs {
+			st.bloomProbes++
+			if fs.filter.TestPair(p) {
+				return true
+			}
+		}
+		return false
+	case MatchBloomVerified:
+		if fs.dirty {
+			fs.rebuild()
+		}
+		hit := false
+		for _, p := range pairs {
+			st.bloomProbes++
+			if fs.filter.TestPair(p) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+		ok := fs.exact.ContainsPrefixOf(c)
+		if !ok {
+			st.bloomFalseMatches++
+		}
+		return ok
+	default:
+		return fs.exact.ContainsPrefixOf(c)
+	}
+}
+
+// Subscribed reports whether face holds an exact subscription to c.
+func (st *ST) Subscribed(face ndn.FaceID, c cd.CD) bool {
+	fs, ok := st.faces[face]
+	return ok && fs.exact.Contains(c)
+}
+
+// SubscribedAnywhere reports whether any face holds an exact subscription to
+// c. Used for unsubscribe aggregation: the router leaves the group upstream
+// only when the last downstream subscriber is gone.
+func (st *ST) SubscribedAnywhere(c cd.CD) bool {
+	for _, fs := range st.faces {
+		if fs.exact.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubscribedElsewhere reports whether a face other than except subscribes to
+// c exactly.
+func (st *ST) SubscribedElsewhere(c cd.CD, except ndn.FaceID) bool {
+	for id, fs := range st.faces {
+		if id == except {
+			continue
+		}
+		if fs.exact.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// CDsOf returns the sorted CDs face is subscribed to.
+func (st *ST) CDsOf(face ndn.FaceID) []cd.CD {
+	fs, ok := st.faces[face]
+	if !ok {
+		return nil
+	}
+	return fs.exact.Members()
+}
+
+// AllCDs returns the union of subscriptions across faces, sorted.
+func (st *ST) AllCDs() []cd.CD {
+	u := cd.NewSet()
+	for _, fs := range st.faces {
+		for _, c := range fs.exact.Members() {
+			u.Add(c)
+		}
+	}
+	return u.Members()
+}
+
+// Faces returns the sorted faces that hold at least one subscription.
+func (st *ST) Faces() []ndn.FaceID {
+	out := make([]ndn.FaceID, 0, len(st.faces))
+	for id := range st.faces {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total number of (face, CD) entries.
+func (st *ST) Len() int {
+	n := 0
+	for _, fs := range st.faces {
+		n += fs.exact.Len()
+	}
+	return n
+}
+
+// BloomStats returns the number of Bloom probes performed and how many hits
+// were rejected by exact verification (observed false positives).
+func (st *ST) BloomStats() (probes, falseMatches uint64) {
+	return st.bloomProbes, st.bloomFalseMatches
+}
+
+// String renders the table for debugging.
+func (st *ST) String() string {
+	var b strings.Builder
+	for _, f := range st.Faces() {
+		fmt.Fprintf(&b, "face %d: %v\n", f, st.faces[f].exact)
+	}
+	return b.String()
+}

@@ -1,0 +1,684 @@
+// Package core implements the G-COPSS router: the composition of an NDN
+// forwarding engine and a COPSS pub/sub engine described in Fig. 2 of the
+// paper, plus the gaming add-ons of Section IV (automatic RP load balancing
+// with a loss-free migration protocol).
+//
+// A Router is pure with respect to I/O: every handler takes the current time
+// and an arriving packet and returns the set of (face, packet) send actions.
+// Hosts — the packet-level testbed, the TCP daemon, and the trace-driven
+// simulator — own queues, links and clocks, which is also what makes the
+// queueing behaviour measurable.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// FaceKind distinguishes what is attached on the other end of a face. The
+// paper's router treats packets from end hosts (players) differently from
+// packets from other routers: a Multicast from an end host is encapsulated
+// toward the covering RP, while a Multicast from a router is forwarded
+// straight from the Subscription Table.
+type FaceKind int
+
+// Face kinds. Enum starts at 1 so the zero value is invalid.
+const (
+	// FaceRouter connects to another G-COPSS router.
+	FaceRouter FaceKind = iota + 1
+	// FaceClient connects to an end host (player or broker).
+	FaceClient
+)
+
+// InternalFace is the virtual face (the dedicated IPC tunnel of Fig. 2)
+// between the NDN engine and the G-COPSS engine of the same router. Actions
+// never reference it; it only appears as a packet origin.
+const InternalFace ndn.FaceID = -1
+
+// Stats counts router activity.
+type Stats struct {
+	MulticastIn         uint64 // raw Multicast packets received
+	MulticastOut        uint64 // Multicast packets sent (per face)
+	PublishEncapsulated uint64 // client publications encapsulated toward an RP
+	RPDeliveries        uint64 // publications decapsulated and multicast as RP
+	SubscribesIn        uint64
+	UnsubscribesIn      uint64
+	JoinsIn             uint64
+	ConfirmsIn          uint64
+	LeavesIn            uint64
+	AnnouncementsIn     uint64
+	Redirected          uint64 // stage-B publications re-encapsulated to a new RP
+	Dropped             uint64
+}
+
+// Router is one G-COPSS node.
+type Router struct {
+	name string
+
+	ndnEngine *ndn.Engine
+	st        *copss.ST
+	rpt       *copss.RPTable
+
+	faces map[ndn.FaceID]FaceKind
+
+	// localRPs maps RP names hosted on this router to their load monitors.
+	localRPs map[string]*LoadMonitor
+
+	// propagated tracks, per RP name, the narrowed CDs for which this router
+	// has already sent a Subscribe (or Join) upstream — the paper's
+	// "aggregation of subscriptions at the subscription table".
+	propagated map[string]*cd.Set
+
+	// upstream is the confirmed upstream face per RP name.
+	upstream map[string]ndn.FaceID
+
+	// grafts tracks tree membership and in-flight make-before-break joins
+	// per RP name.
+	grafts map[string]*graft
+
+	// pendingJoins parks Joins that arrive before the RP announcement.
+	pendingJoins map[string][]pendingJoin
+
+	// pendingPrunes holds branch Prunes queued at a handoff's old host,
+	// emitted through the serialized RP path on the next publication so
+	// they stay FIFO-behind every old-tree copy.
+	pendingPrunes []ndn.Action
+
+	// announceSeq remembers the highest announcement sequence seen per RP,
+	// for flood deduplication.
+	announceSeq map[string]uint64
+
+	pubSeq uint64
+	stats  Stats
+
+	windowSize int
+	matchMode  copss.MatchMode
+}
+
+// FlushOrigin marks the epoch-marker multicasts of the migration protocol:
+// when the new RP processes a router's Join it multicasts a marker named
+// after the joiner down the (old and new) trees. The joiner releases its
+// old branch only after the marker arrives on the OLD upstream face — at
+// which point, by per-link FIFO, every publication the old branch will ever
+// carry for it has already been delivered. End hosts ignore these packets.
+const FlushOrigin = "@copss-flush"
+
+// flushMarkerName builds the marker content name for a joiner.
+func flushMarkerName(joiner string) string { return FlushOrigin + "/" + joiner }
+
+// graft is the per-RP tree-membership state used by the make-before-break
+// migration protocol.
+type graft struct {
+	confirmed    bool                   // this router is on the RP's tree
+	joinSent     bool                   // our own Join is in flight
+	waiting      map[ndn.FaceID]*cd.Set // downstream joiners awaiting our Confirm
+	oldRP        string                 // tree to leave once flushed ("" if none)
+	oldFace      ndn.FaceID
+	hasOld       bool
+	pendingLeave *cd.Set // narrowed CDs to prune from the old tree
+	markerSeen   bool    // our flush marker arrived on the old face
+}
+
+// pendingJoin parks a Join that raced ahead of its RP announcement.
+type pendingJoin struct {
+	from   ndn.FaceID
+	cds    []cd.CD
+	origin string
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithMatchMode selects the Subscription Table matching mode.
+func WithMatchMode(m copss.MatchMode) Option {
+	return func(r *Router) { r.matchMode = m }
+}
+
+// WithLoadWindow sets the sliding-window size (packets) used by hosted RPs
+// to attribute load to CDs for the auto-balancer.
+func WithLoadWindow(n int) Option {
+	return func(r *Router) { r.windowSize = n }
+}
+
+// WithNDNOptions forwards options to the embedded NDN engine.
+func WithNDNOptions(opts ...ndn.Option) Option {
+	return func(r *Router) { r.ndnEngine = ndn.NewEngine(opts...) }
+}
+
+// NewRouter creates a router with no faces.
+func NewRouter(name string, opts ...Option) *Router {
+	r := &Router{
+		name:         name,
+		ndnEngine:    ndn.NewEngine(),
+		rpt:          copss.NewRPTable(),
+		faces:        make(map[ndn.FaceID]FaceKind),
+		localRPs:     make(map[string]*LoadMonitor),
+		propagated:   make(map[string]*cd.Set),
+		upstream:     make(map[string]ndn.FaceID),
+		grafts:       make(map[string]*graft),
+		pendingJoins: make(map[string][]pendingJoin),
+		announceSeq:  make(map[string]uint64),
+		windowSize:   DefaultLoadWindow,
+		matchMode:    copss.MatchBloomVerified,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.st = copss.NewST(r.matchMode)
+	return r
+}
+
+// Name returns the router's name.
+func (r *Router) Name() string { return r.name }
+
+// NDN exposes the embedded NDN engine (FIB installation, content store).
+func (r *Router) NDN() *ndn.Engine { return r.ndnEngine }
+
+// ST exposes the subscription table for inspection.
+func (r *Router) ST() *copss.ST { return r.st }
+
+// RPTable exposes this router's view of the RP population.
+func (r *Router) RPTable() *copss.RPTable { return r.rpt }
+
+// Stats returns a copy of the router counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// AddFace registers a face of the given kind.
+func (r *Router) AddFace(id ndn.FaceID, kind FaceKind) {
+	r.faces[id] = kind
+}
+
+// RemoveFace drops a face and its subscriptions.
+func (r *Router) RemoveFace(id ndn.FaceID) {
+	delete(r.faces, id)
+	r.st.RemoveFace(id)
+}
+
+// FaceKindOf returns the kind of a registered face.
+func (r *Router) FaceKindOf(id ndn.FaceID) (FaceKind, bool) {
+	k, ok := r.faces[id]
+	return k, ok
+}
+
+// Faces returns the registered face IDs in unspecified order.
+func (r *Router) Faces() []ndn.FaceID {
+	out := make([]ndn.FaceID, 0, len(r.faces))
+	for id := range r.faces {
+		out = append(out, id)
+	}
+	return out
+}
+
+// IsRP reports whether this router hosts the named RP.
+func (r *Router) IsRP(rpName string) bool {
+	_, ok := r.localRPs[rpName]
+	return ok
+}
+
+// LocalRPs returns the names of RPs hosted here.
+func (r *Router) LocalRPs() []string {
+	out := make([]string, 0, len(r.localRPs))
+	for n := range r.localRPs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// InstallRP statically installs knowledge of an RP: its served prefixes and
+// the face leading toward it (ndn FIB entry). Hosts use it to bootstrap the
+// network; the dynamic path is Announce/HandleAnnouncement flooding.
+func (r *Router) InstallRP(info copss.RPInfo, via ndn.FaceID) error {
+	if err := r.rpt.Set(info.Name, info.Prefixes, info.Seq); err != nil {
+		return fmt.Errorf("core: install RP: %w", err)
+	}
+	if seq := r.announceSeq[info.Name]; info.Seq > seq {
+		r.announceSeq[info.Name] = info.Seq
+	}
+	r.ndnEngine.FIB().RemovePrefix(info.Name)
+	r.ndnEngine.FIB().Add(info.Name, via)
+	r.upstream[info.Name] = via
+	r.confirmGraft(info.Name) // statically bootstrapped routers are on-tree
+	return nil
+}
+
+// BecomeRP makes this router host the named RP serving the given prefix-free
+// CD prefixes. The returned actions flood the announcement to all router
+// faces.
+func (r *Router) BecomeRP(info copss.RPInfo) ([]ndn.Action, error) {
+	if err := r.rpt.Set(info.Name, info.Prefixes, info.Seq); err != nil {
+		return nil, fmt.Errorf("core: become RP: %w", err)
+	}
+	if seq := r.announceSeq[info.Name]; info.Seq > seq {
+		r.announceSeq[info.Name] = info.Seq
+	}
+	r.localRPs[info.Name] = NewLoadMonitor(r.windowSize)
+	r.ndnEngine.FIB().RemovePrefix(info.Name)
+	r.ndnEngine.FIB().Add(info.Name, InternalFace)
+	delete(r.upstream, info.Name)
+	return r.floodExcept(-1, &wire.Packet{
+		Type:   wire.TypeFIBAdd,
+		Name:   info.Name,
+		CDs:    info.Prefixes,
+		Seq:    info.Seq,
+		Origin: r.name,
+	}), nil
+}
+
+// floodExcept builds send actions for every router face except the given one
+// (use a negative face to flood everywhere).
+func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	var out []ndn.Action
+	for id, kind := range r.faces {
+		if id == except || kind != FaceRouter {
+			continue
+		}
+		out = append(out, ndn.Action{Face: id, Packet: pkt.Clone()})
+	}
+	return out
+}
+
+// HandlePacket is the router's single entry point: it dispatches by packet
+// type exactly as the "is a NDN pkt?" demultiplexer of Fig. 2 does.
+func (r *Router) HandlePacket(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	switch pkt.Type {
+	case wire.TypeInterest:
+		return r.handleInterest(now, from, pkt)
+	case wire.TypeData:
+		return r.ndnEngine.HandleData(now, from, pkt)
+	case wire.TypeSubscribe:
+		return r.handleSubscribe(from, pkt)
+	case wire.TypeUnsubscribe:
+		return r.handleUnsubscribe(from, pkt)
+	case wire.TypeMulticast:
+		return r.handleMulticast(now, from, pkt)
+	case wire.TypeFIBAdd:
+		return r.handleAnnouncement(from, pkt)
+	case wire.TypeHandoff:
+		return r.handleHandoffAnnouncement(from, pkt)
+	case wire.TypeJoin:
+		return r.handleJoin(from, pkt)
+	case wire.TypeConfirm:
+		return r.handleConfirm(from, pkt)
+	case wire.TypeLeave:
+		return r.handleLeave(from, pkt)
+	case wire.TypePrune:
+		return r.handlePrune(from, pkt)
+	default:
+		r.stats.Dropped++
+		return nil
+	}
+}
+
+// handleInterest distinguishes RP-bound encapsulated publications from plain
+// NDN Interests. RP-bound Interests are routed by FIB only (push semantics:
+// they are never answered by Data, so PIT state would only rot); everything
+// else goes through the full NDN engine.
+func (r *Router) handleInterest(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	rpName, isRPBound := r.rpBoundName(pkt.Name)
+	if !isRPBound {
+		return r.ndnEngine.HandleInterest(now, from, pkt)
+	}
+	if isTwoStepContentName(pkt.Name, rpName) {
+		// A two-step content pull: full NDN semantics (PIT bread crumbs,
+		// aggregation, caching) at every hop; the RP answers from its
+		// Content Store via the FIB's internal face.
+		return r.ndnEngine.HandleInterest(now, from, pkt)
+	}
+	if r.IsRP(rpName) {
+		inner, err := wire.Decapsulate(pkt)
+		if err != nil {
+			r.stats.Dropped++
+			return nil
+		}
+		return r.deliverAsRP(now, rpName, inner)
+	}
+	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
+	if !ok {
+		r.stats.Dropped++
+		return nil
+	}
+	out := pkt.Clone()
+	out.HopCount++
+	return []ndn.Action{{Face: faces[0], Packet: out}}
+}
+
+// rpBoundName reports whether an Interest name targets a known RP, returning
+// the RP name prefix.
+func (r *Router) rpBoundName(name string) (string, bool) {
+	// RP names are single components ("/rp1"); match the first component.
+	if len(name) < 2 || name[0] != '/' {
+		return "", false
+	}
+	end := strings.IndexByte(name[1:], '/')
+	first := name
+	if end >= 0 {
+		first = name[:1+end]
+	}
+	if _, ok := r.rpt.Get(first); ok {
+		return first, true
+	}
+	return "", false
+}
+
+// deliverAsRP multicasts a decapsulated publication down the subscription
+// tree and records its CD for the load balancer. Stage-B redirection: if the
+// CD is no longer served here (it was handed off), the publication is
+// re-encapsulated toward the now-covering RP.
+func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
+	c := inner.CD()
+	mon := r.localRPs[rpName]
+	info, _ := r.rpt.Get(rpName)
+	// Any service through the RP path happens after every earlier emission,
+	// so queued handoff Prunes can be flushed safely here.
+	prunes := r.pendingPrunes
+	r.pendingPrunes = nil
+	if _, covered := cd.Cover(info.Prefixes, c); !covered {
+		// The CD moved to another RP; redirect (half-RTT loss-freedom rule).
+		newRP, _, ok := r.rpt.CoverOf(c)
+		if !ok || newRP == rpName {
+			r.stats.Dropped++
+			return prunes
+		}
+		r.stats.Redirected++
+		return append(prunes, r.publishToward(newRP, inner)...)
+	}
+	if mon != nil {
+		mon.Record(c)
+	}
+	if inner.Name == TwoStepRequest {
+		return append(prunes, r.deliverTwoStep(now, rpName, inner)...)
+	}
+	r.stats.RPDeliveries++
+	return append(prunes, r.distribute(-1, inner)...) // -1: no arrival face to exclude
+}
+
+// handleMulticast implements the paper's two Multicast cases: from an end
+// host, encapsulate toward the covering RP; from another router, forward
+// straight from the ST.
+func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.stats.MulticastIn++
+	kind, ok := r.faces[from]
+	if !ok {
+		r.stats.Dropped++
+		return nil
+	}
+	if kind == FaceRouter && pkt.Origin == FlushOrigin {
+		// A migration flush marker: if it is ours and arrived on the old
+		// upstream face, the old branch has drained — the deferred Leave of
+		// make-before-break can finally be sent. Either way the marker
+		// continues down the tree for joiners below us.
+		out := r.flushLeaves(from, pkt)
+		return append(out, r.distribute(from, pkt)...)
+	}
+	if kind == FaceClient {
+		rpName, _, found := r.rpt.CoverOf(pkt.CD())
+		if !found {
+			r.stats.Dropped++
+			return nil
+		}
+		// First-hop optimization (Section III-C): compute the Bloom hash
+		// pairs of the CD's prefixes once, here, and carry them with the
+		// packet so every downstream ST probe is a bit comparison.
+		if r.matchMode != copss.MatchExact && len(pkt.CDHashes) == 0 {
+			pkt = pkt.Clone()
+			pkt.CDHashes = copss.FlattenHashes(copss.PrefixHashes(pkt.CD()))
+		}
+		if r.IsRP(rpName) {
+			// Publisher attached directly to the RP: skip encapsulation.
+			// Delivery matches the encapsulated path (all matching faces,
+			// including the publisher's own if subscribed).
+			if mon := r.localRPs[rpName]; mon != nil {
+				mon.Record(pkt.CD())
+			}
+			prunes := r.pendingPrunes
+			r.pendingPrunes = nil
+			if pkt.Name == TwoStepRequest {
+				return append(prunes, r.deliverTwoStep(now, rpName, pkt)...)
+			}
+			r.stats.RPDeliveries++
+			return append(prunes, r.distribute(-1, pkt)...)
+		}
+		r.stats.PublishEncapsulated++
+		return r.publishToward(rpName, pkt)
+	}
+	return r.distribute(from, pkt)
+}
+
+// publishToward encapsulates a Multicast into an Interest addressed to the
+// given RP and forwards it along the FIB. The encapsulation name gets a
+// unique (origin, seq) suffix so that distinct publications to the same CD
+// are never aggregated by PIT-style state anywhere.
+func (r *Router) publishToward(rpName string, inner *wire.Packet) []ndn.Action {
+	outer, err := wire.Encapsulate(rpName, inner)
+	if err != nil {
+		r.stats.Dropped++
+		return nil
+	}
+	r.pubSeq++
+	outer.Name = outer.Name + "/" + inner.Origin + "/" + strconv.FormatUint(r.pubSeq, 36)
+	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
+	if !ok {
+		r.stats.Dropped++
+		return nil
+	}
+	outer.HopCount = inner.HopCount + 1
+	return []ndn.Action{{Face: faces[0], Packet: outer}}
+}
+
+// distribute forwards a Multicast to every face whose subscriptions match a
+// prefix of the packet's CD, excluding the arrival face. Precomputed hash
+// pairs from the first hop are used when present.
+func (r *Router) distribute(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	var faces []ndn.FaceID
+	if len(pkt.CDHashes) > 0 {
+		faces = r.st.FacesForHashed(pkt.CD(), copss.UnflattenHashes(pkt.CDHashes))
+	} else {
+		faces = r.st.FacesFor(pkt.CD())
+	}
+	var out []ndn.Action
+	for _, f := range faces {
+		if f == from {
+			continue
+		}
+		cp := pkt.Clone()
+		cp.HopCount++
+		out = append(out, ndn.Action{Face: f, Packet: cp})
+		r.stats.MulticastOut++
+	}
+	return out
+}
+
+// handleSubscribe records subscriptions in the ST and propagates narrowed
+// subscriptions toward every RP whose served prefixes intersect them.
+//
+// Narrowing: toward an RP serving prefix p, a subscription to c propagates
+// as deeper(p, c) — the more specific of the two. Because the served prefix
+// population is prefix-free, every narrowed CD belongs to exactly one RP,
+// which is what makes per-RP tree maintenance (migration) unambiguous.
+func (r *Router) handleSubscribe(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.stats.SubscribesIn++
+	var out []ndn.Action
+	for _, c := range pkt.CDs {
+		r.st.Add(from, c)
+		out = append(out, r.propagateSubscription(from, c)...)
+	}
+	return out
+}
+
+// propagateSubscription sends narrowed Subscribe packets upstream for c.
+func (r *Router) propagateSubscription(from ndn.FaceID, c cd.CD) []ndn.Action {
+	var out []ndn.Action
+	for _, rpName := range r.rpt.IntersectingRPs(c) {
+		if r.IsRP(rpName) {
+			continue // the tree roots here
+		}
+		info, _ := r.rpt.Get(rpName)
+		for _, p := range info.Prefixes {
+			if !p.Intersects(c) {
+				continue
+			}
+			d := deeper(p, c)
+			prop := r.propagated[rpName]
+			if prop != nil && prop.ContainsPrefixOf(d) {
+				continue // aggregated: already subscribed at or above d
+			}
+			upFace, ok := r.upstreamFaceFor(rpName)
+			if !ok || upFace == from {
+				continue
+			}
+			if prop == nil {
+				prop = cd.NewSet()
+				r.propagated[rpName] = prop
+			}
+			prop.Add(d)
+			out = append(out, ndn.Action{Face: upFace, Packet: &wire.Packet{
+				Type: wire.TypeSubscribe,
+				CDs:  []cd.CD{d},
+			}})
+		}
+	}
+	return out
+}
+
+// handleUnsubscribe removes subscriptions and withdraws upstream state that
+// no remaining subscriber needs.
+func (r *Router) handleUnsubscribe(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.stats.UnsubscribesIn++
+	var out []ndn.Action
+	for _, c := range pkt.CDs {
+		if !r.st.Remove(from, c) {
+			continue
+		}
+		for _, rpName := range r.rpt.IntersectingRPs(c) {
+			if r.IsRP(rpName) {
+				continue
+			}
+			info, _ := r.rpt.Get(rpName)
+			for _, p := range info.Prefixes {
+				if !p.Intersects(c) {
+					continue
+				}
+				d := deeper(p, c)
+				out = append(out, r.withdrawIfUnneeded(rpName, d)...)
+			}
+		}
+	}
+	return out
+}
+
+// withdrawIfUnneeded sends an Unsubscribe for narrowed CD d toward rpName if
+// no face still needs it, and re-propagates any finer subscriptions that the
+// withdrawn one was covering.
+func (r *Router) withdrawIfUnneeded(rpName string, d cd.CD) []ndn.Action {
+	prop := r.propagated[rpName]
+	if prop == nil || !prop.Contains(d) {
+		return nil
+	}
+	if r.anySubscriberNeeds(d) {
+		return nil
+	}
+	prop.Remove(d)
+	upFace, ok := r.upstreamFaceFor(rpName)
+	if !ok {
+		return nil
+	}
+	out := []ndn.Action{{Face: upFace, Packet: &wire.Packet{
+		Type: wire.TypeUnsubscribe,
+		CDs:  []cd.CD{d},
+	}}}
+	// Finer subscriptions previously covered by d must be re-propagated.
+	for _, remaining := range r.st.AllCDs() {
+		info, _ := r.rpt.Get(rpName)
+		for _, p := range info.Prefixes {
+			if !p.Intersects(remaining) {
+				continue
+			}
+			finer := deeper(p, remaining)
+			if !finer.HasPrefix(d) || finer == d {
+				continue
+			}
+			if prop.ContainsPrefixOf(finer) {
+				continue
+			}
+			prop.Add(finer)
+			out = append(out, ndn.Action{Face: upFace, Packet: &wire.Packet{
+				Type: wire.TypeSubscribe,
+				CDs:  []cd.CD{finer},
+			}})
+		}
+	}
+	return out
+}
+
+// anySubscriberNeeds reports whether any ST entry still requires delivery of
+// publications under the narrowed CD d (i.e. intersects d's subtree).
+func (r *Router) anySubscriberNeeds(d cd.CD) bool {
+	for _, c := range r.st.AllCDs() {
+		if c.Intersects(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// upstreamFaceFor returns the face leading toward an RP, preferring the
+// confirmed upstream and falling back to the FIB.
+func (r *Router) upstreamFaceFor(rpName string) (ndn.FaceID, bool) {
+	if f, ok := r.upstream[rpName]; ok {
+		return f, true
+	}
+	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
+	if !ok || len(faces) == 0 {
+		return 0, false
+	}
+	return faces[0], true
+}
+
+// handleAnnouncement processes a flooded FIBAdd: an RP announcement (with
+// served CDs) or a pure content-prefix announcement (name only, e.g. a
+// snapshot broker making its namespace routable — the paper's "we use FIB
+// add/remove packets to directly deal with maintaining the FIB"). Either
+// way the route toward the origin is learned from the arrival face (first
+// arrival approximates the shortest path) and the flood continues.
+func (r *Router) handleAnnouncement(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.stats.AnnouncementsIn++
+	if pkt.Seq <= r.announceSeq[pkt.Name] {
+		return nil // duplicate or stale flood
+	}
+	if len(pkt.CDs) == 0 {
+		// Pure prefix announcement: FIB only, no RP state.
+		r.announceSeq[pkt.Name] = pkt.Seq
+		r.ndnEngine.FIB().RemovePrefix(pkt.Name)
+		r.ndnEngine.FIB().Add(pkt.Name, from)
+		fwd := pkt.Clone()
+		fwd.HopCount++
+		return r.floodExcept(from, fwd)
+	}
+	if err := r.rpt.Set(pkt.Name, pkt.CDs, pkt.Seq); err != nil {
+		r.stats.Dropped++
+		return nil
+	}
+	r.announceSeq[pkt.Name] = pkt.Seq
+	r.ndnEngine.FIB().RemovePrefix(pkt.Name)
+	r.ndnEngine.FIB().Add(pkt.Name, from)
+	r.upstream[pkt.Name] = from
+	out := r.drainPendingJoins(pkt.Name)
+	fwd := pkt.Clone()
+	fwd.HopCount++
+	return append(out, r.floodExcept(from, fwd)...)
+}
+
+// deeper returns the more specific of two intersecting CDs.
+func deeper(a, b cd.CD) cd.CD {
+	if a.HasPrefix(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// Two-step delivery (from the original COPSS design): instead of pushing
+// the full payload to every subscriber, the RP multicasts a small SNIPPET
+// announcing a content name; interested subscribers pull the full payload
+// with an ordinary NDN Interest, answered from the RP's Content Store and
+// cached (and PIT-aggregated) along the way.
+//
+// The G-COPSS paper deliberately uses the one-step model — "almost all of
+// the packets in a gaming application are under 200 bytes. Therefore the
+// one-step model of COPSS ... is used" — and this implementation exists to
+// quantify that choice (the delivery-mode ablation): one-step wins for
+// small, latency-critical game updates; two-step pays an extra RTT but
+// saves bytes when payloads are large and only a fraction of subscribers
+// actually pull them.
+
+// TwoStepRequest is the Multicast Name publishers set to request two-step
+// delivery for a publication.
+const TwoStepRequest = "@copss-two-step"
+
+// snippetMarker tags the payload of a two-step snippet multicast.
+const snippetMarker = "@copss-snippet:"
+
+// twoStepComponent is the name component under the RP prefix that carries
+// pullable content; Interests for it route on the RP's existing FIB prefix.
+const twoStepComponent = "content"
+
+// TwoStepContentName builds the NDN name under which a two-step payload is
+// served: /<rpName>/content/<origin>/<seq>. Because it extends the RP name,
+// every router already has a route for it.
+func TwoStepContentName(rpName, origin string, seq uint64) string {
+	return rpName + "/" + twoStepComponent + "/" + origin + "/" + strconv.FormatUint(seq, 10)
+}
+
+// isTwoStepContentName reports whether an RP-bound Interest is a content
+// pull rather than an encapsulated publication.
+func isTwoStepContentName(name, rpName string) bool {
+	return strings.HasPrefix(name, rpName+"/"+twoStepComponent+"/")
+}
+
+// ParseSnippet recognizes a two-step snippet multicast, returning the
+// content name to pull.
+func ParseSnippet(pkt *wire.Packet) (contentName string, ok bool) {
+	if pkt.Type != wire.TypeMulticast {
+		return "", false
+	}
+	s := string(pkt.Payload)
+	if len(s) <= len(snippetMarker) || !strings.HasPrefix(s, snippetMarker) {
+		return "", false
+	}
+	return s[len(snippetMarker):], true
+}
+
+// deliverTwoStep is the RP-side second half of two-step delivery: stash the
+// full payload in the Content Store under a unique name and multicast only
+// the snippet.
+func (r *Router) deliverTwoStep(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
+	name := TwoStepContentName(rpName, inner.Origin, inner.Seq)
+	r.ndnEngine.Store().Put(name, inner.Payload, now)
+	snippet := inner.Clone()
+	snippet.Name = ""
+	snippet.Payload = []byte(snippetMarker + name)
+	r.stats.RPDeliveries++
+	return r.distribute(-1, snippet)
+}
+
+// PublishMode selects the COPSS delivery model for a publication.
+type PublishMode int
+
+// Delivery modes. Enum starts at 1 so the zero value is invalid.
+const (
+	// OneStep pushes the full payload to every subscriber (the gaming
+	// default).
+	OneStep PublishMode = iota + 1
+	// TwoStep pushes a snippet; subscribers pull the payload by name.
+	TwoStep
+)
+
+// String implements fmt.Stringer.
+func (m PublishMode) String() string {
+	switch m {
+	case OneStep:
+		return "one-step"
+	case TwoStep:
+		return "two-step"
+	default:
+		return fmt.Sprintf("PublishMode(%d)", int(m))
+	}
+}

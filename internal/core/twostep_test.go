@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+func TestPublishModeString(t *testing.T) {
+	if OneStep.String() != "one-step" || TwoStep.String() != "two-step" {
+		t.Error("mode strings wrong")
+	}
+	if PublishMode(9).String() == "" {
+		t.Error("invalid mode should render")
+	}
+}
+
+func TestParseSnippet(t *testing.T) {
+	pkt := &wire.Packet{Type: wire.TypeMulticast, Payload: []byte(snippetMarker + "/rp/content/p/7")}
+	name, ok := ParseSnippet(pkt)
+	if !ok || name != "/rp/content/p/7" {
+		t.Errorf("ParseSnippet = %q %v", name, ok)
+	}
+	if _, ok := ParseSnippet(&wire.Packet{Type: wire.TypeMulticast, Payload: []byte("plain")}); ok {
+		t.Error("plain payload parsed as snippet")
+	}
+	if _, ok := ParseSnippet(&wire.Packet{Type: wire.TypeData, Payload: []byte(snippetMarker + "x")}); ok {
+		t.Error("non-multicast parsed as snippet")
+	}
+}
+
+func TestTwoStepContentNames(t *testing.T) {
+	name := TwoStepContentName("/rp1", "alice", 42)
+	if name != "/rp1/content/alice/42" {
+		t.Errorf("content name = %q", name)
+	}
+	if !isTwoStepContentName(name, "/rp1") {
+		t.Error("content name not recognized")
+	}
+	if isTwoStepContentName("/rp1/1/2/p/7", "/rp1") {
+		t.Error("encapsulated publication misrecognized as content")
+	}
+}
+
+func TestTwoStepEndToEnd(t *testing.T) {
+	h := lineTopology(t)
+
+	// Subscriber at R3 that pulls every snippet it receives.
+	var got []byte
+	subClient := h.attach("sub", "R3", 10)
+	subClient.onPacket = func(pkt *wire.Packet) []*wire.Packet {
+		if name, ok := ParseSnippet(pkt); ok {
+			return []*wire.Packet{{Type: wire.TypeInterest, Name: name}}
+		}
+		if pkt.Type == wire.TypeData {
+			got = pkt.Payload
+		}
+		return nil
+	}
+	h.fromClient("sub", sub("/2/2"))
+	h.run()
+
+	// Publisher at R2 requests two-step delivery of a large payload.
+	h.attach("pub", "R2", 10)
+	payload := bytes.Repeat([]byte("big"), 1000)
+	h.fromClient("pub", &wire.Packet{
+		Type:    wire.TypeMulticast,
+		Name:    TwoStepRequest,
+		CDs:     []cd.CD{cd.MustParse("/2/2")},
+		Origin:  "pub",
+		Seq:     1,
+		Payload: payload,
+	})
+	h.run()
+
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("pulled payload %d bytes, want %d", len(got), len(payload))
+	}
+	// The snippet the subscriber saw was small.
+	var snippetLen int
+	for _, p := range subClient.received {
+		if _, ok := ParseSnippet(p); ok {
+			snippetLen = len(p.Payload)
+		}
+	}
+	if snippetLen == 0 || snippetLen > 100 {
+		t.Errorf("snippet length = %d", snippetLen)
+	}
+}
+
+func TestTwoStepCachingAggregatesPulls(t *testing.T) {
+	h := lineTopology(t)
+
+	pull := func(c *testClient, pulled *int) {
+		c.onPacket = func(pkt *wire.Packet) []*wire.Packet {
+			if name, ok := ParseSnippet(pkt); ok {
+				return []*wire.Packet{{Type: wire.TypeInterest, Name: name}}
+			}
+			if pkt.Type == wire.TypeData {
+				*pulled++
+			}
+			return nil
+		}
+	}
+	var got1, got2 int
+	c1 := h.attach("s1", "R3", 10)
+	pull(c1, &got1)
+	c2 := h.attach("s2", "R3", 11)
+	pull(c2, &got2)
+	h.fromClient("s1", sub("/3/3"))
+	h.fromClient("s2", sub("/3/3"))
+	h.run()
+
+	h.attach("pub", "R1", 10)
+	h.fromClient("pub", &wire.Packet{
+		Type:    wire.TypeMulticast,
+		Name:    TwoStepRequest,
+		CDs:     []cd.CD{cd.MustParse("/3/3")},
+		Origin:  "pub",
+		Seq:     1,
+		Payload: bytes.Repeat([]byte("x"), 5000),
+	})
+	h.run()
+
+	if got1 != 1 || got2 != 1 {
+		t.Fatalf("pulls delivered = %d, %d", got1, got2)
+	}
+	// Both subscribers sit on R3: their identical pulls are PIT-aggregated
+	// there (or served from a content store), so the upstream carried the
+	// payload once.
+	st3 := h.routers["R3"].NDN().Stats()
+	hits3, _ := h.routers["R3"].NDN().Store().Stats()
+	if st3.InterestsAggregated == 0 && hits3 == 0 {
+		t.Errorf("no aggregation/caching on the shared path: %+v", st3)
+	}
+	if st3.InterestsForwarded != 1 {
+		t.Errorf("R3 forwarded %d content interests upstream, want 1", st3.InterestsForwarded)
+	}
+}
+
+func TestOneStepStillDefault(t *testing.T) {
+	h := lineTopology(t)
+	s := h.attach("s", "R3", 10)
+	h.fromClient("s", sub("/1/1"))
+	h.run()
+	h.attach("p", "R2", 10)
+	h.fromClient("p", mcast("/1/1", "p", 1, "small"))
+	h.run()
+	if got := s.multicastsReceived(); len(got) != 1 || got[0] != "small" {
+		t.Errorf("one-step delivery broken: %v", got)
+	}
+}

@@ -1,0 +1,112 @@
+// Package event provides the discrete-event scheduler shared by the
+// packet-level testbed and the trace-driven simulator: a time-ordered event
+// heap with deterministic FIFO tie-breaking.
+package event
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Handler is an event callback; it runs at its scheduled virtual time and
+// may schedule further events.
+type Handler func(now time.Time)
+
+type item struct {
+	at  time.Time
+	seq uint64 // insertion order breaks time ties deterministically
+	fn  Handler
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is a virtual-time discrete-event loop. The zero value is not
+// usable; create with NewScheduler.
+type Scheduler struct {
+	now       time.Time
+	seq       uint64
+	heap      eventHeap
+	processed uint64
+}
+
+// NewScheduler starts virtual time at the given origin.
+func NewScheduler(origin time.Time) *Scheduler {
+	return &Scheduler{now: origin}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// At schedules fn at an absolute virtual time. Times in the past run at the
+// current time (immediately on the next step), preserving causality.
+func (s *Scheduler) At(at time.Time, fn Handler) {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &item{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay from the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn Handler) {
+	s.At(s.now.Add(d), fn)
+}
+
+// Step executes the next event; it reports whether one was available.
+func (s *Scheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.heap).(*item)
+	s.now = it.at
+	s.processed++
+	it.fn(s.now)
+	return true
+}
+
+// Run executes events until the queue drains or maxEvents is reached
+// (maxEvents <= 0 means unbounded). It returns the number executed.
+func (s *Scheduler) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for (maxEvents <= 0 || n < maxEvents) && s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with time ≤ deadline; later events stay queued.
+func (s *Scheduler) RunUntil(deadline time.Time) uint64 {
+	var n uint64
+	for len(s.heap) > 0 && !s.heap[0].at.After(deadline) {
+		s.Step()
+		n++
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return n
+}

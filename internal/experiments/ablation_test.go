@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblation(t *testing.T) {
+	w := quickBench(t)
+	r, err := Ablation(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All matchers measured.
+	if r.ExactNs <= 0 || r.BloomNs <= 0 || r.BloomPrehashNs <= 0 || r.RangeNs <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+	// The first-hop hash optimization never costs more than re-hashing.
+	if r.BloomPrehashNs > r.BloomNs*1.2 {
+		t.Errorf("prehash %.0fns slower than bloom %.0fns", r.BloomPrehashNs, r.BloomNs)
+	}
+	// The range system over-delivers: 2D rectangles cannot express
+	// altitude layers, so the world rect matches every ground event.
+	if r.RangeDeliveries <= r.CDDeliveries {
+		t.Errorf("range deliveries %d not above CD deliveries %d",
+			r.RangeDeliveries, r.CDDeliveries)
+	}
+	// Hierarchical aggregation needs strictly less subscription state.
+	if r.HierarchicalEntries >= r.FlattenedEntries {
+		t.Errorf("aggregation saved nothing: %d vs %d",
+			r.HierarchicalEntries, r.FlattenedEntries)
+	}
+	if r.HierarchicalRPSize > r.FlattenedRPSize {
+		t.Errorf("RP ST larger with aggregation: %d vs %d",
+			r.HierarchicalRPSize, r.FlattenedRPSize)
+	}
+	out := r.Render()
+	for _, want := range []string{"Forwarding-decision cost", "over-delivery", "aggregation saves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

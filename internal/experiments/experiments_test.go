@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+)
+
+// quickBench builds a small workbench shared across tests in this file.
+func quickBench(t *testing.T) *Workbench {
+	t.Helper()
+	w, err := NewWorkbench(Options{Scale: 0.012, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	o.normalize()
+	if o.Scale <= 0 || o.Seed == 0 {
+		t.Errorf("normalize left %+v", o)
+	}
+	o = Options{Scale: 7, Seed: 1}
+	o.normalize()
+	if o.Scale > 1 {
+		t.Errorf("oversized scale kept: %f", o.Scale)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	w := quickBench(t)
+	r, err := Fig3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Players != 414 {
+		t.Errorf("players = %d", r.Players)
+	}
+	if r.TotalUpdates != len(w.Trace.Updates) {
+		t.Errorf("updates = %d", r.TotalUpdates)
+	}
+	if len(r.UpdateCDF) < 5 {
+		t.Errorf("CDF points = %d", len(r.UpdateCDF))
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Fig 3c/3d") || !strings.Contains(out, "players per area") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	if got := r.ObjectLayerBreakdown(w); !strings.Contains(got, "87 top") {
+		t.Errorf("layer breakdown = %q", got)
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	w := quickBench(t)
+	r, err := Table1(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 11 { // 5 RP rows + auto + 5 server rows
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	one, _ := r.Row("G-COPSS", "1")
+	three, _ := r.Row("G-COPSS", "3")
+	five, _ := r.Row("G-COPSS", "5")
+	autoRow, ok := r.Row("G-COPSS", "Auto")
+	if !ok {
+		t.Fatal("no Auto row")
+	}
+	srv3, _ := r.Row("IP Server", "3")
+
+	// 1 RP congests; 3 and 5 do not; auto lands near the 3-RP latency.
+	if one.LatencyMs < 10*three.LatencyMs {
+		t.Errorf("1-RP %.1f vs 3-RP %.1f: congestion shape missing", one.LatencyMs, three.LatencyMs)
+	}
+	if five.LatencyMs > 2*three.LatencyMs {
+		t.Errorf("5-RP %.1f should be ≈ 3-RP %.1f", five.LatencyMs, three.LatencyMs)
+	}
+	if autoRow.LatencyMs > 10*three.LatencyMs {
+		t.Errorf("auto %.1f far above 3-RP %.1f", autoRow.LatencyMs, three.LatencyMs)
+	}
+	if autoRow.Splits == 0 || autoRow.FinalRPs < 2 {
+		t.Errorf("auto row: %+v", autoRow)
+	}
+	// Server latency far above uncongested G-COPSS; server load higher.
+	if srv3.LatencyMs < 5*three.LatencyMs {
+		t.Errorf("server %.1f vs G-COPSS %.1f", srv3.LatencyMs, three.LatencyMs)
+	}
+	if srv3.LoadGB < 1.5*three.LoadGB {
+		t.Errorf("server load %.3f vs G-COPSS %.3f", srv3.LoadGB, three.LoadGB)
+	}
+	if out := r.Render(); !strings.Contains(out, "Table I") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	w := quickBench(t)
+	r, err := Fig5(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3-RP flat and low; 2-RP congests late; auto splits at least once.
+	if r.ThreeRP.MeanMs > 100 {
+		t.Errorf("3-RP mean = %.1f", r.ThreeRP.MeanMs)
+	}
+	// The 2-RP hot half crosses saturation near the end of the run: its
+	// tail is clearly above both its own head and the 3-RP tail. (At full
+	// scale — 100k packets — the gap is an order of magnitude; at test
+	// scale the backlog has a fifth of the packets to accumulate.)
+	last2 := r.TwoRP.AvgMs[len(r.TwoRP.AvgMs)-1]
+	last3 := r.ThreeRP.AvgMs[len(r.ThreeRP.AvgMs)-1]
+	first2 := r.TwoRP.AvgMs[1]
+	if last2 < float32(1.3)*last3 {
+		t.Errorf("2-RP tail %.1f vs 3-RP tail %.1f: late congestion missing", last2, last3)
+	}
+	if last2 < float32(1.5)*first2 {
+		t.Errorf("2-RP did not degrade over the run: first %.1f last %.1f", first2, last2)
+	}
+	// And it is late congestion: the 2-RP head is no worse than ~2× the
+	// 3-RP head.
+	first3 := r.ThreeRP.AvgMs[1]
+	if first2 > 3*first3 {
+		t.Errorf("2-RP congested from the start: head %.1f vs 3-RP head %.1f", first2, first3)
+	}
+	if len(r.Auto.Splits) == 0 {
+		t.Error("auto run never split")
+	}
+	if out := r.Render(); !strings.Contains(out, "Fig 5") || !strings.Contains(out, "splits at packets") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig6Knee(t *testing.T) {
+	w := quickBench(t)
+	r, err := Fig6(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	small := r.Points[0] // 50 players
+	large := r.Points[7] // 400 players
+	// G-COPSS stays flat; the server blows past its knee.
+	if large.GCOPSSLatencyMs > 3*small.GCOPSSLatencyMs {
+		t.Errorf("G-COPSS not flat: %.1f → %.1f", small.GCOPSSLatencyMs, large.GCOPSSLatencyMs)
+	}
+	if large.ServerLatencyMs < 10*small.ServerLatencyMs {
+		t.Errorf("server knee missing: %.1f → %.1f", small.ServerLatencyMs, large.ServerLatencyMs)
+	}
+	// Load: server ≥ G-COPSS at every point, gap growing with players.
+	for _, p := range r.Points {
+		if p.ServerLoadGB < p.GCOPSSLoadGB {
+			t.Errorf("at %d players server load %.3f below G-COPSS %.3f",
+				p.Players, p.ServerLoadGB, p.GCOPSSLoadGB)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "Fig 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2Ordering(t *testing.T) {
+	w := quickBench(t)
+	r, err := Table2(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := r.Row("IP Server")
+	gc, _ := r.Row("G-COPSS")
+	hy, ok := r.Row("hybrid-G-COPSS")
+	if !ok {
+		t.Fatal("missing hybrid row")
+	}
+	if !(hy.LatencyMs < gc.LatencyMs) {
+		t.Errorf("hybrid latency %.2f not best (gcopss %.2f)", hy.LatencyMs, gc.LatencyMs)
+	}
+	if !(gc.LoadGB < hy.LoadGB && hy.LoadGB < srv.LoadGB) {
+		t.Errorf("load ordering broken: gc=%.3f hy=%.3f srv=%.3f", gc.LoadGB, hy.LoadGB, srv.LoadGB)
+	}
+	if out := r.Render(); !strings.Contains(out, "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	w := quickBench(t)
+	r, err := Table3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schemes) != 3 {
+		t.Fatalf("schemes = %d", len(r.Schemes))
+	}
+	qr5, _ := r.Scheme("QR, window=5")
+	qr15, _ := r.Scheme("QR, window=15")
+	cyc, ok := r.Scheme("Cyclic-Multicast")
+	if !ok {
+		t.Fatal("missing cyclic scheme")
+	}
+	// Pipelining helps QR; cyclic wins on bytes.
+	if qr15.TotalMean >= qr5.TotalMean {
+		t.Errorf("QR15 %.1f not better than QR5 %.1f", qr15.TotalMean, qr5.TotalMean)
+	}
+	if cyc.BytesGB >= qr15.BytesGB {
+		t.Errorf("cyclic bytes %.3f not below QR %.3f", cyc.BytesGB, qr15.BytesGB)
+	}
+	// Convergence grows with the leaf-CD count within each scheme.
+	for _, s := range r.Schemes {
+		low := s.PerType[gamemap.MoveZoneSameRegion]
+		high := s.PerType[gamemap.MoveRegionToWorld]
+		if high.Mean <= low.Mean {
+			t.Errorf("%s: region→world %.1f not above zone move %.1f", s.Name, high.Mean, low.Mean)
+		}
+		none := s.PerType[gamemap.MoveToLowerLayer]
+		if none.Mean > 1 {
+			t.Errorf("%s: descending move costs %.1f ms", s.Name, none.Mean)
+		}
+	}
+	// All six types occurred.
+	total := 0
+	for _, mt := range gamemap.MoveTypes() {
+		if r.Counts[mt] == 0 {
+			t.Errorf("type %v never counted", mt)
+		}
+		total += r.Counts[mt]
+	}
+	if total == 0 {
+		t.Fatal("no moves")
+	}
+	if out := r.Render(); !strings.Contains(out, "Table III") || !strings.Contains(out, "Total") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 microbenchmark in -short mode")
+	}
+	r, err := Fig4(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.GCOPSS.Latency.Mean() < r.IP.Latency.Mean() && r.IP.Latency.Mean() < r.NDN.Latency.Mean()) {
+		t.Errorf("fig4 ordering: gc=%.2f ip=%.2f ndn=%.2f",
+			r.GCOPSS.Latency.Mean(), r.IP.Latency.Mean(), r.NDN.Latency.Mean())
+	}
+	if out := r.Render(); !strings.Contains(out, "Fig 4") || !strings.Contains(out, "CDF samples") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/stats"
+	"github.com/icn-gaming/gcopss/internal/trace"
+)
+
+// Fig3Result characterizes the synthetic trace against the published
+// marginals of Fig. 3c (updates per player) and Fig. 3d (players and objects
+// per area).
+type Fig3Result struct {
+	Players      int
+	TotalUpdates int
+	// UpdateCDF samples the per-player update-count CDF at the deciles.
+	UpdateCDF []stats.CDFPoint
+	// PlayersPerArea / ObjectsPerArea summarize the per-area distributions.
+	PlayersPerArea stats.Summary
+	ObjectsPerArea stats.Summary
+}
+
+// Fig3 regenerates the trace-characterization figure.
+func Fig3(w *Workbench) (*Fig3Result, error) {
+	res := &Fig3Result{
+		Players:      len(w.Trace.Players),
+		TotalUpdates: len(w.Trace.Updates),
+	}
+	counts, _ := trace.ActivityCDF(w.Trace)
+	var updSample stats.Sample
+	for _, c := range counts {
+		updSample.Add(float64(c))
+	}
+	res.UpdateCDF = updSample.CDF(10)
+
+	var areaPlayers stats.Sample
+	for _, n := range w.Trace.PlayersPerArea() {
+		areaPlayers.Add(float64(n))
+	}
+	res.PlayersPerArea = stats.Summarize(&areaPlayers)
+
+	var areaObjects stats.Sample
+	for _, a := range w.World.Map.Areas() {
+		areaObjects.Add(float64(len(w.World.ObjectsAt(a.LeafCD()))))
+	}
+	res.ObjectsPerArea = stats.Summarize(&areaObjects)
+	return res, nil
+}
+
+// Render formats the result for the experiment report.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3c/3d — trace characterization\n")
+	fmt.Fprintf(&b, "players: %d, total updates: %d\n", r.Players, r.TotalUpdates)
+	fmt.Fprintf(&b, "updates-per-player CDF (Fig 3c):\n")
+	for _, p := range r.UpdateCDF {
+		fmt.Fprintf(&b, "  %6.0f updates -> %4.0f%% of players\n", p.Value, p.Fraction*100)
+	}
+	fmt.Fprintf(&b, "players per area (Fig 3d): %v\n", r.PlayersPerArea)
+	fmt.Fprintf(&b, "objects per area (Fig 3d): %v\n", r.ObjectsPerArea)
+	return b.String()
+}
+
+// ObjectLayerBreakdown reports the per-layer object totals (87/483/2627 in
+// the paper), for the report footer.
+func (r *Fig3Result) ObjectLayerBreakdown(w *Workbench) string {
+	top := len(w.World.ObjectsAt(cd.MustNew("")))
+	middle, bottom := 0, 0
+	for _, a := range w.World.Map.Areas() {
+		switch a.Depth() {
+		case 1:
+			middle += len(w.World.ObjectsAt(a.LeafCD()))
+		case 2:
+			bottom += len(w.World.ObjectsAt(a.LeafCD()))
+		}
+	}
+	return fmt.Sprintf("objects: %d top / %d middle / %d bottom", top, middle, bottom)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/icn-gaming/gcopss/internal/sim"
+	"github.com/icn-gaming/gcopss/internal/stats"
+)
+
+// Table2Row is one system of Table II.
+type Table2Row struct {
+	Kind      string
+	LatencyMs float64
+	LoadGB    float64
+}
+
+// Table2Result compares IP-Server (6 servers), G-COPSS (6 RPs) and
+// hybrid-G-COPSS (6 IP multicast groups) on the whole event trace with no
+// congestion.
+type Table2Result struct {
+	Rows    []Table2Row
+	Updates int
+}
+
+// Table2 runs the full (scaled) trace through the three systems at its
+// natural rate.
+func Table2(w *Workbench) (*Table2Result, error) {
+	updates := w.Trace.Updates
+	costs := sim.PaperCosts()
+	res := &Table2Result{Updates: len(updates)}
+
+	srv, err := sim.RunIPServer(w.Env, updates, sim.ServerConfig{
+		Servers: sim.DefaultServerPlacement(w.Env, 6),
+		Costs:   costs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 server: %w", err)
+	}
+	res.Rows = append(res.Rows, Table2Row{Kind: "IP Server", LatencyMs: srv.Latency.Mean(), LoadGB: srv.Bytes / 1e9})
+
+	gc, err := sim.RunGCOPSS(w.Env, updates, sim.GCOPSSConfig{
+		RPs:   sim.DefaultRPPlacement(w.Env, 6),
+		Costs: costs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 gcopss: %w", err)
+	}
+	res.Rows = append(res.Rows, Table2Row{Kind: "G-COPSS", LatencyMs: gc.Latency.Mean(), LoadGB: gc.Bytes / 1e9})
+
+	hy, err := sim.RunHybrid(w.Env, updates, sim.HybridConfig{Groups: 6, Costs: costs})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table2 hybrid: %w", err)
+	}
+	res.Rows = append(res.Rows, Table2Row{Kind: "hybrid-G-COPSS", LatencyMs: hy.Latency.Mean(), LoadGB: hy.Bytes / 1e9})
+	return res, nil
+}
+
+// Row finds a row by kind.
+func (r *Table2Result) Row(kind string) (Table2Row, bool) {
+	for _, row := range r.Rows {
+		if row.Kind == kind {
+			return row, true
+		}
+	}
+	return Table2Row{}, false
+}
+
+// Render formats Table II.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — full trace (%d updates), 6 servers / 6 RPs / 6 IP multicast groups\n", r.Updates)
+	tbl := &stats.Table{Headers: []string{"type", "update latency (ms)", "network load (GB)"}}
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Kind, fmt.Sprintf("%.2f", row.LatencyMs), fmt.Sprintf("%.3f", row.LoadGB))
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/sim"
+	"github.com/icn-gaming/gcopss/internal/stats"
+	"github.com/icn-gaming/gcopss/internal/trace"
+)
+
+// table3LeafCounts maps each movement type to the number of leaf-CD
+// snapshots it downloads on the 5×5 map (the "# of Leaf CDs" column).
+var table3LeafCounts = map[gamemap.MoveType]int{
+	gamemap.MoveToLowerLayer:        0,
+	gamemap.MoveZoneToRegion:        4,
+	gamemap.MoveRegionToWorld:       24,
+	gamemap.MoveZoneSameRegion:      1,
+	gamemap.MoveZoneDifferentRegion: 2,
+	gamemap.MoveRegionToRegion:      6,
+}
+
+// Table3Scheme is one dissemination scheme's convergence statistics.
+type Table3Scheme struct {
+	Name        string
+	PerType     map[gamemap.MoveType]stats.Summary
+	TotalMean   float64
+	TotalCI     float64
+	BytesGB     float64
+	ObjectsSent uint64
+}
+
+// Table3Result is the player-movement experiment: convergence time per
+// movement type for QR (window 5 and 15) and cyclic multicast.
+type Table3Result struct {
+	Counts  map[gamemap.MoveType]int
+	Schemes []Table3Scheme
+}
+
+// Table3 generates the movement schedule (5–35 min intervals, 10%/10%
+// up/down, group moves) over the trace and measures all three schemes.
+func Table3(w *Workbench) (*Table3Result, error) {
+	mv := trace.PaperMoves()
+	mv.Seed = w.Opts.Seed
+	if w.Opts.Scale < 0.3 {
+		// Shorter traces need faster movement to accumulate a meaningful
+		// move population — but not proportionally faster, or the brokers
+		// see a mover arrival rate far beyond anything in the paper.
+		f := maxf(w.Opts.Scale*8, 0.2)
+		mv.MinInterval = time.Duration(float64(mv.MinInterval) * f)
+		mv.MaxInterval = time.Duration(float64(mv.MaxInterval) * f)
+	}
+	if err := trace.GenerateMoves(w.World, w.Trace, mv); err != nil {
+		return nil, fmt.Errorf("experiments: table3 moves: %w", err)
+	}
+
+	res := &Table3Result{Counts: make(map[gamemap.MoveType]int)}
+	runs := []struct {
+		name   string
+		mode   sim.SnapshotMode
+		window int
+	}{
+		{"QR, window=5", sim.SnapshotQR, 5},
+		{"QR, window=15", sim.SnapshotQR, 15},
+		{"Cyclic-Multicast", sim.SnapshotCyclic, 0},
+	}
+	for _, run := range runs {
+		// Object state evolves during a replay; reset between schemes.
+		for _, o := range w.World.Objects() {
+			*o = *gamemap.NewObject(o.ID, o.Leaf, 0)
+		}
+		cfg := sim.PaperSnapshotConfig(w.Env, run.mode, run.window)
+		r, err := sim.RunMovement(w.Env, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table3 %s: %w", run.name, err)
+		}
+		scheme := Table3Scheme{
+			Name:        run.name,
+			PerType:     make(map[gamemap.MoveType]stats.Summary, 6),
+			TotalMean:   r.Total.Mean(),
+			TotalCI:     r.Total.ConfidenceInterval95(),
+			BytesGB:     r.Bytes / 1e9,
+			ObjectsSent: r.ObjectsSent,
+		}
+		for mt, sample := range r.PerType {
+			scheme.PerType[mt] = stats.Summarize(sample)
+		}
+		res.Schemes = append(res.Schemes, scheme)
+		for mt, n := range r.Counts {
+			res.Counts[mt] = n // identical across schemes
+		}
+	}
+	return res, nil
+}
+
+// Scheme finds a scheme by name.
+func (r *Table3Result) Scheme(name string) (Table3Scheme, bool) {
+	for _, s := range r.Schemes {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Table3Scheme{}, false
+}
+
+// Render formats Table III.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III — convergence time per movement type (ms, 95% CI in parens)\n")
+	headers := []string{"move type", "count", "# leaf CDs"}
+	for _, s := range r.Schemes {
+		headers = append(headers, s.Name)
+	}
+	tbl := &stats.Table{Headers: headers}
+	total := 0
+	for _, mt := range gamemap.MoveTypes() {
+		row := []string{mt.String(), fmt.Sprintf("%d", r.Counts[mt]), fmt.Sprintf("%d", table3LeafCounts[mt])}
+		for _, s := range r.Schemes {
+			sum := s.PerType[mt]
+			row = append(row, fmt.Sprintf("%.1f (%.1f)", sum.Mean, sum.CI95))
+		}
+		tbl.AddRow(row...)
+		total += r.Counts[mt]
+	}
+	totalRow := []string{"Total", fmt.Sprintf("%d", total), ""}
+	for _, s := range r.Schemes {
+		totalRow = append(totalRow, fmt.Sprintf("%.1f (%.1f)", s.TotalMean, s.TotalCI))
+	}
+	tbl.AddRow(totalRow...)
+	b.WriteString(tbl.String())
+	b.WriteString("snapshot traffic:\n")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(&b, "  %-18s %8.3f GB, %d objects sent\n", s.Name, s.BytesGB, s.ObjectsSent)
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package gamemap
+
+import (
+	"fmt"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+// MoveType classifies a player movement into the six categories of the
+// paper's Table III. Enum starts at 1 so the zero value is invalid.
+type MoveType int
+
+// Movement types, in the paper's order.
+const (
+	// MoveToLowerLayer descends into a child area (plane landing): the
+	// mover already had the view, no snapshot download is required.
+	MoveToLowerLayer MoveType = iota + 1
+	// MoveZoneToRegion ascends from a zone to its region's airspace (plane
+	// take-off): sibling-zone snapshots must be downloaded.
+	MoveZoneToRegion
+	// MoveRegionToWorld ascends from a region's airspace to the world
+	// (launching a satellite): everything outside the old region's view.
+	MoveRegionToWorld
+	// MoveZoneSameRegion moves laterally between zones of one region
+	// (soldier moving within the country): one new zone snapshot.
+	MoveZoneSameRegion
+	// MoveZoneDifferentRegion moves laterally between zones of different
+	// regions (crossing the border): the new zone plus the new region's
+	// airspace.
+	MoveZoneDifferentRegion
+	// MoveRegionToRegion moves laterally between region airspaces (plane
+	// crossing the border): the new region's zones plus its airspace.
+	MoveRegionToRegion
+)
+
+// String implements fmt.Stringer with the paper's row labels.
+func (t MoveType) String() string {
+	switch t {
+	case MoveToLowerLayer:
+		return "to lower layer"
+	case MoveZoneToRegion:
+		return "zone -> region"
+	case MoveRegionToWorld:
+		return "region -> world"
+	case MoveZoneSameRegion:
+		return "to a different zone [same region]"
+	case MoveZoneDifferentRegion:
+		return "to a different zone [different region]"
+	case MoveRegionToRegion:
+		return "to a different region"
+	default:
+		return fmt.Sprintf("MoveType(%d)", int(t))
+	}
+}
+
+// MoveTypes lists all six types in the paper's order.
+func MoveTypes() []MoveType {
+	return []MoveType{
+		MoveToLowerLayer, MoveZoneToRegion, MoveRegionToWorld,
+		MoveZoneSameRegion, MoveZoneDifferentRegion, MoveRegionToRegion,
+	}
+}
+
+// ClassifyMove categorizes a movement between two areas. Movements that do
+// not fit the paper's six categories on deeper maps are approximated by the
+// nearest category (ascents → ZoneToRegion/RegionToWorld by target depth,
+// lateral moves by whether the region changes).
+func ClassifyMove(from, to *Area) (MoveType, error) {
+	if from == nil || to == nil {
+		return 0, fmt.Errorf("gamemap: classify move: nil area")
+	}
+	if from == to {
+		return 0, fmt.Errorf("gamemap: classify move: no movement (%v)", from.CD())
+	}
+	df, dt := from.Depth(), to.Depth()
+	switch {
+	case dt > df: // descending
+		return MoveToLowerLayer, nil
+	case dt < df: // ascending
+		if dt == 0 {
+			return MoveRegionToWorld, nil
+		}
+		return MoveZoneToRegion, nil
+	default: // lateral
+		if dt == 1 {
+			return MoveRegionToRegion, nil
+		}
+		if sameRegion(from, to) {
+			return MoveZoneSameRegion, nil
+		}
+		return MoveZoneDifferentRegion, nil
+	}
+}
+
+func sameRegion(a, b *Area) bool {
+	ra, rb := a, b
+	for ra.Depth() > 1 {
+		ra = ra.Parent()
+	}
+	for rb.Depth() > 1 {
+		rb = rb.Parent()
+	}
+	return ra == rb
+}
+
+// SnapshotCDs returns the leaf CDs whose snapshots a player moving from one
+// area to another must download: the part of the new view not already
+// visible before the move. It reproduces the counts of Table III on the 5×5
+// map: 0, 4, 24, 1, 2 and 6 for the six movement types respectively.
+func SnapshotCDs(from, to *Area) []cd.CD {
+	old := cd.NewSet(from.VisibleLeaves()...)
+	var out []cd.CD
+	for _, leaf := range to.VisibleLeaves() {
+		if !old.Contains(leaf) {
+			out = append(out, leaf)
+		}
+	}
+	return out
+}
+
+// Player is a participant positioned in an area of the map.
+type Player struct {
+	ID   string
+	area *Area
+}
+
+// NewPlayer places a player in the given area.
+func NewPlayer(id string, area *Area) *Player {
+	return &Player{ID: id, area: area}
+}
+
+// Area returns the player's current area.
+func (p *Player) Area() *Area { return p.area }
+
+// PublishCD returns the CD the player currently publishes to.
+func (p *Player) PublishCD() cd.CD { return p.area.PublishCD() }
+
+// SubscriptionCDs returns the player's current subscription set.
+func (p *Player) SubscriptionCDs() []cd.CD { return p.area.SubscriptionCDs() }
+
+// MoveResult describes a completed movement: what to unsubscribe, what to
+// subscribe, which snapshots to fetch, and the movement class.
+type MoveResult struct {
+	Type        MoveType
+	Unsubscribe []cd.CD
+	Subscribe   []cd.CD
+	Snapshots   []cd.CD
+}
+
+// Move relocates the player and returns the pub/sub delta and required
+// snapshot downloads.
+func (p *Player) Move(to *Area) (MoveResult, error) {
+	mt, err := ClassifyMove(p.area, to)
+	if err != nil {
+		return MoveResult{}, err
+	}
+	oldSubs := cd.NewSet(p.area.SubscriptionCDs()...)
+	newSubs := cd.NewSet(to.SubscriptionCDs()...)
+	res := MoveResult{Type: mt, Snapshots: SnapshotCDs(p.area, to)}
+	for _, c := range oldSubs.Members() {
+		if !newSubs.Contains(c) {
+			res.Unsubscribe = append(res.Unsubscribe, c)
+		}
+	}
+	for _, c := range newSubs.Members() {
+		if !oldSubs.Contains(c) {
+			res.Subscribe = append(res.Subscribe, c)
+		}
+	}
+	p.area = to
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package gamemap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+// DefaultDecay is the λ of the paper's snapshot-size model (Eq. 1):
+// size(obj_vn) = Σ λ^(n-i) · size(upd_i), i.e. S_n = λ·S_{n-1} + size(upd_n).
+const DefaultDecay = 0.95
+
+// Object is a modifiable game object attached to a leaf area of the map.
+// Version 0 ships with the game map, so a never-updated object costs a
+// broker nothing to snapshot.
+type Object struct {
+	ID      string
+	Leaf    cd.CD // the leaf CD of the area the object lives in
+	Version int
+	Size    float64 // current snapshot size in bytes
+	Updates int     // total updates applied (== Version)
+
+	decay float64
+}
+
+// NewObject creates a version-0 object with the given decay λ (pass 0 for
+// DefaultDecay).
+func NewObject(id string, leaf cd.CD, decay float64) *Object {
+	if decay <= 0 || decay >= 1 {
+		decay = DefaultDecay
+	}
+	return &Object{ID: id, Leaf: leaf, decay: decay}
+}
+
+// ApplyUpdate advances the object one version with an update of the given
+// size, per the paper's geometric model.
+func (o *Object) ApplyUpdate(updateSize float64) {
+	o.Size = o.decay*o.Size + updateSize
+	o.Version++
+	o.Updates++
+}
+
+// CDName returns the NDN content name under which a broker serves this
+// object's snapshot, e.g. "/snapshot/1/3/obj12".
+func (o *Object) CDName() string {
+	return "/snapshot" + o.Leaf.Key() + "/" + o.ID
+}
+
+// World couples a map with its object population and player roster.
+type World struct {
+	Map     *Map
+	objects map[string][]*Object // leaf CD key → objects
+	all     []*Object
+}
+
+// ObjectCounts configures PopulateObjects per hierarchy layer. The paper's
+// trace uses 87 top-layer, 483 middle-layer and 2,627 bottom-layer objects
+// (3,197 total).
+type ObjectCounts struct {
+	Top    int // on the world airspace leaf "/"
+	Middle int // spread across region airspace leaves
+	Bottom int // spread across zone leaves
+}
+
+// PaperObjectCounts returns the object population of the paper's evaluation.
+func PaperObjectCounts() ObjectCounts {
+	return ObjectCounts{Top: 87, Middle: 483, Bottom: 2627}
+}
+
+// NewWorld creates a world over a map with no objects.
+func NewWorld(m *Map) *World {
+	return &World{Map: m, objects: make(map[string][]*Object)}
+}
+
+// PopulateObjects distributes objects across the map's layers. Within a
+// layer the per-area counts are spread uniformly with ±20% jitter from rnd
+// (matching Fig. 3d's 80–120 objects per area), while preserving the exact
+// layer totals.
+func (w *World) PopulateObjects(counts ObjectCounts, decay float64, rnd *rand.Rand) error {
+	layers := map[int][]cd.CD{}
+	for _, a := range w.Map.Areas() {
+		layers[a.Depth()] = append(layers[a.Depth()], a.LeafCD())
+	}
+	maxDepth := 0
+	for d := range layers {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	type layerSpec struct {
+		leaves []cd.CD
+		total  int
+	}
+	specs := []layerSpec{
+		{layers[0], counts.Top},
+		{layers[1], counts.Middle},
+		{layers[maxDepth], counts.Bottom},
+	}
+	if maxDepth < 2 {
+		return fmt.Errorf("gamemap: map needs at least 2 layers for the paper's object model")
+	}
+	objID := 0
+	for _, spec := range specs {
+		if len(spec.leaves) == 0 && spec.total > 0 {
+			return fmt.Errorf("gamemap: no areas for %d objects", spec.total)
+		}
+		if spec.total == 0 {
+			continue
+		}
+		cd.Sort(spec.leaves)
+		base := spec.total / len(spec.leaves)
+		per := make([]int, len(spec.leaves))
+		assigned := 0
+		for i := range per {
+			jitter := 0
+			if rnd != nil && base > 4 {
+				jitter = rnd.Intn(base/2+1) - base/4
+			}
+			per[i] = base + jitter
+			if per[i] < 0 {
+				per[i] = 0
+			}
+			assigned += per[i]
+		}
+		// Fix up rounding so the layer total is exact.
+		i := 0
+		for assigned < spec.total {
+			per[i%len(per)]++
+			assigned++
+			i++
+		}
+		for assigned > spec.total {
+			if per[i%len(per)] > 0 {
+				per[i%len(per)]--
+				assigned--
+			}
+			i++
+		}
+		for li, leaf := range spec.leaves {
+			for j := 0; j < per[li]; j++ {
+				objID++
+				o := NewObject(fmt.Sprintf("obj%d", objID), leaf, decay)
+				w.objects[leaf.Key()] = append(w.objects[leaf.Key()], o)
+				w.all = append(w.all, o)
+			}
+		}
+	}
+	return nil
+}
+
+// ObjectsAt returns the objects attached to a leaf CD.
+func (w *World) ObjectsAt(leaf cd.CD) []*Object {
+	return w.objects[leaf.Key()]
+}
+
+// Objects returns every object.
+func (w *World) Objects() []*Object { return w.all }
+
+// ObjectCount returns the total number of objects.
+func (w *World) ObjectCount() int { return len(w.all) }
+
+// VisibleObjects returns the objects a player in the given area can see and
+// modify (everything on the visible leaves, ordered deterministically).
+func (w *World) VisibleObjects(a *Area) []*Object {
+	var out []*Object
+	for _, leaf := range a.VisibleLeaves() {
+		out = append(out, w.objects[leaf.Key()]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SnapshotSize returns the total snapshot bytes a broker currently holds for
+// a leaf (sum of changed-object sizes; version-0 objects cost nothing).
+func (w *World) SnapshotSize(leaf cd.CD) float64 {
+	var total float64
+	for _, o := range w.objects[leaf.Key()] {
+		if o.Version > 0 {
+			total += o.Size
+		}
+	}
+	return total
+}

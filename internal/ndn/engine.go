@@ -1,0 +1,157 @@
+package ndn
+
+import (
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// Action is a forwarding decision produced by the engine: send Packet out of
+// Face. The host owns all I/O.
+type Action struct {
+	Face   FaceID
+	Packet *wire.Packet
+}
+
+// Stats counts engine activity, used by the microbenchmarks.
+type Stats struct {
+	InterestsReceived   uint64
+	InterestsForwarded  uint64
+	InterestsAggregated uint64
+	InterestsDropped    uint64
+	DataReceived        uint64
+	DataForwarded       uint64
+	DataUnsolicited     uint64
+	CacheHits           uint64
+}
+
+// Engine is a pure NDN forwarding engine: FIB + PIT + Content Store. Methods
+// are not safe for concurrent use; hosts serialize access (a router core is
+// a single packet-processing loop, which is also what the queueing model of
+// the evaluation assumes).
+type Engine struct {
+	fib   FIB
+	pit   PIT
+	store *ContentStore
+	stats Stats
+
+	interestLifetime time.Duration
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithContentStore sets cache capacity (entries) and freshness limit.
+func WithContentStore(capacity int, maxAge time.Duration) Option {
+	return func(e *Engine) { e.store = NewContentStore(capacity, maxAge) }
+}
+
+// WithInterestLifetime overrides the PIT entry lifetime.
+func WithInterestLifetime(d time.Duration) Option {
+	return func(e *Engine) { e.interestLifetime = d }
+}
+
+// NewEngine creates an engine with a 1024-entry content store by default.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		store:            NewContentStore(1024, 0),
+		interestLifetime: DefaultInterestLifetime,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// FIB exposes the engine's FIB for route installation (FIBAdd/FIBRemove
+// packets are translated to these calls by the G-COPSS layer).
+func (e *Engine) FIB() *FIB { return &e.fib }
+
+// Store exposes the content store.
+func (e *Engine) Store() *ContentStore { return e.store }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// HandleInterest processes an Interest arriving on face from at time now.
+//
+//   - Content-store hit: return the Data to the requesting face.
+//   - PIT aggregation: a pending Interest for the same name suppresses
+//     forwarding.
+//   - Otherwise: forward along the FIB's longest-prefix match, excluding the
+//     arrival face.
+func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+	e.stats.InterestsReceived++
+	if payload, ok := e.store.Get(pkt.Name, now); ok {
+		e.stats.CacheHits++
+		data := &wire.Packet{Type: wire.TypeData, Name: pkt.Name, Payload: payload, SentAt: pkt.SentAt}
+		return []Action{{Face: from, Packet: data}}
+	}
+	if !e.pit.Insert(pkt.Name, from, now, e.interestLifetime) {
+		e.stats.InterestsAggregated++
+		return nil
+	}
+	faces, _, ok := e.fib.Lookup(pkt.Name)
+	if !ok {
+		e.stats.InterestsDropped++
+		return nil
+	}
+	var actions []Action
+	for _, f := range faces {
+		if f == from {
+			continue
+		}
+		out := pkt.Clone()
+		out.HopCount++
+		actions = append(actions, Action{Face: f, Packet: out})
+	}
+	if len(actions) == 0 {
+		e.stats.InterestsDropped++
+	} else {
+		e.stats.InterestsForwarded++
+	}
+	return actions
+}
+
+// HandleData processes a Data packet: it caches the content and follows the
+// PIT bread crumbs back toward all requesters. Unsolicited Data (no PIT
+// entry) is dropped per NDN semantics.
+func (e *Engine) HandleData(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+	e.stats.DataReceived++
+	faces := e.pit.Consume(pkt.Name, now)
+	if len(faces) == 0 {
+		e.stats.DataUnsolicited++
+		return nil
+	}
+	e.store.Put(pkt.Name, pkt.Payload, now)
+	actions := make([]Action, 0, len(faces))
+	for _, f := range faces {
+		if f == from {
+			continue
+		}
+		out := pkt.Clone()
+		out.HopCount++
+		actions = append(actions, Action{Face: f, Packet: out})
+		e.stats.DataForwarded++
+	}
+	return actions
+}
+
+// Handle dispatches an NDN packet by type; non-NDN packets are ignored with
+// a nil action list (the caller's COPSS layer owns them).
+func (e *Engine) Handle(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+	switch pkt.Type {
+	case wire.TypeInterest:
+		return e.HandleInterest(now, from, pkt)
+	case wire.TypeData:
+		return e.HandleData(now, from, pkt)
+	default:
+		return nil
+	}
+}
+
+// Expire evicts timed-out PIT entries; hosts call it periodically.
+func (e *Engine) Expire(now time.Time) int { return e.pit.Expire(now) }
+
+// PendingInterests returns the number of live PIT entries.
+func (e *Engine) PendingInterests() int { return e.pit.Len() }

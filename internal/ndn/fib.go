@@ -1,0 +1,144 @@
+// Package ndn implements the base NDN/CCN forwarding engine that G-COPSS
+// builds on: a FIB with longest-prefix matching, a Pending Interest Table
+// with reverse-path "bread crumbs", and an LRU Content Store. The engine is
+// pure: handlers take the current time and a packet and return forwarding
+// actions, leaving all I/O to the host (testbed router, TCP daemon or
+// simulator).
+package ndn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FaceID identifies a face (interface) of a router. Faces are small dense
+// integers assigned by the host.
+type FaceID int
+
+// FIB is the Forwarding Information Base: name prefixes mapped to the set of
+// faces that lead toward potential sources of matching Data. The zero value
+// is ready to use.
+type FIB struct {
+	entries map[string]map[FaceID]struct{}
+}
+
+// Add registers face as a next hop for the given name prefix. Prefixes use
+// the textual form "/a/b"; the root prefix is "/".
+func (f *FIB) Add(prefix string, face FaceID) {
+	if f.entries == nil {
+		f.entries = make(map[string]map[FaceID]struct{})
+	}
+	p := canonicalPrefix(prefix)
+	m, ok := f.entries[p]
+	if !ok {
+		m = make(map[FaceID]struct{})
+		f.entries[p] = m
+	}
+	m[face] = struct{}{}
+}
+
+// Remove unregisters face from the prefix; it reports whether the entry
+// existed. Removing the last face of a prefix removes the prefix.
+func (f *FIB) Remove(prefix string, face FaceID) bool {
+	p := canonicalPrefix(prefix)
+	m, ok := f.entries[p]
+	if !ok {
+		return false
+	}
+	if _, ok := m[face]; !ok {
+		return false
+	}
+	delete(m, face)
+	if len(m) == 0 {
+		delete(f.entries, p)
+	}
+	return true
+}
+
+// RemovePrefix drops an entire prefix regardless of faces.
+func (f *FIB) RemovePrefix(prefix string) bool {
+	p := canonicalPrefix(prefix)
+	if _, ok := f.entries[p]; !ok {
+		return false
+	}
+	delete(f.entries, p)
+	return true
+}
+
+// Lookup returns the faces of the longest registered prefix matching name,
+// and the matched prefix. Match is component-wise: prefix "/a" matches
+// "/a/b" but not "/ab".
+func (f *FIB) Lookup(name string) ([]FaceID, string, bool) {
+	n := canonicalPrefix(name)
+	for p := n; ; {
+		if m, ok := f.entries[p]; ok && len(m) > 0 {
+			return faceSlice(m), p, true
+		}
+		if p == "/" {
+			return nil, "", false
+		}
+		i := strings.LastIndex(p, "/")
+		if i <= 0 {
+			p = "/"
+		} else {
+			p = p[:i]
+		}
+	}
+}
+
+// NextHops returns the faces for an exact prefix, mostly for tests and
+// introspection.
+func (f *FIB) NextHops(prefix string) []FaceID {
+	m, ok := f.entries[canonicalPrefix(prefix)]
+	if !ok {
+		return nil
+	}
+	return faceSlice(m)
+}
+
+// Prefixes returns all registered prefixes in sorted order.
+func (f *FIB) Prefixes() []string {
+	out := make([]string, 0, len(f.entries))
+	for p := range f.entries {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered prefixes.
+func (f *FIB) Len() int { return len(f.entries) }
+
+func faceSlice(m map[FaceID]struct{}) []FaceID {
+	out := make([]FaceID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// canonicalPrefix normalizes a name: ensures a leading '/', strips a single
+// trailing '/' (except for the root), and treats "" as the root.
+func canonicalPrefix(p string) string {
+	if p == "" || p == "/" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	if strings.HasSuffix(p, "/") {
+		p = p[:len(p)-1]
+	}
+	return p
+}
+
+// String renders the FIB for debugging.
+func (f *FIB) String() string {
+	var b strings.Builder
+	for _, p := range f.Prefixes() {
+		fmt.Fprintf(&b, "%s -> %v\n", p, f.NextHops(p))
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+// Package rangesub implements a Mercury-style coordinate-range
+// publish/subscribe baseline, the design the paper's related-work section
+// argues against: "they subscribe to arbitrary x and y ranges which is
+// quite unrealistic in gaming scenario ... At the same time, it increases
+// the computation overhead for forwarding since every node will have to
+// compare 4 (possibly floating-point) values before it can decide where to
+// forward."
+//
+// The package exists for the ablation experiment: it measures exactly that
+// forwarding overhead against G-COPSS's hierarchical-CD Subscription Table,
+// with subscription populations mirroring the same game map.
+package rangesub
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+)
+
+// Rect is an axis-aligned region of the game plane.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Contains reports whether the point lies inside (the 4-float comparison
+// the paper counts).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Valid reports whether the rectangle is well-formed.
+func (r Rect) Valid() bool { return r.X1 > r.X0 && r.Y1 > r.Y0 }
+
+// Table is the range-subscription forwarding table: per face, the list of
+// subscribed rectangles. There is no aggregation — ranges are arbitrary, so
+// nothing like the CD hierarchy's prefix subsumption applies.
+type Table struct {
+	faces map[ndn.FaceID][]Rect
+
+	comparisons uint64 // 4-float containment checks performed
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{faces: make(map[ndn.FaceID][]Rect)}
+}
+
+// Subscribe adds a rectangle for a face.
+func (t *Table) Subscribe(face ndn.FaceID, r Rect) error {
+	if !r.Valid() {
+		return fmt.Errorf("rangesub: invalid rect %+v", r)
+	}
+	t.faces[face] = append(t.faces[face], r)
+	return nil
+}
+
+// Unsubscribe removes one matching rectangle; it reports whether one
+// existed.
+func (t *Table) Unsubscribe(face ndn.FaceID, r Rect) bool {
+	rects := t.faces[face]
+	for i, have := range rects {
+		if have == r {
+			t.faces[face] = append(rects[:i], rects[i+1:]...)
+			if len(t.faces[face]) == 0 {
+				delete(t.faces, face)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// FacesFor returns the faces subscribed to a point event, sorted. Every
+// rectangle of every face may need checking — the linear scan the paper
+// criticizes.
+func (t *Table) FacesFor(x, y float64) []ndn.FaceID {
+	var out []ndn.FaceID
+	for id, rects := range t.faces {
+		for _, r := range rects {
+			t.comparisons++
+			if r.Contains(x, y) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entries returns the total number of (face, rect) entries.
+func (t *Table) Entries() int {
+	n := 0
+	for _, rects := range t.faces {
+		n += len(rects)
+	}
+	return n
+}
+
+// Comparisons returns the cumulative containment checks, the paper's
+// overhead metric.
+func (t *Table) Comparisons() uint64 { return t.comparisons }
+
+// Geometry embeds a hierarchical game map into the unit square so the two
+// systems can carry identical subscription populations: regions are vertical
+// strips, zones split each strip horizontally. Airspace visibility maps to
+// the enclosing rectangle (a flying player's AoI is its area's full strip).
+type Geometry struct {
+	m     *gamemap.Map
+	rects map[string]Rect // area node CD key → rect
+}
+
+// NewGeometry lays out the map's areas.
+func NewGeometry(m *gamemap.Map) *Geometry {
+	g := &Geometry{m: m, rects: make(map[string]Rect)}
+	regions := m.Root().Children()
+	w := 1.0 / float64(len(regions))
+	g.rects[m.Root().CD().Key()] = Rect{0, 0, 1, 1}
+	for i, region := range regions {
+		rr := Rect{X0: float64(i) * w, Y0: 0, X1: float64(i+1) * w, Y1: 1}
+		g.rects[region.CD().Key()] = rr
+		zones := region.Children()
+		if len(zones) == 0 {
+			continue
+		}
+		h := 1.0 / float64(len(zones))
+		for j, zone := range zones {
+			g.rects[zone.CD().Key()] = Rect{
+				X0: rr.X0, X1: rr.X1,
+				Y0: float64(j) * h, Y1: float64(j+1) * h,
+			}
+		}
+	}
+	return g
+}
+
+// RectOf returns an area's rectangle.
+func (g *Geometry) RectOf(a *gamemap.Area) (Rect, bool) {
+	r, ok := g.rects[a.CD().Key()]
+	return r, ok
+}
+
+// AoIRects returns the rectangles a player in the given area must subscribe
+// to for the same visibility the CD hierarchy provides: its own area's rect
+// (covering everything below) plus the rects of all proper ancestors (the
+// layers above). Unlike hierarchical CDs these cannot be aggregated: the
+// ancestor rectangles CONTAIN the area's own, so the range system either
+// over-delivers (subscribe to the whole ancestor) or must carry them all.
+func (g *Geometry) AoIRects(a *gamemap.Area) []Rect {
+	var out []Rect
+	if r, ok := g.rects[a.CD().Key()]; ok {
+		out = append(out, r)
+	}
+	for p := a.Parent(); p != nil; p = p.Parent() {
+		if r, ok := g.rects[p.CD().Key()]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PointOf returns a deterministic publication point inside an area's rect
+// (its center), for replaying CD-addressed traces through the range system.
+func (g *Geometry) PointOf(a *gamemap.Area) (x, y float64, ok bool) {
+	r, found := g.rects[a.CD().Key()]
+	if !found {
+		return 0, 0, false
+	}
+	return (r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2, true
+}

@@ -1,0 +1,176 @@
+package rangesub
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+)
+
+func TestRectContains(t *testing.T) {
+	r := Rect{X0: 0.2, Y0: 0.2, X1: 0.4, Y1: 0.6}
+	tests := []struct {
+		x, y float64
+		want bool
+	}{
+		{0.3, 0.4, true},
+		{0.2, 0.2, true},  // inclusive lower edge
+		{0.4, 0.4, false}, // exclusive upper edge
+		{0.1, 0.4, false},
+		{0.3, 0.7, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.x, tt.y); got != tt.want {
+			t.Errorf("Contains(%f,%f) = %v", tt.x, tt.y, got)
+		}
+	}
+	if !r.Valid() || (Rect{X0: 1, X1: 0, Y0: 0, Y1: 1}).Valid() {
+		t.Error("Valid misreports")
+	}
+}
+
+func TestTableSubscribeMatch(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Subscribe(1, Rect{0, 0, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Subscribe(2, Rect{0.25, 0.25, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Subscribe(2, Rect{0, 0, 0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Subscribe(3, Rect{1, 1, 0, 0}); err == nil {
+		t.Error("invalid rect accepted")
+	}
+	if got := tbl.FacesFor(0.3, 0.3); !reflect.DeepEqual(got, []ndn.FaceID{1, 2}) {
+		t.Errorf("FacesFor = %v", got)
+	}
+	if got := tbl.FacesFor(0.05, 0.05); !reflect.DeepEqual(got, []ndn.FaceID{1, 2}) {
+		t.Errorf("FacesFor = %v", got)
+	}
+	if got := tbl.FacesFor(0.9, 0.9); !reflect.DeepEqual(got, []ndn.FaceID{2}) {
+		t.Errorf("FacesFor = %v", got)
+	}
+	if tbl.Entries() != 3 {
+		t.Errorf("Entries = %d", tbl.Entries())
+	}
+	if tbl.Comparisons() == 0 {
+		t.Error("no comparisons counted")
+	}
+	if !tbl.Unsubscribe(1, Rect{0, 0, 0.5, 0.5}) {
+		t.Error("Unsubscribe missed")
+	}
+	if tbl.Unsubscribe(1, Rect{0, 0, 0.5, 0.5}) {
+		t.Error("double Unsubscribe succeeded")
+	}
+	if got := tbl.FacesFor(0.3, 0.3); !reflect.DeepEqual(got, []ndn.FaceID{2}) {
+		t.Errorf("post-unsubscribe FacesFor = %v", got)
+	}
+}
+
+func TestGeometryLayout(t *testing.T) {
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGeometry(m)
+	world, _ := m.Area(cd.Root())
+	if r, _ := g.RectOf(world); r != (Rect{0, 0, 1, 1}) {
+		t.Errorf("world rect = %+v", r)
+	}
+	// Region rects tile the square; zone rects tile their region.
+	region, _ := m.Area(cd.MustParse("/3"))
+	rr, ok := g.RectOf(region)
+	if !ok || !near(rr.X1-rr.X0, 0.2) {
+		t.Errorf("region rect = %+v", rr)
+	}
+	zone, _ := m.Area(cd.MustParse("/3/4"))
+	zr, ok := g.RectOf(zone)
+	if !ok {
+		t.Fatal("no zone rect")
+	}
+	if zr.X0 != rr.X0 || zr.X1 != rr.X1 || !near(zr.Y1-zr.Y0, 0.2) {
+		t.Errorf("zone rect = %+v not nested in region %+v", zr, rr)
+	}
+	// Publication points land inside their own rect only.
+	x, y, ok := g.PointOf(zone)
+	if !ok || !zr.Contains(x, y) {
+		t.Error("PointOf outside its area")
+	}
+	other, _ := m.Area(cd.MustParse("/3/5"))
+	or, _ := g.RectOf(other)
+	if or.Contains(x, y) {
+		t.Error("point leaked into sibling zone")
+	}
+}
+
+func TestAoIRectsOverDeliver(t *testing.T) {
+	// The structural limitation the paper points at: a zone player's AoI in
+	// the range system includes the ancestor rectangles (to see flyers),
+	// which unavoidably also match sibling-zone ground events.
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGeometry(m)
+	tbl := NewTable()
+	zoneA, _ := m.Area(cd.MustParse("/1/1"))
+	for _, r := range g.AoIRects(zoneA) {
+		if err := tbl.Subscribe(1, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Entries() != 3 { // own zone + region strip + world
+		t.Errorf("entries = %d", tbl.Entries())
+	}
+	// A sibling-zone event is (wrongly, vs the CD hierarchy) delivered.
+	sibling, _ := m.Area(cd.MustParse("/1/2"))
+	x, y, _ := g.PointOf(sibling)
+	if got := tbl.FacesFor(x, y); len(got) != 1 {
+		t.Errorf("sibling event not over-delivered: %v", got)
+	}
+	// Worse: the world rectangle (needed to see satellites, since 2D
+	// ranges cannot express altitude layers) matches EVERY ground event on
+	// the map — the player receives the whole world's traffic.
+	far, _ := m.Area(cd.MustParse("/4/4"))
+	x, y, _ = g.PointOf(far)
+	if got := tbl.FacesFor(x, y); len(got) != 1 {
+		t.Errorf("world-rect over-delivery missing: %v", got)
+	}
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func BenchmarkRangeMatch62Players(b *testing.B) {
+	// The forwarding-cost comparison behind the ablation: 62 players'
+	// AoI rectangles on one node, matching a zone event.
+	m, err := gamemap.NewGrid(5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := NewGeometry(m)
+	tbl := NewTable()
+	face := ndn.FaceID(0)
+	for _, a := range m.Areas() {
+		for j := 0; j < 2; j++ {
+			face++
+			for _, r := range g.AoIRects(a) {
+				if err := tbl.Subscribe(face, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	zone, _ := m.Area(cd.MustParse("/3/4"))
+	x, y, _ := g.PointOf(zone)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.FacesFor(x, y)
+	}
+}

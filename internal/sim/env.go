@@ -1,0 +1,196 @@
+// Package sim is the trace-driven large-scale simulator of Section V-B: it
+// replays (synthetic) Counter-Strike traces over a wide-area topology and
+// reproduces the paper's Tables I–III and Figures 5–6.
+//
+// The simulator is parameterized by the microbenchmark-derived processing
+// costs (RP service 3.3 ms, server service 6 ms) and models congestion with
+// exact FIFO single-server queue recurrences at RPs and servers, while
+// propagation uses precomputed shortest-path and core-based multicast-tree
+// delays — the same decomposition the paper describes ("The simulator ...
+// is parameterized based on microbenchmarks of our implementation").
+package sim
+
+import (
+	"fmt"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/topo"
+	"github.com/icn-gaming/gcopss/internal/trace"
+)
+
+// Env binds a game world, a trace and a network topology together with the
+// placement of players on edge routers and the per-leaf subscriber lists.
+type Env struct {
+	Game  *gamemap.World
+	Trace *trace.Trace
+
+	Graph *topo.Graph
+	Paths *topo.Paths
+	Cores []topo.NodeID
+	Edges []topo.NodeID
+
+	// PlayerEdge maps player index → edge router node.
+	PlayerEdge []topo.NodeID
+
+	// subscribers maps leaf CD key → player indexes that can see it.
+	subscribers map[string][]int
+}
+
+// NewEnv builds the environment: synthesizes the backbone, spreads players
+// uniformly over the edge routers ("we uniformly distributed the 414
+// players on the edge routers") and precomputes visibility.
+func NewEnv(game *gamemap.World, tr *trace.Trace, cfg topo.BackboneConfig) (*Env, error) {
+	g, cores, edges, err := topo.Backbone(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: backbone: %w", err)
+	}
+	env := &Env{
+		Game:  game,
+		Trace: tr,
+		Graph: g,
+		Paths: g.AllPairs(),
+		Cores: cores,
+		Edges: edges,
+	}
+	env.PlayerEdge = topo.SpreadOver(edges, len(tr.Players), cfg.Seed+1)
+	if err := env.rebuildSubscribers(nil); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// rebuildSubscribers computes per-leaf subscriber lists for the players in
+// mask (nil = all players), based on their trace starting areas.
+func (e *Env) rebuildSubscribers(mask []bool) error {
+	e.subscribers = make(map[string][]int)
+	for pi, p := range e.Trace.Players {
+		if mask != nil && !mask[pi] {
+			continue
+		}
+		area, ok := e.Game.Map.Area(p.Area)
+		if !ok {
+			return fmt.Errorf("sim: player %d in unknown area %v", pi, p.Area)
+		}
+		for _, leaf := range area.VisibleLeaves() {
+			e.subscribers[leaf.Key()] = append(e.subscribers[leaf.Key()], pi)
+		}
+	}
+	return nil
+}
+
+// SubscribersOf returns the player indexes that can see publications to the
+// given leaf CD.
+func (e *Env) SubscribersOf(leaf cd.CD) []int {
+	return e.subscribers[leaf.Key()]
+}
+
+// RestrictPlayers recomputes visibility for a subset of players (used by the
+// Fig. 6 scalability sweep). Pass nil to restore all players.
+func (e *Env) RestrictPlayers(mask []bool) error {
+	return e.rebuildSubscribers(mask)
+}
+
+// DefaultCosts returns the microbenchmark-derived simulator parameters.
+type Costs struct {
+	RPServiceMs     float64 // FIB lookup + decapsulation + ST lookup at an RP
+	ServerServiceMs float64 // base per-update server processing
+	ServerPerRecvMs float64 // per-recipient unicast serialization at a server
+	HopMs           float64 // per-router forwarding cost on the path
+	HostMs          float64 // host ↔ edge-router link delay
+	PacketOverhead  int     // header bytes added to each update payload
+	EdgeFilterMs    float64 // hybrid mode: per-packet filtering at edge routers
+}
+
+// PaperCosts returns the constants reported in Section V-B: RP processing
+// 3.3 ms, server processing 6 ms, 1 ms host links (edge-core delays live in
+// the topology).
+func PaperCosts() Costs {
+	return Costs{
+		RPServiceMs:     3.3,
+		ServerServiceMs: 6.0,
+		ServerPerRecvMs: 0.05,
+		HopMs:           0.05,
+		HostMs:          1.0,
+		PacketOverhead:  40,
+		EdgeFilterMs:    0.3,
+	}
+}
+
+// deliveryPlan caches, per (leaf CD, root node), everything needed to
+// account one multicast delivery: the subscriber list, each subscriber's
+// root→edge delay (propagation + per-hop processing), and the multicast
+// tree's edge count.
+type deliveryPlan struct {
+	players   []int
+	delays    []float64 // root→subscriber-edge delay incl. hop processing and host link
+	treeEdges int
+}
+
+type planKey struct {
+	leaf string
+	root topo.NodeID
+}
+
+// planner builds and caches delivery plans.
+type planner struct {
+	env   *Env
+	costs Costs
+	plans map[planKey]*deliveryPlan
+}
+
+func newPlanner(env *Env, costs Costs) *planner {
+	return &planner{env: env, costs: costs, plans: make(map[planKey]*deliveryPlan)}
+}
+
+// plan returns the delivery plan for a leaf CD multicast from root.
+func (p *planner) plan(leaf cd.CD, root topo.NodeID) *deliveryPlan {
+	key := planKey{leaf: leaf.Key(), root: root}
+	if pl, ok := p.plans[key]; ok {
+		return pl
+	}
+	subs := p.env.SubscribersOf(leaf)
+	pl := &deliveryPlan{players: subs, delays: make([]float64, len(subs))}
+	nodes := make([]topo.NodeID, 0, len(subs))
+	seen := make(map[topo.NodeID]struct{}, len(subs))
+	for i, pi := range subs {
+		edge := p.env.PlayerEdge[pi]
+		hops := p.env.Paths.HopCount(root, edge)
+		pl.delays[i] = p.env.Paths.Delay(root, edge) + float64(hops)*p.costs.HopMs + p.costs.HostMs
+		if _, ok := seen[edge]; !ok {
+			seen[edge] = struct{}{}
+			nodes = append(nodes, edge)
+		}
+	}
+	tree := p.env.Paths.MulticastTree(root, nodes)
+	// Tree edges plus one host link per subscriber (the last hop to the
+	// player) make up the multicast byte cost.
+	pl.treeEdges = tree.EdgeCount() + len(subs)
+	p.plans[key] = pl
+	return pl
+}
+
+// invalidateLeavesUnder drops cached plans for leaves covered by any of the
+// given prefixes (called after an RP handoff moves those prefixes).
+func (p *planner) invalidateLeavesUnder(prefixes []cd.CD) {
+	for key := range p.plans {
+		leaf, err := cd.FromKey(key.leaf)
+		if err != nil {
+			continue
+		}
+		for _, pre := range prefixes {
+			if leaf.HasPrefix(pre) {
+				delete(p.plans, key)
+				break
+			}
+		}
+	}
+}
+
+// upstream computes the publisher→root delay (host link + path + per-hop
+// processing) and the hop count for byte accounting.
+func (p *planner) upstream(player int, root topo.NodeID) (delayMs float64, hops int) {
+	edge := p.env.PlayerEdge[player]
+	h := p.env.Paths.HopCount(edge, root)
+	return p.costs.HostMs + p.env.Paths.Delay(edge, root) + float64(h)*p.costs.HopMs, h + 1
+}

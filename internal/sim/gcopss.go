@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/stats"
+	"github.com/icn-gaming/gcopss/internal/topo"
+	"github.com/icn-gaming/gcopss/internal/trace"
+)
+
+// RPPlacement assigns one RP a node and a served prefix set.
+type RPPlacement struct {
+	Node     topo.NodeID
+	Prefixes []cd.CD
+}
+
+// AutoBalance configures the automatic RP splitting of Section IV-B.
+type AutoBalance struct {
+	// QueueThreshold is the RP queue length (packets) that triggers a split.
+	QueueThreshold int
+	// Window is the sliding-window length for per-CD load attribution.
+	Window int
+	// MaxRPs bounds the RP population.
+	MaxRPs int
+	// CandidateNodes are where new RPs may be instantiated, used in order.
+	CandidateNodes []topo.NodeID
+	// MigrationMs is the control-plane delay before a split takes effect
+	// (stage A+B of the handoff protocol).
+	MigrationMs float64
+	// Seed drives the random tie-breaking of the CD selection function.
+	Seed int64
+}
+
+// GCOPSSConfig parameterizes a G-COPSS run.
+type GCOPSSConfig struct {
+	RPs     []RPPlacement
+	Costs   Costs
+	Balance *AutoBalance // nil disables auto-balancing
+}
+
+// SplitEvent records one automatic RP split (Fig. 5c annotations).
+type SplitEvent struct {
+	AtMs        float64
+	PacketIndex int
+	NewRPNode   topo.NodeID
+	Moved       []cd.CD
+	RPCount     int
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Latency accumulates per-delivery latencies in ms (publisher excluded).
+	Latency *stats.Stream
+	// PerUpdateAvg/Min/Max are per-update latency aggregates in packet
+	// order — the Fig. 5 series.
+	PerUpdateAvg []float32
+	PerUpdateMin []float32
+	PerUpdateMax []float32
+	// Bytes is the aggregate network load (packet bytes × links traversed).
+	Bytes float64
+	// Deliveries counts (update, receiver) pairs.
+	Deliveries uint64
+	// Splits records auto-balancing events.
+	Splits []SplitEvent
+	// MaxQueueLen is the largest queue (in packets) seen at any RP/server.
+	MaxQueueLen int
+	// FinalRPs is the RP count at the end of the run.
+	FinalRPs int
+}
+
+// rpState is one simulated RP.
+type rpState struct {
+	node       topo.NodeID
+	prefixes   []cd.CD
+	lastDepart float64
+	monitor    *core.LoadMonitor
+	name       string
+}
+
+// RunGCOPSS replays updates through the G-COPSS data path: publisher → edge
+// → covering RP (FIFO queue, 3.3 ms service) → core-based multicast tree →
+// subscribers.
+func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, error) {
+	if len(cfg.RPs) == 0 {
+		return nil, fmt.Errorf("sim: no RPs configured")
+	}
+	var all []cd.CD
+	rps := make([]*rpState, len(cfg.RPs))
+	window := core.DefaultLoadWindow
+	if cfg.Balance != nil && cfg.Balance.Window > 0 {
+		window = cfg.Balance.Window
+	}
+	for i, p := range cfg.RPs {
+		rps[i] = &rpState{
+			node:     p.Node,
+			prefixes: append([]cd.CD(nil), p.Prefixes...),
+			monitor:  core.NewLoadMonitor(window),
+			name:     fmt.Sprintf("/rp%d", i+1),
+		}
+		all = append(all, p.Prefixes...)
+	}
+	if err := cd.PrefixFree(all); err != nil {
+		return nil, fmt.Errorf("sim: RP serving sets: %w", err)
+	}
+
+	var rnd *rand.Rand
+	var candidates []topo.NodeID
+	if cfg.Balance != nil {
+		rnd = rand.New(rand.NewSource(cfg.Balance.Seed))
+		candidates = append(candidates, cfg.Balance.CandidateNodes...)
+	}
+
+	pl := newPlanner(env, cfg.Costs)
+	res := &Result{
+		Latency:      stats.NewStream(20000),
+		PerUpdateAvg: make([]float32, 0, len(updates)),
+		PerUpdateMin: make([]float32, 0, len(updates)),
+		PerUpdateMax: make([]float32, 0, len(updates)),
+	}
+
+	type pendingSplit struct {
+		atMs   float64
+		source int
+		node   topo.NodeID
+		moved  []cd.CD
+	}
+	var pending *pendingSplit
+
+	cover := func(c cd.CD) *rpState {
+		for _, rp := range rps {
+			if _, ok := cd.Cover(rp.prefixes, c); ok {
+				return rp
+			}
+		}
+		return nil
+	}
+
+	for idx, u := range updates {
+		nowMs := float64(u.At) / float64(time.Millisecond)
+
+		// Apply a matured split before routing this update.
+		if pending != nil && nowMs >= pending.atMs {
+			src := rps[pending.source]
+			src.prefixes = subtract(src.prefixes, pending.moved)
+			rps = append(rps, &rpState{
+				node:     pending.node,
+				prefixes: pending.moved,
+				monitor:  core.NewLoadMonitor(window),
+				name:     fmt.Sprintf("/rp%d", len(rps)+1),
+			})
+			pl.invalidateLeavesUnder(pending.moved)
+			res.Splits = append(res.Splits, SplitEvent{
+				AtMs:        pending.atMs,
+				PacketIndex: idx,
+				NewRPNode:   pending.node,
+				Moved:       pending.moved,
+				RPCount:     len(rps),
+			})
+			pending = nil
+		}
+
+		rp := cover(u.CD)
+		if rp == nil {
+			continue // unserved CD: dropped, as a real router would
+		}
+		upDelay, upHops := pl.upstream(u.Player, rp.node)
+		arrive := nowMs + upDelay
+		if arrive < rp.lastDepart {
+			qlen := int((rp.lastDepart - arrive) / cfg.Costs.RPServiceMs)
+			if qlen > res.MaxQueueLen {
+				res.MaxQueueLen = qlen
+			}
+			// Auto-balance: queue above threshold triggers a split.
+			if cfg.Balance != nil && pending == nil && qlen > cfg.Balance.QueueThreshold &&
+				len(rps) < cfg.Balance.MaxRPs && len(rp.prefixes) > 1 && len(candidates) > 0 {
+				_, moved := rp.monitor.SplitByLoad(rp.prefixes, rnd)
+				if len(moved) > 0 {
+					node := candidates[0]
+					candidates = candidates[1:]
+					srcIdx := 0
+					for i := range rps {
+						if rps[i] == rp {
+							srcIdx = i
+						}
+					}
+					pending = &pendingSplit{
+						atMs:   arrive + cfg.Balance.MigrationMs,
+						source: srcIdx,
+						node:   node,
+						moved:  moved,
+					}
+				}
+			}
+		}
+		depart := arrive
+		if rp.lastDepart > depart {
+			depart = rp.lastDepart
+		}
+		depart += cfg.Costs.RPServiceMs
+		rp.lastDepart = depart
+		rp.monitor.Record(u.CD)
+
+		plan := pl.plan(u.CD, rp.node)
+		pktBytes := float64(u.Size + cfg.Costs.PacketOverhead)
+		res.Bytes += pktBytes * float64(upHops+plan.treeEdges)
+
+		var sum, minL, maxL float64
+		n := 0
+		for i, sub := range plan.players {
+			if sub == u.Player {
+				continue
+			}
+			lat := depart + plan.delays[i] - nowMs
+			res.Latency.Add(lat)
+			res.Deliveries++
+			sum += lat
+			if n == 0 || lat < minL {
+				minL = lat
+			}
+			if lat > maxL {
+				maxL = lat
+			}
+			n++
+		}
+		if n > 0 {
+			res.PerUpdateAvg = append(res.PerUpdateAvg, float32(sum/float64(n)))
+			res.PerUpdateMin = append(res.PerUpdateMin, float32(minL))
+			res.PerUpdateMax = append(res.PerUpdateMax, float32(maxL))
+		} else {
+			res.PerUpdateAvg = append(res.PerUpdateAvg, 0)
+			res.PerUpdateMin = append(res.PerUpdateMin, 0)
+			res.PerUpdateMax = append(res.PerUpdateMax, 0)
+		}
+	}
+	res.FinalRPs = len(rps)
+	return res, nil
+}
+
+// subtract removes the moved prefixes from a serving set.
+func subtract(set, moved []cd.CD) []cd.CD {
+	rm := cd.NewSet(moved...)
+	var out []cd.CD
+	for _, p := range set {
+		if !rm.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DefaultRPPlacement spreads the world partition of the game map over n RPs
+// hosted on the first n core routers (round-robin prefix assignment), the
+// initial configuration of Table I.
+func DefaultRPPlacement(env *Env, n int) []RPPlacement {
+	prefixes := worldPartition(env)
+	out := make([]RPPlacement, n)
+	for i := range out {
+		out[i].Node = env.Cores[i%len(env.Cores)]
+	}
+	for i, p := range prefixes {
+		out[i%n].Prefixes = append(out[i%n].Prefixes, p)
+	}
+	return out
+}
+
+// worldPartition returns the canonical prefix-free partition of the game
+// map: the world airspace leaf plus one prefix per region.
+func worldPartition(env *Env) []cd.CD {
+	prefixes := []cd.CD{cd.MustNew("")}
+	for _, r := range env.Game.Map.RegionNames() {
+		prefixes = append(prefixes, cd.MustNew(r))
+	}
+	return prefixes
+}

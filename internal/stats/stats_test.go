@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Error("empty sample should be all zeros")
+	}
+	s.AddAll(3, 1, 2)
+	if s.N() != 3 || s.Sum() != 6 || s.Mean() != 2 {
+		t.Errorf("basic stats wrong: n=%d sum=%f mean=%f", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 3 || s.Median() != 2 {
+		t.Errorf("order stats wrong: %f %f %f", s.Min(), s.Max(), s.Median())
+	}
+	// Adding after sorting must work.
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Errorf("Max after re-add = %f", s.Max())
+	}
+}
+
+func TestVarianceAndCI(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %f", got)
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %f", got)
+	}
+	ci := s.ConfidenceInterval95()
+	want := 1.96 * math.Sqrt(32.0/7.0) / math.Sqrt(8)
+	if math.Abs(ci-want) > 1e-12 {
+		t.Errorf("CI = %f, want %f", ci, want)
+	}
+	var single Sample
+	single.Add(5)
+	if single.Variance() != 0 || single.ConfidenceInterval95() != 0 {
+		t.Error("single observation should have zero variance/CI")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 100}, {-0.5, 1}, {1.5, 100},
+		{0.5, 50.5}, {0.95, 95.05},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%f) = %f, want %f", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3, 4, 5)
+	if got := s.FractionAbove(3); got != 0.4 {
+		t.Errorf("FractionAbove(3) = %f", got)
+	}
+	if got := s.FractionAbove(10); got != 0 {
+		t.Errorf("FractionAbove(10) = %f", got)
+	}
+	var empty Sample
+	if empty.FractionAbove(0) != 0 {
+		t.Error("empty FractionAbove != 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(100)
+	if len(cdf) < 100 || len(cdf) > 102 {
+		t.Errorf("CDF points = %d", len(cdf))
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Error("CDF does not end at 1")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	var empty Sample
+	if empty.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+	var tiny Sample
+	tiny.AddAll(5, 6)
+	full := tiny.CDF(0)
+	if len(full) != 2 || full[1].Fraction != 1 {
+		t.Errorf("full CDF = %v", full)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	s.AddAll(10, 20, 30)
+	sum := Summarize(&s)
+	if sum.N != 3 || sum.Mean != 20 || sum.Min != 10 || sum.Max != 30 {
+		t.Errorf("Summary = %+v", sum)
+	}
+	str := sum.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "mean=20.000") {
+		t.Errorf("Summary.String = %q", str)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table I",
+		Headers: []string{"Type", "Latency", "Load"},
+	}
+	tbl.AddRow("G-COPSS", "8.51ms", "1.2GB")
+	tbl.AddRow("IP Server", "25.52ms", "2.4GB")
+	out := tbl.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "G-COPSS") {
+		t.Errorf("table output missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("table lines = %d:\n%s", len(lines), out)
+	}
+	// Column alignment: each data line at least as wide as the header line.
+	if len(lines[3]) < len(lines[1])-2 {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{500, "500B"},
+		{2048, "2.05KB"},
+		{3.5e6, "3.50MB"},
+		{1.46e9, "1.46GB"},
+	}
+	for _, tt := range tests {
+		if got := Bytes(tt.v); got != tt.want {
+			t.Errorf("Bytes(%f) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+	msTests := []struct {
+		v    float64
+		want string
+	}{
+		{8.51, "8.51ms"},
+		{250, "250ms"},
+		{25520, "25.5s"},
+	}
+	for _, tt := range msTests {
+		if got := Ms(tt.v); got != tt.want {
+			t.Errorf("Ms(%f) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		var s Sample
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255
+		got := s.Percentile(p)
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				s.Add(v)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import "math/rand"
+
+// Stream accumulates summary statistics of an observation stream in O(1)
+// memory, with an optional fixed-size reservoir for quantile estimates. The
+// large-scale simulator produces hundreds of millions of per-delivery
+// latencies; storing them all is not an option.
+type Stream struct {
+	n     uint64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+
+	reservoir []float64
+	cap       int
+	rnd       *rand.Rand
+}
+
+// NewStream creates a stream keeping a reservoir of up to reservoirSize
+// observations for quantile estimation (0 disables the reservoir).
+func NewStream(reservoirSize int) *Stream {
+	s := &Stream{cap: reservoirSize}
+	if reservoirSize > 0 {
+		s.reservoir = make([]float64, 0, reservoirSize)
+		s.rnd = rand.New(rand.NewSource(1))
+	}
+	return s
+}
+
+// Add records one observation.
+func (s *Stream) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+	if s.cap > 0 {
+		if len(s.reservoir) < s.cap {
+			s.reservoir = append(s.reservoir, v)
+		} else if j := s.rnd.Int63n(int64(s.n)); j < int64(s.cap) {
+			s.reservoir[j] = v
+		}
+	}
+}
+
+// N returns the observation count.
+func (s *Stream) N() uint64 { return s.n }
+
+// Sum returns the running total.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Mean returns the running mean (0 when empty).
+func (s *Stream) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// Variance returns the (biased, n-denominator) running variance.
+func (s *Stream) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		return 0 // numeric noise
+	}
+	return v
+}
+
+// Quantile estimates the q-quantile from the reservoir; it returns the mean
+// if no reservoir was kept.
+func (s *Stream) Quantile(q float64) float64 {
+	if len(s.reservoir) == 0 {
+		return s.Mean()
+	}
+	var sample Sample
+	sample.AddAll(s.reservoir...)
+	return sample.Percentile(q)
+}
+
+// Sample returns a Sample over the reservoir contents (for CDF rendering).
+func (s *Stream) Sample() *Sample {
+	var out Sample
+	out.AddAll(s.reservoir...)
+	return &out
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamMoments(t *testing.T) {
+	s := NewStream(0)
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Variance() != 0 {
+		t.Error("empty stream should be all zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != 100 || s.Sum() != 5050 {
+		t.Errorf("N=%d Sum=%f", s.N(), s.Sum())
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("Mean = %f", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("Min/Max = %f/%f", s.Min(), s.Max())
+	}
+	// Population variance of 1..100 is (100²-1)/12 = 833.25.
+	if got := s.Variance(); math.Abs(got-833.25) > 1e-6 {
+		t.Errorf("Variance = %f", got)
+	}
+	// Without a reservoir, Quantile falls back to the mean.
+	if s.Quantile(0.9) != s.Mean() {
+		t.Error("no-reservoir quantile should be the mean")
+	}
+}
+
+func TestStreamReservoirQuantiles(t *testing.T) {
+	s := NewStream(1000)
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i % 1000))
+	}
+	q50 := s.Quantile(0.5)
+	if q50 < 350 || q50 > 650 {
+		t.Errorf("median estimate %f far from 500", q50)
+	}
+	q95 := s.Quantile(0.95)
+	if q95 < 850 {
+		t.Errorf("p95 estimate %f far from 950", q95)
+	}
+	if got := s.Sample().N(); got != 1000 {
+		t.Errorf("reservoir size = %d", got)
+	}
+}
+
+func TestStreamMatchesSample(t *testing.T) {
+	var sample Sample
+	stream := NewStream(0)
+	vals := []float64{3.5, -2, 8, 0, 11.25, 7}
+	for _, v := range vals {
+		sample.Add(v)
+		stream.Add(v)
+	}
+	if sample.Mean() != stream.Mean() {
+		t.Errorf("mean mismatch %f vs %f", sample.Mean(), stream.Mean())
+	}
+	if sample.Min() != stream.Min() || sample.Max() != stream.Max() {
+		t.Error("min/max mismatch")
+	}
+}

@@ -1,0 +1,174 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/stats"
+	"github.com/icn-gaming/gcopss/internal/topo"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// ipAddr builds the destination address carried in the packet name. All
+// machines run "an application-level forwarding engine ... forwarding
+// packets based on the destination address".
+func ipAddr(dest string) string { return "/ip/" + dest }
+
+// RunIPServer executes the microbenchmark on the IP client/server baseline:
+// application-level forwarders in the Fig. 3b topology, a server attached to
+// R1, players unicasting updates to the server, and the server unicasting a
+// copy to every interested player.
+func RunIPServer(s *Setup) (*MicroResult, error) {
+	tb := New()
+	res := &MicroResult{Latency: &stats.Sample{}}
+
+	vis, err := visibilityIndex(s)
+	if err != nil {
+		return nil, err
+	}
+	attach := attachment(len(s.Trace.Players))
+
+	// Static routing: next hop per destination node, derived from the
+	// benchmark topology.
+	g, ids := topo.Benchmark()
+	paths := g.AllPairs()
+	names := []string{"R1", "R2", "R3", "R4", "R5", "R6"}
+
+	// Face plan: on each router, face i+10 leads to neighbor names[i]; client
+	// faces are allocated from 100 upward.
+	faceToward := make(map[string]map[string]ndn.FaceID)
+	for _, n := range names {
+		faceToward[n] = make(map[string]ndn.FaceID)
+	}
+	// hostRouter maps every endpoint (clients + server) to its router and
+	// the router-side face.
+	type hostPort struct {
+		router string
+		face   ndn.FaceID
+	}
+	hosts := make(map[string]hostPort)
+
+	routes := make(map[string]map[string]ndn.FaceID) // router → dest endpoint → face
+	for _, n := range names {
+		routes[n] = make(map[string]ndn.FaceID)
+	}
+
+	// Router handler: forward by destination address.
+	for _, n := range names {
+		n := n
+		tb.AddNode(n, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+			dest := strings.TrimPrefix(pkt.Name, "/ip/")
+			face, ok := routes[n][dest]
+			if !ok {
+				return nil
+			}
+			out := pkt.Clone()
+			out.HopCount++
+			return []ndn.Action{{Face: face, Packet: out}}
+		}, func(*wire.Packet) time.Duration { return s.Costs.IPForward }, 0)
+	}
+	type edge struct{ a, b string }
+	var nextFace = map[string]ndn.FaceID{}
+	alloc := func(r string) ndn.FaceID {
+		nextFace[r]++
+		return nextFace[r]
+	}
+	for _, e := range []edge{{"R1", "R2"}, {"R1", "R3"}, {"R2", "R4"}, {"R2", "R5"}, {"R3", "R6"}} {
+		fa, fb := alloc(e.a), alloc(e.b)
+		faceToward[e.a][e.b] = fa
+		faceToward[e.b][e.a] = fb
+		if err := tb.Connect(e.a, fa, e.b, fb, s.LinkDelay); err != nil {
+			return nil, err
+		}
+	}
+
+	// Server endpoint on R1: resolves recipients and unicasts copies. The
+	// per-recipient serialization cost is the node's per-copy surcharge.
+	const serverName = "server"
+	tb.AddNode(serverName, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+		if len(pkt.CDs) != 1 {
+			return nil
+		}
+		var out []ndn.Action
+		for _, pi := range vis[pkt.CD().Key()] {
+			dest := clientName(pi)
+			if dest == pkt.Origin {
+				continue
+			}
+			cp := pkt.Clone()
+			cp.Name = ipAddr(dest)
+			out = append(out, ndn.Action{Face: 0, Packet: cp})
+		}
+		return out
+	}, func(*wire.Packet) time.Duration { return s.Costs.ServerBase }, s.Costs.ServerPerRecipient)
+	sf := alloc("R1")
+	if err := tb.Connect(serverName, 0, "R1", sf, s.LinkDelay); err != nil {
+		return nil, err
+	}
+	hosts[serverName] = hostPort{router: "R1", face: sf}
+
+	// Player endpoints.
+	for pi := range s.Trace.Players {
+		name := clientName(pi)
+		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+			res.Latency.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
+			res.Deliveries++
+			return nil
+		}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
+		rf := alloc(attach[pi])
+		if err := tb.Connect(name, 0, attach[pi], rf, s.LinkDelay); err != nil {
+			return nil, err
+		}
+		hosts[name] = hostPort{router: attach[pi], face: rf}
+	}
+
+	// Routing tables: for every endpoint, every router forwards toward the
+	// endpoint's attachment router, then onto the host port.
+	for dest, hp := range hosts {
+		for _, r := range names {
+			if r == hp.router {
+				routes[r][dest] = hp.face
+				continue
+			}
+			nh, ok := paths.NextHop(ids[r], ids[hp.router])
+			if !ok {
+				return nil, fmt.Errorf("testbed: no route %s→%s", r, hp.router)
+			}
+			for name, id := range ids {
+				if id == nh {
+					routes[r][dest] = faceToward[r][name]
+				}
+			}
+		}
+	}
+
+	// Publish events: unicast the update to the server.
+	t0 := tb.Now()
+	start := t0.Add(s.Warmup)
+	for i, u := range s.Trace.Updates {
+		u := u
+		seq := uint64(i + 1)
+		tb.Schedule(start.Add(u.At), func(now time.Time) {
+			res.Published++
+			tb.Emit(now, clientName(u.Player), []ndn.Action{{Face: 0, Packet: &wire.Packet{
+				Type:    wire.TypeData,
+				Name:    ipAddr(serverName),
+				CDs:     []cd.CD{u.CD},
+				Origin:  clientName(u.Player),
+				Seq:     seq,
+				Payload: make([]byte, u.Size),
+				SentAt:  now.UnixNano(),
+			}}})
+		})
+	}
+
+	deadline := start.Add(s.Trace.Duration + s.Drain)
+	if err := tb.Run(deadline, 0); err != nil {
+		return nil, err
+	}
+	res.PacketEvents, res.Bytes = tb.Stats()
+	return res, nil
+}

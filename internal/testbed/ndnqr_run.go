@@ -1,0 +1,297 @@
+package testbed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/stats"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// ndnName builds the content name for producer pi's batch number seq.
+func ndnName(pi int, seq uint64) string {
+	return fmt.Sprintf("/ndn/%s/u%d", clientName(pi), seq)
+}
+
+// ndnPrefix is the routable prefix of producer pi.
+func ndnPrefix(pi int) string { return "/ndn/" + clientName(pi) }
+
+// batchRecord is one update inside a producer's Data batch.
+type batchRecord struct {
+	sentAt int64
+	size   int
+}
+
+// encodeBatch packs update records with their payload padding so the Data
+// packet has a realistic size.
+func encodeBatch(records []batchRecord) []byte {
+	var out []byte
+	for _, r := range records {
+		var hdr [12]byte
+		binary.BigEndian.PutUint64(hdr[0:], uint64(r.sentAt))
+		binary.BigEndian.PutUint32(hdr[8:], uint32(r.size))
+		out = append(out, hdr[:]...)
+		out = append(out, make([]byte, r.size)...)
+	}
+	return out
+}
+
+// decodeBatch recovers the records.
+func decodeBatch(data []byte) []batchRecord {
+	var out []batchRecord
+	for len(data) >= 12 {
+		sentAt := int64(binary.BigEndian.Uint64(data[0:]))
+		size := int(binary.BigEndian.Uint32(data[8:]))
+		data = data[12:]
+		if size > len(data) {
+			break
+		}
+		data = data[size:]
+		out = append(out, batchRecord{sentAt: sentAt, size: size})
+	}
+	return out
+}
+
+// ndnPlayer is the combined consumer/producer state of one player in the
+// NDN query/response solution.
+type ndnPlayer struct {
+	idx  int
+	name string
+
+	// Producer side.
+	buffer     []batchRecord
+	pending    map[uint64]bool
+	nextAnswer uint64
+
+	// Consumer side, per peer index.
+	answered  map[int]uint64
+	expressed map[int]uint64
+	peers     []int
+}
+
+// RunNDN executes the microbenchmark on the NDN query/response baseline:
+// pipelined Interests per peer, update accumulation at producers, Interest
+// refresh on PIT lifetime, and in-network caching/aggregation via the real
+// NDN engines in the routers.
+func RunNDN(s *Setup) (*MicroResult, error) {
+	tb := New()
+	res := &MicroResult{Latency: &stats.Sample{}}
+
+	rn, err := buildRouterNet(tb, s)
+	if err != nil {
+		return nil, err
+	}
+	vis, err := visibilityIndex(s)
+	if err != nil {
+		return nil, err
+	}
+	attach := attachment(len(s.Trace.Players))
+	nPlayers := len(s.Trace.Players)
+
+	// Peer sets: all peers, or only AoI-visible ones.
+	visiblePeers := func(pi int) []int {
+		var out []int
+		if s.NDN.QueryAllPeers {
+			for j := 0; j < nPlayers; j++ {
+				if j != pi {
+					out = append(out, j)
+				}
+			}
+			return out
+		}
+		area, _ := s.World.Map.Area(s.Trace.Players[pi].Area)
+		seen := map[int]bool{}
+		for _, leaf := range area.VisibleLeaves() {
+			for _, j := range vis[leaf.Key()] {
+				if j != pi && !seen[j] {
+					seen[j] = true
+					out = append(out, j)
+				}
+			}
+		}
+		return out
+	}
+
+	players := make([]*ndnPlayer, nPlayers)
+	for pi := 0; pi < nPlayers; pi++ {
+		players[pi] = &ndnPlayer{
+			idx:        pi,
+			name:       clientName(pi),
+			pending:    make(map[uint64]bool),
+			nextAnswer: 1,
+			answered:   make(map[int]uint64),
+			expressed:  make(map[int]uint64),
+			peers:      visiblePeers(pi),
+		}
+	}
+
+	// express emits an Interest from player pi for (peer, seq).
+	express := func(now time.Time, pi int, peer int, seq uint64) {
+		tb.Emit(now, clientName(pi), []ndn.Action{{Face: 0, Packet: &wire.Packet{
+			Type: wire.TypeInterest,
+			Name: ndnName(peer, seq),
+		}}})
+	}
+
+	// Player endpoints: handle incoming Interests (producer) and Data
+	// (consumer).
+	for pi := 0; pi < nPlayers; pi++ {
+		p := players[pi]
+		handler := func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+			switch pkt.Type {
+			case wire.TypeInterest:
+				var seq uint64
+				if _, err := fmt.Sscanf(pkt.Name, ndnPrefix(p.idx)+"/u%d", &seq); err != nil {
+					return nil
+				}
+				if seq < p.nextAnswer {
+					// Stale query (the consumer lost our batch and caches
+					// have aged out): answer with an empty batch so the
+					// consumer advances.
+					return []ndn.Action{{Face: 0, Packet: &wire.Packet{
+						Type: wire.TypeData,
+						Name: pkt.Name,
+					}}}
+				}
+				p.pending[seq] = true
+				return nil
+			case wire.TypeData:
+				var peer, seqInt int
+				var seq uint64
+				if _, err := fmt.Sscanf(pkt.Name, "/ndn/player%d/u%d", &peer, &seqInt); err != nil {
+					return nil
+				}
+				seq = uint64(seqInt)
+				if peer < 0 || peer >= nPlayers || seq <= p.answered[peer] {
+					return nil
+				}
+				for _, rec := range decodeBatch(pkt.Payload) {
+					res.Latency.Add(float64(now.UnixNano()-rec.sentAt) / 1e6)
+					res.Deliveries++
+				}
+				p.answered[peer] = seq
+				// Refill the pipeline.
+				var out []ndn.Action
+				for p.expressed[peer] < seq+uint64(s.NDN.PipelineWindow) {
+					p.expressed[peer]++
+					out = append(out, ndn.Action{Face: 0, Packet: &wire.Packet{
+						Type: wire.TypeInterest,
+						Name: ndnName(peer, p.expressed[peer]),
+					}})
+				}
+				return out
+			default:
+				return nil
+			}
+		}
+		tb.AddNode(p.name, handler, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
+		clientFace, err := rn.attachClient(attach[pi], p.name, core.FaceClient, s.LinkDelay)
+		if err != nil {
+			return nil, err
+		}
+		// FIB: the attachment router reaches the producer on its client
+		// face; every other router routes the prefix toward it.
+		rn.routers[attach[pi]].NDN().FIB().Add(ndnPrefix(pi), clientFace)
+		for _, rname := range rn.names {
+			if rname == attach[pi] {
+				continue
+			}
+			face, ok := rn.nextHopFace(rname, attach[pi])
+			if !ok {
+				return nil, fmt.Errorf("testbed: no route %s→%s", rname, attach[pi])
+			}
+			rn.routers[rname].NDN().FIB().Add(ndnPrefix(pi), face)
+		}
+	}
+
+	t0 := tb.Now()
+	start := t0.Add(s.Warmup)
+	end := start.Add(s.Trace.Duration)
+
+	// PIT housekeeping on every router.
+	for _, rname := range rn.names {
+		r := rn.routers[rname]
+		var expire func(now time.Time)
+		expire = func(now time.Time) {
+			r.NDN().Expire(now)
+			if now.Before(end.Add(s.Drain)) {
+				tb.Schedule(now.Add(time.Second), expire)
+			}
+		}
+		tb.Schedule(t0.Add(time.Second), expire)
+	}
+
+	// Consumers: initial pipelines, staggered to avoid a synchronized burst.
+	for pi := 0; pi < nPlayers; pi++ {
+		p := players[pi]
+		at := start.Add(time.Duration(pi) * time.Millisecond)
+		tb.Schedule(at, func(now time.Time) {
+			for _, peer := range p.peers {
+				for k := 1; k <= s.NDN.PipelineWindow; k++ {
+					p.expressed[peer] = uint64(k)
+					express(now, p.idx, peer, uint64(k))
+				}
+			}
+		})
+		// Periodic refresh of unanswered Interests.
+		var refresh func(now time.Time)
+		refresh = func(now time.Time) {
+			for _, peer := range p.peers {
+				for k := p.answered[peer] + 1; k <= p.expressed[peer]; k++ {
+					express(now, p.idx, peer, k)
+				}
+			}
+			if now.Before(end) {
+				tb.Schedule(now.Add(s.NDN.Refresh), refresh)
+			}
+		}
+		tb.Schedule(at.Add(s.NDN.Refresh), refresh)
+
+		// Producer accumulation tick.
+		var tick func(now time.Time)
+		tick = func(now time.Time) {
+			if len(p.buffer) > 0 && len(p.pending) > 0 {
+				low := uint64(0)
+				for k := range p.pending {
+					if low == 0 || k < low {
+						low = k
+					}
+				}
+				delete(p.pending, low)
+				if low >= p.nextAnswer {
+					p.nextAnswer = low + 1
+				}
+				payload := encodeBatch(p.buffer)
+				p.buffer = nil
+				tb.Emit(now, p.name, []ndn.Action{{Face: 0, Packet: &wire.Packet{
+					Type:    wire.TypeData,
+					Name:    ndnName(p.idx, low),
+					Payload: payload,
+				}}})
+			}
+			if now.Before(end.Add(s.Drain / 2)) {
+				tb.Schedule(now.Add(s.NDN.Accumulate), tick)
+			}
+		}
+		tb.Schedule(start.Add(time.Duration(pi)*time.Millisecond), tick)
+	}
+
+	// Publish events buffer updates at the producer.
+	for _, u := range s.Trace.Updates {
+		u := u
+		tb.Schedule(start.Add(u.At), func(now time.Time) {
+			res.Published++
+			p := players[u.Player]
+			p.buffer = append(p.buffer, batchRecord{sentAt: now.UnixNano(), size: u.Size})
+		})
+	}
+
+	if err := tb.Run(end.Add(s.Drain), 0); err != nil {
+		return nil, err
+	}
+	res.PacketEvents, res.Bytes = tb.Stats()
+	return res, nil
+}

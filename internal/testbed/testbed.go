@@ -1,0 +1,244 @@
+// Package testbed is the packet-level discrete-event testbed of the
+// microbenchmark (Section V-A): six routers in the Fig. 3b topology, 62
+// players (2 per area of the 5×5 map), and three complete systems — G-COPSS
+// (the real core.Router engines), an NDN query/response solution in the
+// VoCCN/ACT style, and an IP client/server baseline — all driven by the same
+// publish trace.
+//
+// Every node (router or host) is a single-threaded processor: packets queue
+// FIFO and each costs a type-dependent service time, so computation overhead
+// and queueing — the quantities the paper's testbed isolates — are modelled
+// exactly. Processing costs default to the CCNx-derived values the paper
+// measures (content-router processing ≈ 3.3 ms, IP forwarding two orders of
+// magnitude cheaper, server game-loop processing ≈ 6 ms).
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/event"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// Costs is the node-processing cost model.
+type Costs struct {
+	// RouterProc is the per-packet processing cost of a content router
+	// (G-COPSS or NDN engine): FIB/PIT/ST lookups on CCNx-style code.
+	RouterProc time.Duration
+	// PerCopy is the marginal cost of each additional outgoing copy when a
+	// router fans a packet out to multiple faces.
+	PerCopy time.Duration
+	// IPForward is the per-packet cost of an application-level IP
+	// forwarder ("IP routers are much more efficient than the G-COPSS
+	// routers").
+	IPForward time.Duration
+	// ServerBase is the per-update processing cost at the game server
+	// (recipient resolution, location translation, collision detection).
+	ServerBase time.Duration
+	// ServerPerRecipient is the per-recipient unicast serialization cost at
+	// the server.
+	ServerPerRecipient time.Duration
+	// HostProc is the (small) per-packet cost at player hosts.
+	HostProc time.Duration
+}
+
+// PaperCosts returns the microbenchmark-calibrated cost model.
+func PaperCosts() Costs {
+	return Costs{
+		RouterProc:         3300 * time.Microsecond,
+		PerCopy:            100 * time.Microsecond,
+		IPForward:          100 * time.Microsecond,
+		ServerBase:         6 * time.Millisecond,
+		ServerPerRecipient: 500 * time.Microsecond,
+		HostProc:           20 * time.Microsecond,
+	}
+}
+
+// Handler is a node's packet handler: it runs at the packet's service-start
+// time and returns the packets to emit when service completes.
+type Handler func(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action
+
+// ProcFunc returns the base service time for a packet at a node; the
+// per-copy surcharge is added by the testbed.
+type ProcFunc func(pkt *wire.Packet) time.Duration
+
+type link struct {
+	to    string
+	face  ndn.FaceID
+	delay time.Duration
+}
+
+// nodeState is one single-threaded network element.
+type nodeState struct {
+	name      string
+	handle    Handler
+	proc      ProcFunc
+	perCopy   time.Duration
+	links     map[ndn.FaceID]link
+	busyUntil time.Time
+
+	// stats
+	processed uint64
+	maxQueue  time.Duration // worst queueing delay observed
+}
+
+// Testbed wires nodes and runs the discrete-event loop.
+type Testbed struct {
+	sched *event.Scheduler
+	nodes map[string]*nodeState
+
+	packetEvents uint64
+	bytes        float64
+}
+
+// New creates an empty testbed starting at virtual time zero.
+func New() *Testbed {
+	return &Testbed{
+		sched: event.NewScheduler(time.Unix(0, 0)),
+		nodes: make(map[string]*nodeState),
+	}
+}
+
+// Now returns the current virtual time.
+func (tb *Testbed) Now() time.Time { return tb.sched.Now() }
+
+// AddNode registers a node with its handler and processing-cost function.
+func (tb *Testbed) AddNode(name string, handle Handler, proc ProcFunc, perCopy time.Duration) {
+	tb.nodes[name] = &nodeState{
+		name:    name,
+		handle:  handle,
+		proc:    proc,
+		perCopy: perCopy,
+		links:   make(map[ndn.FaceID]link),
+	}
+}
+
+// Connect wires face fa of node a to face fb of node b with the given
+// propagation delay (both directions).
+func (tb *Testbed) Connect(a string, fa ndn.FaceID, b string, fb ndn.FaceID, delay time.Duration) error {
+	na, ok := tb.nodes[a]
+	if !ok {
+		return fmt.Errorf("testbed: unknown node %q", a)
+	}
+	nb, ok := tb.nodes[b]
+	if !ok {
+		return fmt.Errorf("testbed: unknown node %q", b)
+	}
+	if _, busy := na.links[fa]; busy {
+		return fmt.Errorf("testbed: %s face %d already wired", a, fa)
+	}
+	if _, busy := nb.links[fb]; busy {
+		return fmt.Errorf("testbed: %s face %d already wired", b, fb)
+	}
+	na.links[fa] = link{to: b, face: fb, delay: delay}
+	nb.links[fb] = link{to: a, face: fa, delay: delay}
+	return nil
+}
+
+// Inject delivers a packet to a node's face at the given absolute time, as
+// if it arrived from the wire.
+func (tb *Testbed) Inject(at time.Time, node string, face ndn.FaceID, pkt *wire.Packet) {
+	tb.sched.At(at, func(now time.Time) {
+		tb.receive(now, node, face, pkt)
+	})
+}
+
+// Schedule runs fn at the given absolute virtual time (for client timers).
+func (tb *Testbed) Schedule(at time.Time, fn func(now time.Time)) {
+	tb.sched.At(at, fn)
+}
+
+// receive models FIFO service at a node: the packet waits for the node to
+// become idle, is handled, and its outputs leave when service completes.
+func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wire.Packet) {
+	n, ok := tb.nodes[node]
+	if !ok {
+		return
+	}
+	tb.packetEvents++
+	start := now
+	if n.busyUntil.After(start) {
+		if q := n.busyUntil.Sub(now); q > n.maxQueue {
+			n.maxQueue = q
+		}
+		start = n.busyUntil
+	}
+	actions := n.handle(start, face, pkt)
+	service := n.proc(pkt)
+	if len(actions) > 1 {
+		service += time.Duration(len(actions)-1) * n.perCopy
+	}
+	finish := start.Add(service)
+	n.busyUntil = finish
+	n.processed++
+	for _, a := range actions {
+		l, wired := n.links[a.Face]
+		if !wired {
+			continue
+		}
+		out := a.Packet
+		tb.bytes += float64(wire.Size(out))
+		to, toFace := l.to, l.face
+		tb.sched.At(finish.Add(l.delay), func(t time.Time) {
+			tb.receive(t, to, toFace, out)
+		})
+	}
+}
+
+// Emit sends packets from a node outside the service path (used by client
+// timers: publishing an update costs HostProc at the host).
+func (tb *Testbed) Emit(now time.Time, node string, actions []ndn.Action) {
+	n, ok := tb.nodes[node]
+	if !ok {
+		return
+	}
+	for _, a := range actions {
+		l, wired := n.links[a.Face]
+		if !wired {
+			continue
+		}
+		out := a.Packet
+		tb.bytes += float64(wire.Size(out))
+		to, toFace := l.to, l.face
+		tb.sched.At(now.Add(l.delay), func(t time.Time) {
+			tb.receive(t, to, toFace, out)
+		})
+	}
+}
+
+// Run drains the event loop up to the deadline; maxEvents bounds runaway
+// loops (0 = default of 100M).
+func (tb *Testbed) Run(deadline time.Time, maxEvents uint64) error {
+	if maxEvents == 0 {
+		maxEvents = 100_000_000
+	}
+	for tb.sched.Pending() > 0 {
+		if tb.sched.Processed() > maxEvents {
+			return fmt.Errorf("testbed: event budget exhausted (%d)", maxEvents)
+		}
+		next := tb.sched.Now()
+		if next.After(deadline) {
+			break
+		}
+		if n := tb.sched.RunUntil(deadline); n == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Stats returns aggregate counters.
+func (tb *Testbed) Stats() (packetEvents uint64, bytes float64) {
+	return tb.packetEvents, tb.bytes
+}
+
+// NodeStats returns per-node processed counts and worst queueing delay.
+func (tb *Testbed) NodeStats(name string) (processed uint64, maxQueue time.Duration, ok bool) {
+	n, found := tb.nodes[name]
+	if !found {
+		return 0, 0, false
+	}
+	return n.processed, n.maxQueue, true
+}

@@ -1,0 +1,146 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/stats"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// DeliveryModeResult is one (mode, payload size) cell of the delivery-mode
+// ablation.
+type DeliveryModeResult struct {
+	Mode          core.PublishMode
+	PayloadBytes  int
+	MeanLatencyMs float64
+	NetworkBytes  float64
+	Deliveries    int
+}
+
+// RunDeliveryComparison quantifies the paper's one-step-vs-two-step choice:
+// a publisher pushes updates of the given payload sizes to `subscribers`
+// players, of which only wantFraction actually consume the content. One-step
+// pushes full payloads to everyone; two-step multicasts snippets and the
+// interested subscribers pull the payload (PIT-aggregated and cached along
+// the way).
+func RunDeliveryComparison(payloadSizes []int, subscribers int, wantFraction float64, publishes int) ([]DeliveryModeResult, error) {
+	var out []DeliveryModeResult
+	for _, size := range payloadSizes {
+		for _, mode := range []core.PublishMode{core.OneStep, core.TwoStep} {
+			res, err := runDeliveryMode(mode, size, subscribers, wantFraction, publishes)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *res)
+		}
+	}
+	return out, nil
+}
+
+func runDeliveryMode(mode core.PublishMode, payload, subscribers int, wantFraction float64, publishes int) (*DeliveryModeResult, error) {
+	s, err := PaperSetup()
+	if err != nil {
+		return nil, err
+	}
+	tb := New()
+	rn, err := buildRouterNet(tb, s)
+	if err != nil {
+		return nil, err
+	}
+	actions, err := rn.routers["R1"].BecomeRP(copss.RPInfo{
+		Name:     "/rp1",
+		Prefixes: worldPartitionPrefixes(s),
+		Seq:      1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Schedule(tb.Now().Add(time.Millisecond), func(now time.Time) { tb.Emit(now, "R1", actions) })
+
+	latency := &stats.Sample{}
+	deliveries := 0
+	topic := cd.MustParse("/1/1")
+
+	for i := 0; i < subscribers; i++ {
+		i := i
+		name := fmt.Sprintf("sub%d", i)
+		wants := float64(i) < wantFraction*float64(subscribers)
+		pending := make(map[string]int64) // content name → publish time
+		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+			if contentName, ok := core.ParseSnippet(pkt); ok {
+				if !wants {
+					return nil
+				}
+				pending[contentName] = pkt.SentAt
+				return []ndn.Action{{Face: 0, Packet: &wire.Packet{Type: wire.TypeInterest, Name: contentName}}}
+			}
+			switch pkt.Type {
+			case wire.TypeMulticast:
+				if pkt.Origin == core.FlushOrigin {
+					return nil
+				}
+				if wants { // one-step: everyone receives, the interested consume
+					latency.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
+				}
+				deliveries++
+			case wire.TypeData:
+				if sentAt, ok := pending[pkt.Name]; ok {
+					latency.Add(float64(now.UnixNano()-sentAt) / 1e6)
+					delete(pending, pkt.Name)
+					deliveries++
+				}
+			}
+			return nil
+		}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
+		router := rn.names[1+i%(len(rn.names)-1)] // spread over R2..R6
+		if _, err := rn.attachClient(router, name, core.FaceClient, s.LinkDelay); err != nil {
+			return nil, err
+		}
+		tb.Schedule(tb.Now().Add(50*time.Millisecond), func(now time.Time) {
+			tb.Emit(now, name, []ndn.Action{{Face: 0, Packet: &wire.Packet{
+				Type: wire.TypeSubscribe, CDs: []cd.CD{topic},
+			}}})
+		})
+	}
+
+	tb.AddNode("pub", func(time.Time, ndn.FaceID, *wire.Packet) []ndn.Action { return nil },
+		func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
+	if _, err := rn.attachClient("R4", "pub", core.FaceClient, s.LinkDelay); err != nil {
+		return nil, err
+	}
+	start := tb.Now().Add(200 * time.Millisecond)
+	for k := 1; k <= publishes; k++ {
+		seq := uint64(k)
+		tb.Schedule(start.Add(time.Duration(k)*50*time.Millisecond), func(now time.Time) {
+			pkt := &wire.Packet{
+				Type:    wire.TypeMulticast,
+				CDs:     []cd.CD{topic},
+				Origin:  "pub",
+				Seq:     seq,
+				Payload: make([]byte, payload),
+				SentAt:  now.UnixNano(),
+			}
+			if mode == core.TwoStep {
+				pkt.Name = core.TwoStepRequest
+			}
+			tb.Emit(now, "pub", []ndn.Action{{Face: 0, Packet: pkt}})
+		})
+	}
+	deadline := start.Add(time.Duration(publishes)*50*time.Millisecond + 10*time.Second)
+	if err := tb.Run(deadline, 0); err != nil {
+		return nil, err
+	}
+	_, bytes := tb.Stats()
+	return &DeliveryModeResult{
+		Mode:          mode,
+		PayloadBytes:  payload,
+		MeanLatencyMs: latency.Mean(),
+		NetworkBytes:  bytes,
+		Deliveries:    deliveries,
+	}, nil
+}

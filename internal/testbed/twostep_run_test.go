@@ -1,0 +1,59 @@
+package testbed
+
+import (
+	"testing"
+)
+
+func TestDeliveryComparisonShape(t *testing.T) {
+	results, err := RunDeliveryComparison([]int{150, 20000}, 10, 0.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byKey := map[string]DeliveryModeResult{}
+	for _, r := range results {
+		byKey[r.Mode.String()+"/"+itoa(r.PayloadBytes)] = r
+		if r.Deliveries == 0 || r.MeanLatencyMs <= 0 || r.NetworkBytes <= 0 {
+			t.Fatalf("degenerate cell: %+v", r)
+		}
+	}
+
+	// Small game updates (the paper's regime): one-step is faster — no pull
+	// round trip — and not meaningfully heavier.
+	small1 := byKey["one-step/150"]
+	small2 := byKey["two-step/150"]
+	if small1.MeanLatencyMs >= small2.MeanLatencyMs {
+		t.Errorf("one-step small %.2fms not faster than two-step %.2fms",
+			small1.MeanLatencyMs, small2.MeanLatencyMs)
+	}
+
+	// Large payloads with mostly-uninterested subscribers: two-step carries
+	// far fewer bytes (snippets to everyone, payloads only to the 30%).
+	big1 := byKey["one-step/20000"]
+	big2 := byKey["two-step/20000"]
+	if big2.NetworkBytes >= big1.NetworkBytes {
+		t.Errorf("two-step large %.0fB not lighter than one-step %.0fB",
+			big2.NetworkBytes, big1.NetworkBytes)
+	}
+	// One-step pushed to all 10 subscribers; two-step delivered to the 3
+	// interested ones.
+	if big1.Deliveries <= big2.Deliveries {
+		t.Errorf("delivery counts: one-step %d, two-step %d", big1.Deliveries, big2.Deliveries)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,141 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Benchmark builds the 6-router lab topology of the microbenchmark
+// (Fig. 3b): R1 in the middle connected to R2 and R3; R4 and R5 hang off
+// R2; R6 hangs off R3. R1 hosts the RP (and the server in the IP test).
+// Link delays model a LAN (sub-millisecond).
+func Benchmark() (*Graph, map[string]NodeID) {
+	g := NewGraph()
+	ids := make(map[string]NodeID, 6)
+	for i := 1; i <= 6; i++ {
+		name := fmt.Sprintf("R%d", i)
+		ids[name] = g.AddNode(name)
+	}
+	const lan = 0.1 // ms
+	mustLink(g, ids["R1"], ids["R2"], lan)
+	mustLink(g, ids["R1"], ids["R3"], lan)
+	mustLink(g, ids["R2"], ids["R4"], lan)
+	mustLink(g, ids["R2"], ids["R5"], lan)
+	mustLink(g, ids["R3"], ids["R6"], lan)
+	return g, ids
+}
+
+func mustLink(g *Graph, a, b NodeID, d float64) {
+	if err := g.AddLink(a, b, d); err != nil {
+		panic(err) // builders control their inputs; a failure is a bug
+	}
+}
+
+// BackboneConfig parameterizes the synthetic wide-area topology standing in
+// for Rocketfuel AS 3967 (see DESIGN.md §3: the original link-weight data is
+// not shipped; only scale, degree structure and delay ranges matter to the
+// results).
+type BackboneConfig struct {
+	CoreRouters  int     // paper: 79
+	EdgeRouters  int     // paper: 200, attached 1–3 per core
+	EdgeDelayMs  float64 // paper: 5 ms edge↔core
+	MinCoreDelay float64 // backbone link delay range (ms)
+	MaxCoreDelay float64
+	MeanDegree   float64 // average core degree beyond the spanning tree
+	Seed         int64
+}
+
+// PaperBackbone returns the configuration used by the large-scale
+// experiments.
+func PaperBackbone() BackboneConfig {
+	return BackboneConfig{
+		CoreRouters:  79,
+		EdgeRouters:  200,
+		EdgeDelayMs:  5,
+		MinCoreDelay: 1,
+		MaxCoreDelay: 20,
+		MeanDegree:   3.5,
+		Seed:         3967,
+	}
+}
+
+// Backbone synthesizes the wide-area topology: cores are placed on a unit
+// square, connected by a random spanning tree plus Waxman-style extra links
+// (shorter links preferred), with link delay proportional to distance;
+// edge routers attach to cores round-robin with 1–3 per core.
+//
+// It returns the graph, the core node IDs and the edge-router node IDs.
+func Backbone(cfg BackboneConfig) (*Graph, []NodeID, []NodeID, error) {
+	if cfg.CoreRouters < 2 {
+		return nil, nil, nil, fmt.Errorf("topo: need at least 2 core routers, got %d", cfg.CoreRouters)
+	}
+	if cfg.MaxCoreDelay < cfg.MinCoreDelay || cfg.MinCoreDelay <= 0 {
+		return nil, nil, nil, fmt.Errorf("topo: bad delay range [%f,%f]", cfg.MinCoreDelay, cfg.MaxCoreDelay)
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph()
+
+	type pos struct{ x, y float64 }
+	cores := make([]NodeID, cfg.CoreRouters)
+	places := make([]pos, cfg.CoreRouters)
+	for i := range cores {
+		cores[i] = g.AddNode(fmt.Sprintf("core%d", i))
+		places[i] = pos{rnd.Float64(), rnd.Float64()}
+	}
+	delayOf := func(a, b int) float64 {
+		dx, dy := places[a].x-places[b].x, places[a].y-places[b].y
+		d := math.Sqrt(dx*dx+dy*dy) / math.Sqrt2 // normalized [0,1]
+		return cfg.MinCoreDelay + d*(cfg.MaxCoreDelay-cfg.MinCoreDelay)
+	}
+
+	// Random spanning tree guarantees connectivity.
+	perm := rnd.Perm(cfg.CoreRouters)
+	for i := 1; i < len(perm); i++ {
+		a, b := perm[i], perm[rnd.Intn(i)]
+		mustLink(g, cores[a], cores[b], delayOf(a, b))
+	}
+	// Waxman extras: sample pairs, accept short links preferentially until
+	// the target mean degree is reached.
+	wantLinks := int(cfg.MeanDegree * float64(cfg.CoreRouters) / 2)
+	for tries := 0; g.LinkCount() < wantLinks && tries < wantLinks*50; tries++ {
+		a, b := rnd.Intn(cfg.CoreRouters), rnd.Intn(cfg.CoreRouters)
+		if a == b {
+			continue
+		}
+		if _, exists := g.LinkDelay(cores[a], cores[b]); exists {
+			continue
+		}
+		d := delayOf(a, b)
+		norm := (d - cfg.MinCoreDelay) / (cfg.MaxCoreDelay - cfg.MinCoreDelay + 1e-9)
+		if rnd.Float64() < 0.9*math.Exp(-3*norm) {
+			mustLink(g, cores[a], cores[b], d)
+		}
+	}
+
+	// Edge routers: 1–3 per core, round-robin over a shuffled core order so
+	// every core gets at least one before any gets a third.
+	edges := make([]NodeID, 0, cfg.EdgeRouters)
+	order := rnd.Perm(cfg.CoreRouters)
+	slot := 0
+	for len(edges) < cfg.EdgeRouters {
+		core := cores[order[slot%cfg.CoreRouters]]
+		slot++
+		id := g.AddNode(fmt.Sprintf("edge%d", len(edges)))
+		mustLink(g, id, core, cfg.EdgeDelayMs)
+		edges = append(edges, id)
+	}
+	return g, cores, edges, nil
+}
+
+// SpreadOver distributes n items uniformly over the given nodes (players
+// onto edge routers), deterministically from the seed; item i gets a node.
+func SpreadOver(nodes []NodeID, n int, seed int64) []NodeID {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]NodeID, n)
+	perm := rnd.Perm(len(nodes))
+	for i := 0; i < n; i++ {
+		out[i] = nodes[perm[i%len(perm)]]
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if g.AddNode("a") != a {
+		t.Error("duplicate AddNode should return existing ID")
+	}
+	if err := g.AddLink(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(a, a, 1); err == nil {
+		t.Error("self link accepted")
+	}
+	if err := g.AddLink(a, NodeID(99), 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := g.AddLink(a, b, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if g.NodeCount() != 2 || g.LinkCount() != 1 {
+		t.Errorf("counts = %d nodes %d links", g.NodeCount(), g.LinkCount())
+	}
+	if g.Name(a) != "a" {
+		t.Errorf("Name = %q", g.Name(a))
+	}
+	if id, ok := g.Lookup("b"); !ok || id != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := g.Lookup("zzz"); ok {
+		t.Error("phantom lookup")
+	}
+	if got := g.Neighbors(a); !reflect.DeepEqual(got, []NodeID{b}) {
+		t.Errorf("Neighbors = %v", got)
+	}
+	if d, ok := g.LinkDelay(a, b); !ok || d != 2 {
+		t.Errorf("LinkDelay = %f %v", d, ok)
+	}
+}
+
+// diamond builds a-b-d and a-c-d with a shortcut a-d.
+func diamond(t *testing.T) (*Graph, map[string]NodeID) {
+	t.Helper()
+	g := NewGraph()
+	ids := map[string]NodeID{}
+	for _, n := range []string{"a", "b", "c", "d", "iso"} {
+		ids[n] = g.AddNode(n)
+	}
+	link := func(x, y string, d float64) {
+		t.Helper()
+		if err := g.AddLink(ids[x], ids[y], d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("a", "b", 1)
+	link("b", "d", 1)
+	link("a", "c", 3)
+	link("c", "d", 3)
+	link("a", "d", 5)
+	return g, ids
+}
+
+func TestDijkstraAndPaths(t *testing.T) {
+	g, ids := diamond(t)
+	p := g.AllPairs()
+
+	if got := p.Delay(ids["a"], ids["d"]); got != 2 {
+		t.Errorf("Delay(a,d) = %f, want 2 (via b)", got)
+	}
+	if got := p.Path(ids["a"], ids["d"]); !reflect.DeepEqual(got, []NodeID{ids["a"], ids["b"], ids["d"]}) {
+		t.Errorf("Path(a,d) = %v", got)
+	}
+	if got := p.HopCount(ids["a"], ids["d"]); got != 2 {
+		t.Errorf("HopCount = %d", got)
+	}
+	if nh, ok := p.NextHop(ids["a"], ids["d"]); !ok || nh != ids["b"] {
+		t.Errorf("NextHop = %v %v", nh, ok)
+	}
+	if got := p.Path(ids["a"], ids["a"]); len(got) != 1 {
+		t.Errorf("self path = %v", got)
+	}
+	if _, ok := p.NextHop(ids["a"], ids["a"]); ok {
+		t.Error("self NextHop should not exist")
+	}
+	// Isolated node is unreachable.
+	if !math.IsInf(p.Delay(ids["a"], ids["iso"]), 1) {
+		t.Error("isolated node reachable")
+	}
+	if p.Path(ids["a"], ids["iso"]) != nil {
+		t.Error("path to isolated node")
+	}
+	if p.HopCount(ids["a"], ids["iso"]) != -1 {
+		t.Error("hop count to isolated node")
+	}
+}
+
+func TestMulticastTreeSharesEdges(t *testing.T) {
+	// Star: center x with leaves l1..l4; one member per leaf plus one at x.
+	g := NewGraph()
+	x := g.AddNode("x")
+	y := g.AddNode("y")
+	if err := g.AddLink(x, y, 1); err != nil {
+		t.Fatal(err)
+	}
+	var leaves []NodeID
+	for i := 0; i < 4; i++ {
+		l := g.AddNode(string(rune('A' + i)))
+		if err := g.AddLink(y, l, 1); err != nil {
+			t.Fatal(err)
+		}
+		leaves = append(leaves, l)
+	}
+	p := g.AllPairs()
+	tree := p.MulticastTree(x, leaves)
+	// Tree: x-y shared once + 4 leaf links = 5 edges.
+	if got := tree.EdgeCount(); got != 5 {
+		t.Errorf("EdgeCount = %d, want 5", got)
+	}
+	// Unicast traverses x-y four times: 8 link crossings.
+	if got := p.UnicastCost(x, leaves); got != 8 {
+		t.Errorf("UnicastCost = %d, want 8", got)
+	}
+	for _, l := range leaves {
+		if d, ok := tree.MemberDelay(l); !ok || d != 2 {
+			t.Errorf("MemberDelay(%v) = %f %v", l, d, ok)
+		}
+	}
+	if _, ok := tree.MemberDelay(y); ok {
+		t.Error("non-member has delay")
+	}
+	if got := tree.Members(); len(got) != 4 {
+		t.Errorf("Members = %v", got)
+	}
+	if tree.Root != x {
+		t.Error("root mismatch")
+	}
+}
+
+func TestBenchmarkTopology(t *testing.T) {
+	g, ids := Benchmark()
+	if g.NodeCount() != 6 || g.LinkCount() != 5 {
+		t.Fatalf("benchmark topology %d nodes %d links", g.NodeCount(), g.LinkCount())
+	}
+	p := g.AllPairs()
+	// R4 to R6 crosses R2, R1, R3: 4 hops.
+	if got := p.HopCount(ids["R4"], ids["R6"]); got != 4 {
+		t.Errorf("R4→R6 hops = %d, want 4", got)
+	}
+	// R1 is the center: at most 2 hops from anywhere.
+	for name, id := range ids {
+		if h := p.HopCount(ids["R1"], id); h > 2 {
+			t.Errorf("R1→%s = %d hops", name, h)
+		}
+	}
+}
+
+func TestBackboneShape(t *testing.T) {
+	cfg := PaperBackbone()
+	g, cores, edges, err := Backbone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cores) != 79 || len(edges) != 200 {
+		t.Fatalf("cores=%d edges=%d", len(cores), len(edges))
+	}
+	if g.NodeCount() != 279 {
+		t.Errorf("NodeCount = %d", g.NodeCount())
+	}
+	// Every node reachable from core 0; edge delays are 5ms on first hop.
+	p := g.AllPairs()
+	for _, e := range edges {
+		if math.IsInf(p.Delay(cores[0], e), 1) {
+			t.Fatalf("edge %v unreachable", e)
+		}
+		nbrs := g.Neighbors(e)
+		if len(nbrs) != 1 {
+			t.Errorf("edge router with %d uplinks", len(nbrs))
+		}
+		if d, _ := g.LinkDelay(e, nbrs[0]); d != cfg.EdgeDelayMs {
+			t.Errorf("edge uplink delay = %f", d)
+		}
+	}
+	// 1–3 edge routers per core.
+	perCore := map[NodeID]int{}
+	for _, e := range edges {
+		perCore[g.Neighbors(e)[0]]++
+	}
+	for c, n := range perCore {
+		if n < 1 || n > 3 {
+			t.Errorf("core %v has %d edge routers", c, n)
+		}
+	}
+	// Core link delays respect the configured range.
+	for _, a := range cores {
+		for _, b := range g.Neighbors(a) {
+			if d, _ := g.LinkDelay(a, b); d != cfg.EdgeDelayMs && (d < cfg.MinCoreDelay || d > cfg.MaxCoreDelay) {
+				t.Errorf("core link delay %f outside [%f,%f]", d, cfg.MinCoreDelay, cfg.MaxCoreDelay)
+			}
+		}
+	}
+	// Determinism: same seed, same graph.
+	g2, _, _, err := Backbone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.LinkCount() != g.LinkCount() {
+		t.Error("backbone not deterministic")
+	}
+}
+
+func TestBackboneValidation(t *testing.T) {
+	if _, _, _, err := Backbone(BackboneConfig{CoreRouters: 1, MinCoreDelay: 1, MaxCoreDelay: 2}); err == nil {
+		t.Error("1-core backbone accepted")
+	}
+	if _, _, _, err := Backbone(BackboneConfig{CoreRouters: 5, MinCoreDelay: 5, MaxCoreDelay: 2}); err == nil {
+		t.Error("inverted delay range accepted")
+	}
+}
+
+func TestSpreadOver(t *testing.T) {
+	nodes := []NodeID{1, 2, 3}
+	got := SpreadOver(nodes, 10, 7)
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	counts := map[NodeID]int{}
+	for _, n := range got {
+		counts[n]++
+	}
+	for _, n := range nodes {
+		if counts[n] < 3 || counts[n] > 4 {
+			t.Errorf("node %v got %d items, want 3–4", n, counts[n])
+		}
+	}
+	if !reflect.DeepEqual(SpreadOver(nodes, 10, 7), got) {
+		t.Error("SpreadOver not deterministic")
+	}
+}
+
+func TestQuickTreeEdgesSubsetAndDelayConsistent(t *testing.T) {
+	// Property: for random connected graphs, the multicast tree's edge count
+	// is at most the unicast cost, and member delays equal shortest paths.
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 6 + rnd.Intn(10)
+		ids := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = g.AddNode(string(rune('a' + i)))
+		}
+		for i := 1; i < n; i++ {
+			if err := g.AddLink(ids[i], ids[rnd.Intn(i)], 1+rnd.Float64()*9); err != nil {
+				return false
+			}
+		}
+		for k := 0; k < n; k++ {
+			a, b := rnd.Intn(n), rnd.Intn(n)
+			if a != b {
+				_, exists := g.LinkDelay(ids[a], ids[b])
+				if !exists {
+					if err := g.AddLink(ids[a], ids[b], 1+rnd.Float64()*9); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		p := g.AllPairs()
+		root := ids[rnd.Intn(n)]
+		var members []NodeID
+		for i := 0; i < 4; i++ {
+			members = append(members, ids[rnd.Intn(n)])
+		}
+		tree := p.MulticastTree(root, members)
+		uni := p.UnicastCost(root, members)
+		if tree.EdgeCount() > uni {
+			return false
+		}
+		for _, m := range members {
+			d, ok := tree.MemberDelay(m)
+			if !ok || d != p.Delay(root, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/gamemap"
+)
+
+// MoveConfig parameterizes the movement-schedule generator of the Table III
+// experiment: "every player moves after an interval ranging from 5min to
+// 35min" with "a 10% chance of moving up, 10% chance for moving down if
+// possible and 80%–90% chance of moving in the same level".
+type MoveConfig struct {
+	MinInterval time.Duration
+	MaxInterval time.Duration
+	UpProb      float64
+	DownProb    float64
+
+	// GroupProb is the probability that a move drags along teammates: "it
+	// is quite common for a team or group of players to move at roughly the
+	// same time to a different area". When it fires, up to GroupMax other
+	// players co-located with the mover relocate simultaneously to the same
+	// destination.
+	GroupProb float64
+	GroupMax  int
+
+	Seed int64
+}
+
+// PaperMoves returns the published movement parameters.
+func PaperMoves() MoveConfig {
+	return MoveConfig{
+		MinInterval: 5 * time.Minute,
+		MaxInterval: 35 * time.Minute,
+		UpProb:      0.10,
+		DownProb:    0.10,
+		GroupProb:   0.25,
+		GroupMax:    8,
+		Seed:        414,
+	}
+}
+
+// GenerateMoves appends a movement schedule to a trace and reassigns each
+// update's target to an object visible from the player's area at that time,
+// matching the paper's "we uniformly assign updates of a player to the
+// objects he can see at the time the update is performed".
+func GenerateMoves(w *gamemap.World, t *Trace, cfg MoveConfig) error {
+	if cfg.MinInterval <= 0 || cfg.MaxInterval < cfg.MinInterval {
+		return fmt.Errorf("trace: degenerate move config %+v", cfg)
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	m := w.Map
+
+	// Index areas by depth for lateral moves.
+	byDepth := map[int][]*gamemap.Area{}
+	maxDepth := 0
+	for _, a := range m.Areas() {
+		byDepth[a.Depth()] = append(byDepth[a.Depth()], a)
+		if a.Depth() > maxDepth {
+			maxDepth = a.Depth()
+		}
+	}
+
+	t.Moves = t.Moves[:0]
+	span := int64(cfg.MaxInterval - cfg.MinInterval)
+	nextDelay := func() time.Duration {
+		d := cfg.MinInterval
+		if span > 0 {
+			d += time.Duration(rnd.Int63n(span))
+		}
+		return d
+	}
+
+	// Global time-ordered generation: positions evolve as moves happen, so
+	// group moves can pick genuinely co-located teammates.
+	positions := make([]*gamemap.Area, len(t.Players))
+	nextMove := make([]time.Duration, len(t.Players))
+	for pi, p := range t.Players {
+		area, ok := m.Area(p.Area)
+		if !ok {
+			return fmt.Errorf("trace: player %d starts in unknown area %v", pi, p.Area)
+		}
+		positions[pi] = area
+		nextMove[pi] = nextDelay()
+	}
+	for {
+		// Earliest scheduled mover (linear scan: player counts are small).
+		pi, at := -1, t.Duration
+		for i, nm := range nextMove {
+			if nm < at {
+				pi, at = i, nm
+			}
+		}
+		if pi < 0 {
+			break
+		}
+		nextMove[pi] = at + nextDelay()
+		cur := positions[pi]
+		next := pickNextArea(cur, byDepth, cfg, rnd)
+		if next == nil || next == cur {
+			continue
+		}
+		movers := []int{pi}
+		if cfg.GroupProb > 0 && cfg.GroupMax > 1 && rnd.Float64() < cfg.GroupProb {
+			for qi := range positions {
+				if qi != pi && positions[qi] == cur {
+					movers = append(movers, qi)
+					if len(movers) >= cfg.GroupMax {
+						break
+					}
+				}
+			}
+		}
+		for _, mi := range movers {
+			t.Moves = append(t.Moves, Move{At: at, Player: mi, From: cur.CD(), To: next.CD()})
+			positions[mi] = next
+			if mi != pi {
+				nextMove[mi] = at + nextDelay()
+			}
+		}
+	}
+	t.Sort()
+	reassignUpdatesToPositions(w, t, rnd)
+	return nil
+}
+
+// pickNextArea chooses the destination: up with UpProb (if not at the top),
+// down with DownProb (if not a leaf), otherwise a uniformly random different
+// area at the same depth.
+func pickNextArea(cur *gamemap.Area, byDepth map[int][]*gamemap.Area, cfg MoveConfig, rnd *rand.Rand) *gamemap.Area {
+	roll := rnd.Float64()
+	if roll < cfg.UpProb && cur.Parent() != nil {
+		return cur.Parent()
+	}
+	if roll < cfg.UpProb+cfg.DownProb && !cur.IsLeaf() {
+		children := cur.Children()
+		return children[rnd.Intn(len(children))]
+	}
+	peers := byDepth[cur.Depth()]
+	if len(peers) < 2 {
+		return nil
+	}
+	for tries := 0; tries < 8; tries++ {
+		cand := peers[rnd.Intn(len(peers))]
+		if cand != cur {
+			return cand
+		}
+	}
+	return nil
+}
+
+// reassignUpdatesToPositions replays the move schedule and retargets every
+// update to an object visible from the player's area at the update's time.
+func reassignUpdatesToPositions(w *gamemap.World, t *Trace, rnd *rand.Rand) {
+	// Per-player move cursors over the time-sorted schedule.
+	movesOf := make(map[int][]Move)
+	for _, mv := range t.Moves {
+		movesOf[mv.Player] = append(movesOf[mv.Player], mv)
+	}
+	cursor := make(map[int]int, len(movesOf))
+	current := make([]*gamemap.Area, len(t.Players))
+	for pi, p := range t.Players {
+		current[pi], _ = w.Map.Area(p.Area)
+	}
+	for i := range t.Updates {
+		u := &t.Updates[i]
+		mv := movesOf[u.Player]
+		ci := cursor[u.Player]
+		for ci < len(mv) && mv[ci].At <= u.At {
+			if a, ok := w.Map.Area(mv[ci].To); ok {
+				current[u.Player] = a
+			}
+			ci++
+		}
+		cursor[u.Player] = ci
+		area := current[u.Player]
+		visible := w.VisibleObjects(area)
+		if len(visible) > 0 {
+			obj := visible[rnd.Intn(len(visible))]
+			u.CD = obj.Leaf
+			u.Object = obj.ID
+		} else {
+			u.CD = area.PublishCD()
+			u.Object = ""
+		}
+	}
+}
+
+// ClassifyMoves tallies the schedule by the paper's six movement types
+// (the "Count" column of Table III).
+func ClassifyMoves(m *gamemap.Map, moves []Move) (map[gamemap.MoveType]int, error) {
+	out := make(map[gamemap.MoveType]int, 6)
+	for i, mv := range moves {
+		from, ok := m.Area(mv.From)
+		if !ok {
+			return nil, fmt.Errorf("trace: move %d from unknown area %v", i, mv.From)
+		}
+		to, ok := m.Area(mv.To)
+		if !ok {
+			return nil, fmt.Errorf("trace: move %d to unknown area %v", i, mv.To)
+		}
+		mt, err := gamemap.ClassifyMove(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("trace: move %d: %w", i, err)
+		}
+		out[mt]++
+	}
+	return out, nil
+}

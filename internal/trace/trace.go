@@ -1,0 +1,234 @@
+// Package trace synthesizes and stores the game traces of the evaluation.
+//
+// The paper derives its large-scale workload from a Wireshark capture of a
+// busy Counter-Strike server (mshmro.com): after filtering, 414 unique
+// players send 1,686,905 updates over 7h05m25s, with a heavy-tailed
+// per-player update distribution (Fig. 3c) and 4–20 players per map area
+// (Fig. 3d). That capture is not redistributable, so this package generates
+// synthetic traces matching those published marginals (see DESIGN.md §3),
+// plus the 62-player 10-minute microbenchmark trace and the movement
+// schedules of the Table III experiment.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+// Update is one publish record: {time, playerName, CD, Content} in the
+// paper's trace format.
+type Update struct {
+	At     time.Duration // offset from trace start
+	Player int           // index into Trace.Players
+	CD     cd.CD         // leaf CD the update is published to
+	Object string        // object identifier within the area ("" if n/a)
+	Size   int           // payload bytes
+}
+
+// PlayerInfo describes one trace participant.
+type PlayerInfo struct {
+	ID   string
+	Area cd.CD // node CD of the starting area
+}
+
+// Move is one relocation event of the movement experiment.
+type Move struct {
+	At     time.Duration
+	Player int
+	From   cd.CD // node CD of the area left
+	To     cd.CD // node CD of the area entered
+}
+
+// Trace is a complete workload: players, their updates in time order, and
+// an optional movement schedule.
+type Trace struct {
+	Duration time.Duration
+	Players  []PlayerInfo
+	Updates  []Update
+	Moves    []Move
+}
+
+// UpdatesPerPlayer returns the per-player update counts (Fig. 3c data).
+func (t *Trace) UpdatesPerPlayer() []int {
+	counts := make([]int, len(t.Players))
+	for _, u := range t.Updates {
+		counts[u.Player]++
+	}
+	return counts
+}
+
+// PlayersPerArea returns the number of players starting in each area
+// (Fig. 3d data), keyed by area node CD.
+func (t *Trace) PlayersPerArea() map[string]int {
+	out := make(map[string]int)
+	for _, p := range t.Players {
+		out[p.Area.Key()]++
+	}
+	return out
+}
+
+// MeanInterArrival returns the mean time between consecutive updates — the
+// simulator's offered-load parameter (the paper measures ≈2.4 ms for the CS
+// trace).
+func (t *Trace) MeanInterArrival() time.Duration {
+	if len(t.Updates) < 2 {
+		return 0
+	}
+	span := t.Updates[len(t.Updates)-1].At - t.Updates[0].At
+	return span / time.Duration(len(t.Updates)-1)
+}
+
+// Sort orders updates (and moves) by time, stably.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Updates, func(i, j int) bool { return t.Updates[i].At < t.Updates[j].At })
+	sort.SliceStable(t.Moves, func(i, j int) bool { return t.Moves[i].At < t.Moves[j].At })
+}
+
+// Write serializes the trace in a line-oriented text format:
+//
+//	T <duration_ns>
+//	P <id> <area_cd>
+//	U <at_ns> <player_idx> <cd> <object> <size>
+//	M <at_ns> <player_idx> <from_cd> <to_cd>
+//
+// CD fields are written with a leading '~' to keep the root ("" key)
+// representable as a bare token.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "T %d\n", t.Duration.Nanoseconds()); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, p := range t.Players {
+		if _, err := fmt.Fprintf(bw, "P %s ~%s\n", p.ID, p.Area.Key()); err != nil {
+			return fmt.Errorf("trace: write player: %w", err)
+		}
+	}
+	for _, u := range t.Updates {
+		obj := u.Object
+		if obj == "" {
+			obj = "-"
+		}
+		if _, err := fmt.Fprintf(bw, "U %d %d ~%s %s %d\n",
+			u.At.Nanoseconds(), u.Player, u.CD.Key(), obj, u.Size); err != nil {
+			return fmt.Errorf("trace: write update: %w", err)
+		}
+	}
+	for _, m := range t.Moves {
+		if _, err := fmt.Fprintf(bw, "M %d %d ~%s ~%s\n",
+			m.At.Nanoseconds(), m.Player, m.From.Key(), m.To.Key()); err != nil {
+			return fmt.Errorf("trace: write move: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	parseCD := func(tok string) (cd.CD, error) {
+		if !strings.HasPrefix(tok, "~") {
+			return cd.CD{}, fmt.Errorf("missing CD marker in %q", tok)
+		}
+		return cd.FromKey(tok[1:])
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(err error) (*Trace, error) {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "T":
+			if len(fields) != 2 {
+				return fail(fmt.Errorf("bad header"))
+			}
+			ns, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fail(err)
+			}
+			t.Duration = time.Duration(ns)
+		case "P":
+			if len(fields) != 3 {
+				return fail(fmt.Errorf("bad player record"))
+			}
+			area, err := parseCD(fields[2])
+			if err != nil {
+				return fail(err)
+			}
+			t.Players = append(t.Players, PlayerInfo{ID: fields[1], Area: area})
+		case "U":
+			if len(fields) != 6 {
+				return fail(fmt.Errorf("bad update record"))
+			}
+			ns, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fail(err)
+			}
+			idx, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return fail(err)
+			}
+			c, err := parseCD(fields[3])
+			if err != nil {
+				return fail(err)
+			}
+			size, err := strconv.Atoi(fields[5])
+			if err != nil {
+				return fail(err)
+			}
+			obj := fields[4]
+			if obj == "-" {
+				obj = ""
+			}
+			t.Updates = append(t.Updates, Update{
+				At: time.Duration(ns), Player: idx, CD: c, Object: obj, Size: size,
+			})
+		case "M":
+			if len(fields) != 5 {
+				return fail(fmt.Errorf("bad move record"))
+			}
+			ns, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fail(err)
+			}
+			idx, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return fail(err)
+			}
+			from, err := parseCD(fields[3])
+			if err != nil {
+				return fail(err)
+			}
+			to, err := parseCD(fields[4])
+			if err != nil {
+				return fail(err)
+			}
+			t.Moves = append(t.Moves, Move{At: time.Duration(ns), Player: idx, From: from, To: to})
+		default:
+			return fail(fmt.Errorf("unknown record type %q", fields[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	for i, u := range t.Updates {
+		if u.Player < 0 || u.Player >= len(t.Players) {
+			return nil, fmt.Errorf("trace: update %d references unknown player %d", i, u.Player)
+		}
+	}
+	return t, nil
+}

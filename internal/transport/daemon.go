@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// Daemon runs one G-COPSS router over TCP: every accepted or dialed
+// connection becomes a face. All router state is owned by a single event
+// loop; per-connection reader goroutines feed it.
+type Daemon struct {
+	name   string
+	router *core.Router
+	logf   func(format string, args ...interface{})
+
+	ln net.Listener
+
+	mu       sync.Mutex
+	faces    map[ndn.FaceID]*Conn
+	nextFace ndn.FaceID
+
+	events chan faceEvent
+	wg     sync.WaitGroup
+}
+
+type faceEvent struct {
+	face   ndn.FaceID
+	pkt    *wire.Packet
+	closed bool
+	fn     func() // loop-executed command (face attach, RP setup)
+}
+
+// NewDaemon creates a daemon for a fresh router.
+func NewDaemon(name string, opts ...core.Option) *Daemon {
+	return &Daemon{
+		name:   name,
+		router: core.NewRouter(name, opts...),
+		logf:   log.Printf,
+		faces:  make(map[ndn.FaceID]*Conn),
+		events: make(chan faceEvent, 1024),
+	}
+}
+
+// SetLogger replaces the daemon's log function (tests use a silent one).
+func (d *Daemon) SetLogger(logf func(string, ...interface{})) { d.logf = logf }
+
+// Router exposes the underlying router for configuration BEFORE Run starts.
+// Once the daemon runs, the event loop owns all router state — use Inspect.
+func (d *Daemon) Router() *core.Router { return d.router }
+
+// Inspect runs fn on the daemon's event loop and waits for completion — the
+// safe way to read or reconfigure router state while the daemon is running.
+func (d *Daemon) Inspect(fn func(r *core.Router)) {
+	done := make(chan struct{})
+	d.events <- faceEvent{fn: func() {
+		fn(d.router)
+		close(done)
+	}}
+	<-done
+}
+
+// Listen binds the daemon's accept socket.
+func (d *Daemon) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon %s: listen: %w", d.name, err)
+	}
+	d.ln = ln
+	return ln.Addr(), nil
+}
+
+// ConnectRouter dials a neighboring router and registers the link. The
+// attachment is executed by the event loop, so it is safe to call while the
+// daemon runs (the events channel buffers attachments queued before Run).
+func (d *Daemon) ConnectRouter(addr string) error {
+	conn, err := Dial(addr, PeerRouter, d.name, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	d.events <- faceEvent{fn: func() { d.addFace(conn, core.FaceRouter) }}
+	return nil
+}
+
+// addFace registers a connection and starts its reader. Must run on the
+// event loop (all router mutations do).
+func (d *Daemon) addFace(conn *Conn, kind core.FaceKind) ndn.FaceID {
+	d.mu.Lock()
+	d.nextFace++
+	id := d.nextFace
+	d.faces[id] = conn
+	d.mu.Unlock()
+	d.router.AddFace(id, kind)
+	d.wg.Add(1)
+	go d.readLoop(id, conn)
+	return id
+}
+
+func (d *Daemon) readLoop(id ndn.FaceID, conn *Conn) {
+	defer d.wg.Done()
+	for {
+		pkt, err := conn.ReadPacket()
+		if err != nil {
+			d.events <- faceEvent{face: id, closed: true}
+			return
+		}
+		d.events <- faceEvent{face: id, pkt: pkt}
+	}
+}
+
+// BecomeRP makes this daemon's router host an RP and floods the
+// announcement over its current faces. It executes on the event loop, so the
+// daemon must be running (call after Run has started and neighbor links are
+// up).
+func (d *Daemon) BecomeRP(info copss.RPInfo) error {
+	errc := make(chan error, 1)
+	d.events <- faceEvent{fn: func() {
+		actions, err := d.router.BecomeRP(info)
+		if err == nil {
+			d.dispatch(actions)
+		}
+		errc <- err
+	}}
+	return <-errc
+}
+
+// Run serves until the context is cancelled. It owns all router state.
+func (d *Daemon) Run(ctx context.Context) error {
+	if d.ln != nil {
+		d.wg.Add(1)
+		go d.acceptLoop(ctx)
+	}
+	defer d.closeAll()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ev := <-d.events:
+			switch {
+			case ev.fn != nil:
+				ev.fn()
+			case ev.closed:
+				d.dropFace(ev.face)
+			default:
+				actions := d.router.HandlePacket(time.Now(), ev.face, ev.pkt)
+				d.dispatch(actions)
+			}
+		}
+	}
+}
+
+func (d *Daemon) acceptLoop(ctx context.Context) {
+	defer d.wg.Done()
+	for {
+		nc, err := d.ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				d.logf("daemon %s: accept: %v", d.name, err)
+			}
+			return
+		}
+		conn := NewConn(nc)
+		kind, peer, err := conn.ReadHello(5 * time.Second)
+		if err != nil {
+			d.logf("daemon %s: handshake from %v: %v", d.name, nc.RemoteAddr(), err)
+			conn.Close() //nolint:errcheck // already failing
+			continue
+		}
+		fk := core.FaceClient
+		if kind == PeerRouter {
+			fk = core.FaceRouter
+		}
+		kindCopy, peerCopy := kind, peer
+		d.events <- faceEvent{fn: func() {
+			id := d.addFace(conn, fk)
+			d.logf("daemon %s: %s %q attached as face %d", d.name, kindCopy, peerCopy, id)
+		}}
+	}
+}
+
+// dispatch writes actions to their faces; write failures drop the face.
+func (d *Daemon) dispatch(actions []ndn.Action) {
+	for _, a := range actions {
+		d.mu.Lock()
+		conn := d.faces[a.Face]
+		d.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		if err := conn.WritePacket(a.Packet); err != nil {
+			d.logf("daemon %s: write face %d: %v", d.name, a.Face, err)
+			d.dropFace(a.Face)
+		}
+	}
+}
+
+func (d *Daemon) dropFace(id ndn.FaceID) {
+	d.mu.Lock()
+	conn := d.faces[id]
+	delete(d.faces, id)
+	d.mu.Unlock()
+	if conn != nil {
+		conn.Close() //nolint:errcheck // already dropping
+	}
+	d.router.RemoveFace(id)
+}
+
+func (d *Daemon) closeAll() {
+	if d.ln != nil {
+		d.ln.Close() //nolint:errcheck // shutdown path
+	}
+	d.mu.Lock()
+	for _, c := range d.faces {
+		c.Close() //nolint:errcheck // shutdown path
+	}
+	d.faces = map[ndn.FaceID]*Conn{}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// Client is an end-host attachment: it subscribes, publishes and receives
+// over a single TCP face. Safe for one reader (Receive) and any number of
+// writers.
+type Client struct {
+	name string
+	conn *Conn
+}
+
+// NewClient dials a router daemon as an end host.
+func NewClient(name, routerAddr string) (*Client, error) {
+	conn, err := Dial(routerAddr, PeerClient, name, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{name: name, conn: conn}, nil
+}
+
+// Name returns the client's identifier.
+func (c *Client) Name() string { return c.name }
+
+// Close tears the face down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Subscribe adds subscriptions.
+func (c *Client) Subscribe(cds ...cd.CD) error {
+	return c.conn.WritePacket(&wire.Packet{Type: wire.TypeSubscribe, CDs: cds})
+}
+
+// Unsubscribe removes subscriptions.
+func (c *Client) Unsubscribe(cds ...cd.CD) error {
+	return c.conn.WritePacket(&wire.Packet{Type: wire.TypeUnsubscribe, CDs: cds})
+}
+
+// Publish pushes an update to a CD.
+func (c *Client) Publish(to cd.CD, seq uint64, payload []byte) error {
+	return c.conn.WritePacket(&wire.Packet{
+		Type:    wire.TypeMulticast,
+		CDs:     []cd.CD{to},
+		Origin:  c.name,
+		Seq:     seq,
+		Payload: payload,
+		SentAt:  time.Now().UnixNano(),
+	})
+}
+
+// AnnouncePrefix floods a pure content-prefix announcement so that NDN
+// Interests for the prefix route to this client (brokers announce their
+// snapshot namespace this way). seq must increase across restarts; a
+// wall-clock timestamp works.
+func (c *Client) AnnouncePrefix(prefix string, seq uint64) error {
+	return c.conn.WritePacket(&wire.Packet{
+		Type:   wire.TypeFIBAdd,
+		Name:   prefix,
+		Seq:    seq,
+		Origin: c.name,
+	})
+}
+
+// Query sends an NDN Interest.
+func (c *Client) Query(name string) error {
+	return c.conn.WritePacket(&wire.Packet{Type: wire.TypeInterest, Name: name, SentAt: time.Now().UnixNano()})
+}
+
+// Send writes an arbitrary packet (brokers use this for Data responses).
+func (c *Client) Send(pkt *wire.Packet) error { return c.conn.WritePacket(pkt) }
+
+// Receive blocks for the next packet.
+func (c *Client) Receive() (*wire.Packet, error) { return c.conn.ReadPacket() }

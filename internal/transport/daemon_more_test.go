@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/core"
+)
+
+func TestClientDisconnectDropsFaceAndSubscriptions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d, addr := startDaemon(t, ctx, "R1")
+
+	c, err := NewClient("ghost", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := c.Unsubscribe(cd.MustParse("/1")); err != nil { // exercise Unsubscribe
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(cd.MustParse("/1")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	stLen := func() int {
+		var n int
+		d.Inspect(func(r *core.Router) { n = r.ST().Len() })
+		return n
+	}
+	if got := stLen(); got != 1 {
+		t.Fatalf("ST entries = %d, want 1", got)
+	}
+	if c.Name() != "ghost" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	c.Close() //nolint:errcheck
+	deadline := time.Now().Add(3 * time.Second)
+	for stLen() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("face/subscriptions not cleaned after disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDialFailures(t *testing.T) {
+	// Nothing listening.
+	if _, err := Dial("127.0.0.1:1", PeerClient, "x", 200*time.Millisecond); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}
+
+func TestConnAccessors(t *testing.T) {
+	a, b := net.Pipe()
+	ca := NewConn(a)
+	defer ca.Close()
+	defer b.Close()
+	if ca.RemoteAddr() == nil {
+		t.Error("RemoteAddr nil")
+	}
+	if err := ca.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Errorf("SetDeadline: %v", err)
+	}
+}
+
+func TestConnectRouterFailure(t *testing.T) {
+	d := NewDaemon("lonely")
+	d.SetLogger(func(string, ...interface{}) {})
+	if err := d.ConnectRouter("127.0.0.1:1"); err == nil {
+		t.Error("ConnectRouter to dead port succeeded")
+	}
+}
+
+func TestDaemonRejectsBadHandshake(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, addr := startDaemon(t, ctx, "R1")
+
+	// A raw TCP connection that never sends a hello is rejected after the
+	// handshake timeout; a well-formed client attached later still works.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	c, err := NewClient("ok", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(cd.MustParse("/2")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package transport carries G-COPSS wire packets over TCP streams: a
+// 4-byte big-endian length prefix frames each packet. It also defines the
+// hello handshake with which a connecting peer declares whether it is a
+// router or an end host, so the accepting router can register the face with
+// the right kind (Fig. 2's faces are exactly such stream attachments).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// MaxFrame bounds a frame to keep a misbehaving peer from ballooning
+// memory.
+const MaxFrame = 1 << 20
+
+// PeerKind distinguishes handshake roles.
+type PeerKind int
+
+// Peer kinds. Enum starts at 1 so the zero value is invalid.
+const (
+	// PeerRouter identifies another G-COPSS router.
+	PeerRouter PeerKind = iota + 1
+	// PeerClient identifies an end host (player or broker).
+	PeerClient
+)
+
+// String implements fmt.Stringer.
+func (k PeerKind) String() string {
+	switch k {
+	case PeerRouter:
+		return "router"
+	case PeerClient:
+		return "client"
+	default:
+		return fmt.Sprintf("PeerKind(%d)", int(k))
+	}
+}
+
+// helloName is the reserved content name of handshake packets.
+const helloName = "/gcopss/hello"
+
+// Conn frames wire packets over a stream.
+type Conn struct {
+	c net.Conn
+}
+
+// NewConn wraps an established stream.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for logs.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// SetDeadline bounds the next read/write.
+func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
+// WritePacket frames and sends one packet.
+func (c *Conn) WritePacket(pkt *wire.Packet) error {
+	body, err := wire.Encode(pkt)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("transport: frame too large: %d", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.c.Write(body); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadPacket reads one framed packet.
+func (c *Conn) ReadPacket() (*wire.Packet, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.c, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	pkt, consumed, err := wire.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	if consumed != len(body) {
+		return nil, fmt.Errorf("transport: trailing garbage in frame")
+	}
+	return pkt, nil
+}
+
+// SendHello announces this peer's kind and name.
+func (c *Conn) SendHello(kind PeerKind, name string) error {
+	return c.WritePacket(&wire.Packet{
+		Type:    wire.TypeData,
+		Name:    helloName,
+		Origin:  name,
+		Payload: []byte(kind.String()),
+	})
+}
+
+// ReadHello consumes and validates the peer's handshake.
+func (c *Conn) ReadHello(timeout time.Duration) (PeerKind, string, error) {
+	if timeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, "", fmt.Errorf("transport: set deadline: %w", err)
+		}
+		defer c.c.SetReadDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	pkt, err := c.ReadPacket()
+	if err != nil {
+		return 0, "", err
+	}
+	if pkt.Type != wire.TypeData || pkt.Name != helloName {
+		return 0, "", fmt.Errorf("transport: expected hello, got %v %q", pkt.Type, pkt.Name)
+	}
+	var kind PeerKind
+	switch string(pkt.Payload) {
+	case "router":
+		kind = PeerRouter
+	case "client":
+		kind = PeerClient
+	default:
+		return 0, "", fmt.Errorf("transport: unknown peer kind %q", pkt.Payload)
+	}
+	if pkt.Origin == "" {
+		return 0, "", fmt.Errorf("transport: hello without a peer name")
+	}
+	return kind, pkt.Origin, nil
+}
+
+// Dial connects to a router, performs the client side of the handshake and
+// returns the framed connection.
+func Dial(addr string, kind PeerKind, name string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := NewConn(nc)
+	if err := c.SendHello(kind, name); err != nil {
+		nc.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	return c, nil
+}

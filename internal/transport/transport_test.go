@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+func TestFramingRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	want := &wire.Packet{
+		Type:    wire.TypeMulticast,
+		CDs:     []cd.CD{cd.MustParse("/1/2")},
+		Origin:  "p1",
+		Seq:     9,
+		Payload: []byte("hello"),
+	}
+	done := make(chan error, 1)
+	go func() { done <- ca.WritePacket(want) }()
+	got, err := cb.ReadPacket()
+	if err != nil {
+		t.Fatalf("ReadPacket: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("WritePacket: %v", err)
+	}
+	if got.Origin != "p1" || got.Seq != 9 || string(got.Payload) != "hello" {
+		t.Errorf("round trip corrupted: %+v", got)
+	}
+}
+
+func TestFramingRejectsInvalid(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	if err := ca.WritePacket(&wire.Packet{}); err == nil {
+		t.Error("invalid packet written")
+	}
+	// Garbage frame length.
+	go func() {
+		a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) //nolint:errcheck
+		a.Close()                               //nolint:errcheck
+	}()
+	if _, err := cb.ReadPacket(); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestHelloHandshake(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		ca.SendHello(PeerClient, "alice") //nolint:errcheck
+	}()
+	kind, name, err := cb.ReadHello(time.Second)
+	if err != nil {
+		t.Fatalf("ReadHello: %v", err)
+	}
+	if kind != PeerClient || name != "alice" {
+		t.Errorf("hello = %v %q", kind, name)
+	}
+}
+
+func TestHelloRejectsNonHello(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	go func() {
+		ca.WritePacket(&wire.Packet{Type: wire.TypeInterest, Name: "/x"}) //nolint:errcheck
+	}()
+	if _, _, err := cb.ReadHello(time.Second); err == nil {
+		t.Error("non-hello accepted")
+	}
+}
+
+// startDaemon runs a silent daemon on a loopback listener.
+func startDaemon(t *testing.T, ctx context.Context, name string) (*Daemon, string) {
+	t.Helper()
+	d := NewDaemon(name)
+	d.SetLogger(func(string, ...interface{}) {})
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Run(ctx) //nolint:errcheck // cancelled at test end
+	return d, addr.String()
+}
+
+func TestDaemonEndToEndPubSub(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Two routers: R1 (RP) ← R2; a subscriber on R2 and a publisher on R1.
+	d1, addr1 := startDaemon(t, ctx, "R1")
+	d2, addr2 := startDaemon(t, ctx, "R2")
+	if err := d2.ConnectRouter(addr1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // link attachment settles
+
+	info := copss.RPInfo{
+		Name:     "/rp1",
+		Prefixes: []cd.CD{cd.MustNew(""), cd.MustNew("1"), cd.MustNew("2")},
+		Seq:      1,
+	}
+	if err := d1.BecomeRP(info); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // announcement flood settles
+
+	sub, err := NewClient("soldier", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(cd.MustParse("/1/2"), cd.MustParse("/1/"), cd.MustParse("/")); err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := NewClient("plane", addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(100 * time.Millisecond) // subscriptions settle
+
+	if err := pub.Publish(cd.MustParse("/1/"), 1, []byte("flyover")); err != nil {
+		t.Fatal(err)
+	}
+
+	type rx struct {
+		pkt *wire.Packet
+		err error
+	}
+	rxc := make(chan rx, 1)
+	go func() {
+		p, err := sub.Receive()
+		rxc <- rx{p, err}
+	}()
+	select {
+	case got := <-rxc:
+		if got.err != nil {
+			t.Fatalf("Receive: %v", got.err)
+		}
+		if got.pkt.Type != wire.TypeMulticast || string(got.pkt.Payload) != "flyover" {
+			t.Errorf("received %+v", got.pkt)
+		}
+		if got.pkt.Origin != "plane" {
+			t.Errorf("origin = %q", got.pkt.Origin)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("update never delivered over TCP")
+	}
+
+	// A publication outside the subscription must NOT be delivered: publish
+	// to /2/9 and then to /1/2; the next received packet must be the latter.
+	if err := pub.Publish(cd.MustParse("/2/9"), 2, []byte("invisible")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(cd.MustParse("/1/2"), 3, []byte("visible")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		p, err := sub.Receive()
+		rxc <- rx{p, err}
+	}()
+	select {
+	case got := <-rxc:
+		if got.err != nil {
+			t.Fatalf("Receive: %v", got.err)
+		}
+		if string(got.pkt.Payload) != "visible" {
+			t.Errorf("filtering failed: got %q", got.pkt.Payload)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("second update never delivered")
+	}
+}
+
+func TestDaemonNDNQueryAcrossRouters(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d1, addr1 := startDaemon(t, ctx, "R1")
+	d2, addr2 := startDaemon(t, ctx, "R2")
+	if err := d2.ConnectRouter(addr1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Producer attaches to R1 and registers a FIB route for its prefix on
+	// both routers (face 1 on R2 is its link to R1; the producer's face on
+	// R1 is the next one the daemon allocates — discover it by attaching
+	// first and then wiring the route via the router handle).
+	producer, err := NewClient("producer", addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+	time.Sleep(100 * time.Millisecond)
+	// The producer is the second face of R1 (after R2's link). FIB edits on
+	// a running daemon go through Inspect.
+	d1.Inspect(func(r *core.Router) { r.NDN().FIB().Add("/content", 2) })
+	d2.Inspect(func(r *core.Router) { r.NDN().FIB().Add("/content", 1) })
+
+	go func() {
+		for {
+			pkt, err := producer.Receive()
+			if err != nil {
+				return
+			}
+			if pkt.Type == wire.TypeInterest {
+				producer.Send(&wire.Packet{ //nolint:errcheck
+					Type:    wire.TypeData,
+					Name:    pkt.Name,
+					Payload: []byte("served:" + pkt.Name),
+				})
+			}
+		}
+	}()
+
+	consumer, err := NewClient("consumer", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+	time.Sleep(100 * time.Millisecond)
+	if err := consumer.Query("/content/map/v1"); err != nil {
+		t.Fatal(err)
+	}
+	type rx struct {
+		pkt *wire.Packet
+		err error
+	}
+	rxc := make(chan rx, 1)
+	go func() {
+		p, err := consumer.Receive()
+		rxc <- rx{p, err}
+	}()
+	select {
+	case got := <-rxc:
+		if got.err != nil {
+			t.Fatalf("Receive: %v", got.err)
+		}
+		if got.pkt.Type != wire.TypeData || string(got.pkt.Payload) != "served:/content/map/v1" {
+			t.Errorf("got %+v", got.pkt)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("NDN data never returned")
+	}
+}
+
+func TestPeerKindString(t *testing.T) {
+	if PeerRouter.String() != "router" || PeerClient.String() != "client" {
+		t.Error("kind strings wrong")
+	}
+	if PeerKind(9).String() == "" {
+		t.Error("invalid kind should render")
+	}
+}

@@ -1,0 +1,402 @@
+// Package wire defines the on-the-wire packet formats shared by the NDN and
+// COPSS/G-COPSS engines.
+//
+// The paper extends the two NDN packet types (Interest, Data) with three
+// COPSS types (Subscribe, Unsubscribe, Multicast) plus FIB add/remove control
+// packets, and the RP-migration control messages (Join, Confirm, Leave,
+// Handoff) used by the hot-spot balancing protocol. All packets share one
+// self-describing TLV encoding so that a face can carry a mixed stream and a
+// router can demultiplex with a single byte ("is a NDN pkt?" in Fig 2).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+// Type identifies the packet type on the wire.
+type Type uint8
+
+// Packet types. Enum starts at 1 so the zero value is invalid.
+const (
+	// TypeInterest is an NDN Interest (query for named content).
+	TypeInterest Type = iota + 1
+	// TypeData is an NDN Data packet satisfying an Interest.
+	TypeData
+	// TypeSubscribe adds CDs to the sender's subscriptions.
+	TypeSubscribe
+	// TypeUnsubscribe removes CDs from the sender's subscriptions.
+	TypeUnsubscribe
+	// TypeMulticast pushes a publication for a CD to all subscribers.
+	TypeMulticast
+	// TypeFIBAdd installs FIB entries (possibly several prefixes at once).
+	TypeFIBAdd
+	// TypeFIBRemove removes FIB entries.
+	TypeFIBRemove
+	// TypeJoin grafts a branch onto a multicast tree during RP migration.
+	TypeJoin
+	// TypeConfirm acknowledges a Join from an on-tree router.
+	TypeConfirm
+	// TypeLeave prunes the old branch after a successful Join.
+	TypeLeave
+	// TypeHandoff transfers responsibility for a CD list from one RP to a
+	// newly created RP.
+	TypeHandoff
+	// TypePrune dissolves the old-tree branch toward a migrated RP's new
+	// host. It is emitted by the old host at cut-over time and travels the
+	// handoff path FIFO-behind the last old-tree data, so it can never
+	// outrun a delivery.
+	TypePrune
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeInterest:
+		return "Interest"
+	case TypeData:
+		return "Data"
+	case TypeSubscribe:
+		return "Subscribe"
+	case TypeUnsubscribe:
+		return "Unsubscribe"
+	case TypeMulticast:
+		return "Multicast"
+	case TypeFIBAdd:
+		return "FIBAdd"
+	case TypeFIBRemove:
+		return "FIBRemove"
+	case TypeJoin:
+		return "Join"
+	case TypeConfirm:
+		return "Confirm"
+	case TypeLeave:
+		return "Leave"
+	case TypeHandoff:
+		return "Handoff"
+	case TypePrune:
+		return "Prune"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// IsNDN reports whether the packet type belongs to the base NDN engine
+// (the "is a NDN pkt?" branch in the router architecture of Fig 2).
+func (t Type) IsNDN() bool { return t == TypeInterest || t == TypeData }
+
+// Packet is the parsed form of any G-COPSS packet. Fields that do not apply
+// to a given type are left at their zero values and are omitted from the
+// encoding.
+type Packet struct {
+	Type Type
+
+	// Name is the NDN ContentName for Interest/Data packets and the RP name
+	// for Handoff/Join/Confirm/Leave control packets.
+	Name string
+
+	// CDs carries the content descriptors of Subscribe/Unsubscribe packets,
+	// the (single) CD of a Multicast packet, the prefixes of FIBAdd/FIBRemove
+	// packets, and the transferred CD list of a Handoff.
+	CDs []cd.CD
+
+	// Payload is the application data of Multicast and Data packets, and the
+	// encapsulated inner packet when a Multicast travels inside an Interest.
+	Payload []byte
+
+	// Origin identifies the publishing player or node, carried for tracing
+	// and dissemination accounting; forwarding never inspects it.
+	Origin string
+
+	// Seq is a publisher-assigned sequence number used by the evaluation to
+	// correlate deliveries with publications.
+	Seq uint64
+
+	// SentAt is the (virtual or wall-clock) send timestamp in nanoseconds,
+	// used to measure update latency.
+	SentAt int64
+
+	// HopCount counts router traversals, used for network-load accounting.
+	HopCount uint32
+
+	// CDHashes carries the precomputed Bloom-filter hash pairs of the
+	// Multicast CD's prefixes (two uint64 per prefix, shortest prefix
+	// first) — the paper's first-hop optimization: downstream routers probe
+	// their Subscription Tables with "simple bit comparison" instead of
+	// re-hashing the name at every hop. Optional; empty means downstream
+	// routers hash for themselves.
+	CDHashes []uint64
+}
+
+// CD returns the single content descriptor of a Multicast packet. It panics
+// if the packet carries no CDs; callers must Validate first.
+func (p *Packet) CD() cd.CD {
+	if len(p.CDs) == 0 {
+		panic("wire: packet has no CD")
+	}
+	return p.CDs[0]
+}
+
+// Validate checks type-specific structural invariants.
+func (p *Packet) Validate() error {
+	switch p.Type {
+	case TypeInterest, TypeData:
+		if p.Name == "" {
+			return fmt.Errorf("wire: %v without a name", p.Type)
+		}
+	case TypeSubscribe, TypeUnsubscribe, TypeHandoff, TypePrune:
+		if len(p.CDs) == 0 {
+			return fmt.Errorf("wire: %v without CDs", p.Type)
+		}
+		if p.Type == TypePrune && p.Name == "" {
+			return fmt.Errorf("wire: Prune without an RP name")
+		}
+	case TypeFIBAdd, TypeFIBRemove:
+		// RP announcements carry served CDs; pure prefix announcements
+		// (e.g. a broker making /snapshot routable) carry only a name.
+		if p.Name == "" && len(p.CDs) == 0 {
+			return fmt.Errorf("wire: %v without a name or CDs", p.Type)
+		}
+	case TypeMulticast:
+		if len(p.CDs) != 1 {
+			return fmt.Errorf("wire: Multicast must carry exactly one CD, has %d", len(p.CDs))
+		}
+	case TypeJoin, TypeConfirm, TypeLeave:
+		if p.Name == "" {
+			return fmt.Errorf("wire: %v without an RP name", p.Type)
+		}
+	default:
+		return fmt.Errorf("wire: unknown packet type %d", uint8(p.Type))
+	}
+	return nil
+}
+
+// field tags of the TLV body.
+const (
+	fieldName     = 1
+	fieldCD       = 2 // repeated
+	fieldPayload  = 3
+	fieldOrigin   = 4
+	fieldSeq      = 5
+	fieldSentAt   = 6
+	fieldHops     = 7
+	fieldCDHashes = 8
+)
+
+const (
+	magic0  = 0xC0
+	magic1  = 0x55
+	version = 1
+)
+
+// Errors returned by Decode.
+var (
+	ErrShortPacket = errors.New("wire: truncated packet")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+)
+
+// Encode serializes the packet. The layout is:
+//
+//	magic(2) version(1) type(1) bodyLen(uvarint) body
+//
+// where body is a sequence of (tag uvarint, len uvarint, value) fields.
+func Encode(p *Packet) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, 64+len(p.Payload))
+	appendField := func(tag uint64, val []byte) {
+		body = binary.AppendUvarint(body, tag)
+		body = binary.AppendUvarint(body, uint64(len(val)))
+		body = append(body, val...)
+	}
+	if p.Name != "" {
+		appendField(fieldName, []byte(p.Name))
+	}
+	for _, c := range p.CDs {
+		appendField(fieldCD, []byte(c.Key()))
+	}
+	if len(p.Payload) > 0 {
+		appendField(fieldPayload, p.Payload)
+	}
+	if p.Origin != "" {
+		appendField(fieldOrigin, []byte(p.Origin))
+	}
+	if p.Seq != 0 {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], p.Seq)
+		appendField(fieldSeq, buf[:n])
+	}
+	if p.SentAt != 0 {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(p.SentAt))
+		appendField(fieldSentAt, buf[:])
+	}
+	if p.HopCount != 0 {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], p.HopCount)
+		appendField(fieldHops, buf[:])
+	}
+	if len(p.CDHashes) > 0 {
+		buf := make([]byte, 8*len(p.CDHashes))
+		for i, h := range p.CDHashes {
+			binary.BigEndian.PutUint64(buf[i*8:], h)
+		}
+		appendField(fieldCDHashes, buf)
+	}
+
+	out := make([]byte, 0, 4+binary.MaxVarintLen64+len(body))
+	out = append(out, magic0, magic1, version, byte(p.Type))
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	out = append(out, body...)
+	return out, nil
+}
+
+// Decode parses one packet from buf and returns it together with the number
+// of bytes consumed, allowing streams of back-to-back packets.
+func Decode(buf []byte) (*Packet, int, error) {
+	if len(buf) < 5 {
+		return nil, 0, ErrShortPacket
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return nil, 0, ErrBadMagic
+	}
+	if buf[2] != version {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	p := &Packet{Type: Type(buf[3])}
+	rest := buf[4:]
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, 0, ErrShortPacket
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < bodyLen {
+		return nil, 0, ErrShortPacket
+	}
+	consumed := 4 + n + int(bodyLen)
+	body := rest[:bodyLen]
+	for len(body) > 0 {
+		tag, tn := binary.Uvarint(body)
+		if tn <= 0 {
+			return nil, 0, ErrShortPacket
+		}
+		body = body[tn:]
+		flen, ln := binary.Uvarint(body)
+		if ln <= 0 || uint64(len(body)-ln) < flen {
+			return nil, 0, ErrShortPacket
+		}
+		val := body[ln : ln+int(flen)]
+		body = body[ln+int(flen):]
+		switch tag {
+		case fieldName:
+			p.Name = string(val)
+		case fieldCD:
+			c, err := cd.FromKey(string(val))
+			if err != nil {
+				return nil, 0, fmt.Errorf("wire: bad CD field: %w", err)
+			}
+			p.CDs = append(p.CDs, c)
+		case fieldPayload:
+			p.Payload = append([]byte(nil), val...)
+		case fieldOrigin:
+			p.Origin = string(val)
+		case fieldSeq:
+			v, vn := binary.Uvarint(val)
+			if vn <= 0 {
+				return nil, 0, ErrShortPacket
+			}
+			p.Seq = v
+		case fieldSentAt:
+			if len(val) != 8 {
+				return nil, 0, ErrShortPacket
+			}
+			p.SentAt = int64(binary.BigEndian.Uint64(val))
+		case fieldHops:
+			if len(val) != 4 {
+				return nil, 0, ErrShortPacket
+			}
+			p.HopCount = binary.BigEndian.Uint32(val)
+		case fieldCDHashes:
+			if len(val)%8 != 0 {
+				return nil, 0, ErrShortPacket
+			}
+			p.CDHashes = make([]uint64, len(val)/8)
+			for i := range p.CDHashes {
+				p.CDHashes[i] = binary.BigEndian.Uint64(val[i*8:])
+			}
+		default:
+			// Unknown fields are skipped for forward compatibility.
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return p, consumed, nil
+}
+
+// Size returns the encoded size of the packet in bytes without materializing
+// the encoding twice; used by the simulators for byte accounting.
+func Size(p *Packet) int {
+	b, err := Encode(p)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// Clone returns a deep copy of the packet, so routers can mutate per-branch
+// copies (e.g. HopCount) without aliasing.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.CDs = append([]cd.CD(nil), p.CDs...)
+	q.Payload = append([]byte(nil), p.Payload...)
+	q.CDHashes = append([]uint64(nil), p.CDHashes...)
+	return &q
+}
+
+// MaxPayload bounds payload sizes accepted by Encapsulate, preventing
+// pathological recursion from growing packets without limit.
+const MaxPayload = math.MaxUint16
+
+// Encapsulate wraps a Multicast packet inside an Interest addressed to the
+// given RP name, as the G-COPSS engine does before handing publications to
+// the NDN engine over the dedicated IPC tunnel.
+func Encapsulate(rpName string, inner *Packet) (*Packet, error) {
+	if inner.Type != TypeMulticast {
+		return nil, fmt.Errorf("wire: can only encapsulate Multicast, got %v", inner.Type)
+	}
+	enc, err := Encode(inner)
+	if err != nil {
+		return nil, err
+	}
+	if len(enc) > MaxPayload {
+		return nil, fmt.Errorf("wire: encapsulated packet too large: %d bytes", len(enc))
+	}
+	return &Packet{
+		Type:    TypeInterest,
+		Name:    rpName + inner.CD().Key(),
+		Payload: enc,
+		SentAt:  inner.SentAt,
+	}, nil
+}
+
+// Decapsulate recovers the inner Multicast packet from an RP-bound Interest.
+func Decapsulate(outer *Packet) (*Packet, error) {
+	if outer.Type != TypeInterest {
+		return nil, fmt.Errorf("wire: can only decapsulate Interest, got %v", outer.Type)
+	}
+	inner, _, err := Decode(outer.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decapsulation failed: %w", err)
+	}
+	if inner.Type != TypeMulticast {
+		return nil, fmt.Errorf("wire: encapsulated packet is %v, want Multicast", inner.Type)
+	}
+	return inner, nil
+}

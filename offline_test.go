@@ -1,0 +1,97 @@
+package gcopss
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSuspendStopsDelivery(t *testing.T) {
+	n := smallNet(t)
+	defer n.Close()
+	sleeper, _ := n.Join("sleeper", "R3", "/4/4")
+	talker, _ := n.Join("talker", "R1", "/4/4")
+
+	talker.Publish("rock", []byte("v1")) //nolint:errcheck
+	recv(t, sleeper)
+
+	if err := sleeper.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	talker.Publish("rock", []byte("v2")) //nolint:errcheck
+	expectNone(t, sleeper)
+}
+
+func TestResumeCatchesUpViaBroker(t *testing.T) {
+	n := smallNet(t)
+	defer n.Close()
+	if err := n.AttachBroker("R2", "broker"); err != nil {
+		t.Fatal(err)
+	}
+	sleeper, _ := n.Join("sleeper", "R3", "/4/4")
+	talker, _ := n.Join("talker", "R1", "/4/4")
+
+	if err := sleeper.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		talker.Publish(fmt.Sprintf("rock%d", i), []byte("moved")) //nolint:errcheck
+	}
+	expectNone(t, sleeper)
+
+	rep, err := sleeper.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missed) != 4 {
+		t.Fatalf("missed = %d, want 4: %+v", len(rep.Missed), rep.Missed)
+	}
+	if rep.Missed[0].Origin != "talker" || rep.Missed[0].ObjectID != "rock1" {
+		t.Errorf("first missed = %+v", rep.Missed[0])
+	}
+	// Back online: live delivery works again.
+	talker.Publish("rock5", []byte("live")) //nolint:errcheck
+	if u := recv(t, sleeper); u.ObjectID != "rock5" {
+		t.Errorf("live update = %+v", u)
+	}
+}
+
+func TestResumeWithoutBroker(t *testing.T) {
+	n := smallNet(t)
+	defer n.Close()
+	p, _ := n.Join("p", "R2", "/2/2")
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missed) != 0 {
+		t.Errorf("missed without broker = %+v", rep.Missed)
+	}
+	q, _ := n.Join("q", "R1", "/2/2")
+	q.Publish("x", []byte("y")) //nolint:errcheck
+	recv(t, p)
+}
+
+func TestResumeSkipsOwnUpdates(t *testing.T) {
+	n := smallNet(t)
+	defer n.Close()
+	if err := n.AttachBroker("R1", "broker"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := n.Join("p", "R2", "/3/3")
+	p.Publish("mine", []byte("own")) //nolint:errcheck
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range rep.Missed {
+		if u.Origin == "p" {
+			t.Errorf("own update in catch-up: %+v", u)
+		}
+	}
+}
