@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet lint test race fuzz ci
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs go vet plus the repo's own invariant checkers (cmd/gcopsslint):
+# clockfree, randinject, nopanic, cdctor, errcheckedfaces.
+lint: vet
+	$(GO) run ./cmd/gcopsslint ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the packages with real concurrency: the TCP daemon, the
+# router/migration machinery, and the end-to-end tests in the module root.
+race:
+	$(GO) test -race -count=1 ./internal/transport ./internal/core .
+
+# fuzz is a short smoke of the native fuzz targets; CI runs the same.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzMigrationHandoff -fuzztime=30s ./internal/core
+
+ci: build lint test race fuzz

@@ -1,0 +1,121 @@
+// Command gcopsslint runs the repository's invariant checkers over Go
+// package patterns and exits non-zero if any diagnostic fires.
+//
+//	gcopsslint ./...                  # everything, tests included
+//	gcopsslint -tests=false ./...     # production code only
+//	gcopsslint -checks nopanic,cdctor ./internal/wire
+//
+// Checkers (see internal/analysis/* and DESIGN.md "Machine-checked
+// invariants"):
+//
+//	clockfree        no time.Now/Since in the deterministic core
+//	randinject       no global math/rand outside package main
+//	nopanic          no panic in packet-handling packages
+//	cdctor           CDs built only via the cd package's constructors
+//	errcheckedfaces  wire/transport errors must be handled
+//
+// A finding is waived in place with `//lint:allow <checker> <reason>` on the
+// flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+	"github.com/icn-gaming/gcopss/internal/analysis/cdctor"
+	"github.com/icn-gaming/gcopss/internal/analysis/clockfree"
+	"github.com/icn-gaming/gcopss/internal/analysis/errcheckedfaces"
+	"github.com/icn-gaming/gcopss/internal/analysis/load"
+	"github.com/icn-gaming/gcopss/internal/analysis/nopanic"
+	"github.com/icn-gaming/gcopss/internal/analysis/randinject"
+)
+
+var all = []*analysis.Analyzer{
+	clockfree.Analyzer,
+	randinject.Analyzer,
+	nopanic.Analyzer,
+	cdctor.Analyzer,
+	errcheckedfaces.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		tests  = flag.Bool("tests", true, "also lint test files")
+		checks = flag.String("checks", "", "comma-separated subset of checkers to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gcopsslint [flags] [packages]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\ncheckers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcopsslint:", err)
+		return 2
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", *tests, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcopsslint:", err)
+		return 2
+	}
+
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.RunUnit(a, pkg.Unit)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gcopsslint:", err)
+				return 2
+			}
+			for _, d := range diags {
+				lines = append(lines, fmt.Sprintf("%s: %s (%s)", pkg.Unit.Fset.Position(d.Pos), d.Message, a.Name))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(lines) > 0 {
+		fmt.Fprintf(os.Stderr, "gcopsslint: %d finding(s)\n", len(lines))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -65,7 +65,7 @@ func (m *fetchMgr) handleData(pkt *wire.Packet) int {
 	for _, f := range m.fetches {
 		follow, done := f.HandleData(pkt)
 		for _, out := range follow {
-			m.client.Send(out) //nolint:errcheck // connection errors surface on Receive
+			m.client.Send(out) //lint:allow errcheckedfaces connection errors surface on Receive
 		}
 		if done {
 			completed += f.Received()
@@ -201,7 +201,9 @@ func receiveLoop(client *transport.Client, self string, mgr *fetchMgr) {
 			if pkt.SentAt != 0 {
 				latency = fmt.Sprintf(" (%.2fms)", float64(time.Now().UnixNano()-pkt.SentAt)/1e6)
 			}
-			log.Printf("[%v] %s: %s%s", pkt.CD(), pkt.Origin, pkt.Payload, latency)
+			if c, err := pkt.CD(); err == nil {
+				log.Printf("[%v] %s: %s%s", c, pkt.Origin, pkt.Payload, latency)
+			}
 		}
 	}
 }

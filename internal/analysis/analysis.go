@@ -1,0 +1,198 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repository's
+// invariant checkers (cmd/gcopsslint).
+//
+// The x/tools module is deliberately not vendored: the checkers only need an
+// Analyzer/Pass/Diagnostic shape, a package loader, and an analysistest-style
+// harness, all of which the standard library's go/{ast,parser,token,types}
+// packages provide. Keeping the surface identical to x/tools means the
+// checkers can be ported to the real framework by changing one import.
+//
+// Suppression: a diagnostic is suppressed by an escape-hatch comment of the
+// form
+//
+//	//lint:allow <name>[,<name>...] [reason...]
+//
+// placed either on the flagged line or on the line directly above it. The
+// reason is free text; naming the analyzer is mandatory so grep can audit
+// every waived invariant.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow comments.
+	Name string
+	// Doc states the invariant the analyzer guards.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned within the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Unit is a loaded, type-checked package ready for analysis. The loader
+// (internal/analysis/load) and the analysistest harness both produce Units.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// RunUnit applies a to u and returns its diagnostics with //lint:allow
+// suppressions already filtered out, sorted by position.
+func RunUnit(a *Analyzer, u *Unit) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	allowed := allowedLines(u.Fset, u.Files, a.Name)
+	var kept []Diagnostic
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		if allowed[posKey{pos.Filename, pos.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// allowedLines collects the lines on which diagnostics from the named
+// analyzer are suppressed: the line carrying a //lint:allow comment and the
+// line below it (so the comment can sit above the flagged statement).
+func allowedLines(fset *token.FileSet, files []*ast.File, name string) map[posKey]bool {
+	out := map[posKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				match := false
+				for _, n := range names {
+					if n == name {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				file := fset.Position(c.Pos()).Filename
+				out[posKey{file, line}] = true
+				out[posKey{file, line + 1}] = true
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow extracts the analyzer names of a //lint:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lint:allow") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+	if rest == "" {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// PathIn reports whether pkgPath lies inside any of the given package-path
+// roots, comparing by path segments and ignoring any module prefix — so both
+// "github.com/icn-gaming/gcopss/internal/core" and the bare "internal/core"
+// (as used by analyzer testdata) match the root "internal/core".
+func PathIn(pkgPath string, roots ...string) bool {
+	for _, root := range roots {
+		if pkgPath == root || strings.HasPrefix(pkgPath, root+"/") {
+			return true
+		}
+		if i := strings.Index(pkgPath, "/"+root); i >= 0 {
+			rest := pkgPath[i+1+len(root):]
+			if rest == "" || rest[0] == '/' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PkgIdent reports whether expr is an identifier naming an imported package
+// with the given import path (e.g. the "time" in time.Now).
+func (p *Pass) PkgIdent(expr ast.Expr, importPath string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == importPath
+}
+
+// IsTestFile reports whether the file enclosing pos is an in-package test
+// file (name ends in _test.go).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,277 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout, relative to the analyzer package under test:
+//
+//	testdata/src/<importpath>/<files>.go
+//
+// Imports inside testdata resolve against testdata/src first (so testdata
+// can carry small stubs of real packages, e.g. internal/cd); anything else —
+// the standard library, typically — resolves from the host module's build
+// cache via export data.
+//
+// A comment of the form
+//
+//	expr // want "regexp" "regexp2"
+//
+// asserts that the analyzer reports diagnostics on that line matching each
+// regexp (double-quoted Go string syntax). Every diagnostic must be matched
+// by a want and vice versa. //lint:allow suppressions are applied before
+// matching, so an allow-annotated violation needs no want — which is exactly
+// how the escape hatch is tested.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+	"github.com/icn-gaming/gcopss/internal/analysis/load"
+)
+
+// TestData returns the canonical testdata/src root of the calling test's
+// package.
+func TestData() string {
+	p, err := filepath.Abs("testdata/src")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each testdata package, applies the analyzer, and reports any
+// mismatch between its diagnostics and the packages' want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &testLoader{root: srcRoot, pkgs: map[string]*checked{}}
+	for _, path := range pkgPaths {
+		cp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", path, err)
+		}
+		diags, err := analysis.RunUnit(a, cp.unit)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, a, cp.unit, diags)
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, a *analysis.Analyzer, u *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", u.Fset.Position(c.Pos()), err)
+				}
+				if len(patterns) == 0 {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				wants[wantKey{pos.Filename, pos.Line}] = append(wants[wantKey{pos.Filename, pos.Line}], patterns...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps of a `// want "p1" "p2"` comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, "want "))
+	var out []*regexp.Regexp
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("want: expected quoted regexp, got %q", rest)
+		}
+		// Find the end of the Go-quoted string.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("want: unterminated regexp in %q", rest)
+		}
+		lit, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("want: %v", err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want: %v", err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return out, nil
+}
+
+// testLoader type-checks testdata packages, resolving imports testdata-first
+// with the host module's export data as fallback.
+type testLoader struct {
+	root string
+	pkgs map[string]*checked
+}
+
+type checked struct {
+	unit *analysis.Unit
+}
+
+func (ld *testLoader) load(path string) (*checked, error) {
+	if cp, ok := ld.pkgs[path]; ok {
+		return cp, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: &testImporter{ld: ld, fset: fset}}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	cp := &checked{unit: &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}}
+	ld.pkgs[path] = cp
+	return cp, nil
+}
+
+type testImporter struct {
+	ld   *testLoader
+	fset *token.FileSet
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	// Testdata-local packages win, so stubs can shadow real import paths.
+	if st, err := os.Stat(filepath.Join(ti.ld.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		cp, err := ti.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return cp.unit.Pkg, nil
+	}
+	imp, err := hostImporter()
+	if err != nil {
+		return nil, err
+	}
+	return imp.Import(path)
+}
+
+var (
+	hostOnce sync.Once
+	hostImp  types.Importer
+	hostErr  error
+)
+
+// hostImporter resolves standard-library (and host-module) imports from the
+// enclosing module's build cache. Shared process-wide: export data is
+// immutable for the duration of a test run.
+func hostImporter() (types.Importer, error) {
+	hostOnce.Do(func() {
+		modRoot, err := moduleRoot()
+		if err != nil {
+			hostErr = err
+			return
+		}
+		table, err := load.ExportTable(modRoot, "./...")
+		if err != nil {
+			hostErr = err
+			return
+		}
+		hostImp = importer.ForCompiler(token.NewFileSet(), "gc", func(path string) (io.ReadCloser, error) {
+			exp, ok := table[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q (add the import to a module package or a testdata stub)", path)
+			}
+			return os.Open(exp)
+		})
+	})
+	return hostImp, hostErr
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,101 @@
+// Package cdctor guards the construction of content descriptors.
+//
+// The cd package's invariants — canonical '/'-joined form, airspace-leaf
+// markers only in final position — hold because every CD flows through its
+// constructors. Two bypasses are forbidden outside package cd:
+//
+//  1. Raw cd.CD literals (cd.CD{}): use cd.Root() so intent is explicit and
+//     the constructor set stays the single entry point.
+//  2. String surgery: calling cd.Parse / cd.MustParse / cd.FromKey on a
+//     string assembled by concatenation or fmt.Sprintf. Splicing Key()
+//     output or map components into a path string is how airspace-leaf
+//     invariants get silently violated; use Child / Airspace / Parent, or
+//     cd.New with explicit components. Parsing a complete value that arrived
+//     as data (a wire field, a trace token, a flag) is fine.
+package cdctor
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cdctor",
+	Doc:  "cd.CD values may only be built via the cd package's constructors, never by raw literals or string surgery",
+	Run:  run,
+}
+
+// parsers are the cd functions that accept the textual CD form.
+var parsers = map[string]bool{"Parse": true, "MustParse": true, "FromKey": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if analysis.PathIn(pass.Pkg.Path(), "internal/cd") {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isCDType(pass.TypesInfo.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "raw cd.CD literal: construct CDs via cd.Root, cd.Parse or cd.New")
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !parsers[sel.Sel.Name] || len(n.Args) != 1 {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !analysis.PathIn(fn.Pkg().Path(), "internal/cd") {
+				return true
+			}
+			if isSurgery(pass, n.Args[0]) {
+				pass.Reportf(n.Pos(), "cd.%s on a string built by surgery: use Child/Airspace/Parent or cd.New with explicit components", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func isCDType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "CD" && obj.Pkg() != nil && analysis.PathIn(obj.Pkg().Path(), "internal/cd")
+}
+
+// isSurgery reports whether expr assembles a string at runtime: any
+// string-typed '+' or an fmt.Sprintf/Sprint call anywhere inside it.
+// Compile-time constants (a literal merely split over operands) are exempt.
+func isSurgery(pass *analysis.Pass, expr ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		return false // constant-folded: just a spelled-out literal
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(n)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pass.PkgIdent(sel.X, "fmt") && (sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Sprint") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,13 @@
+package cdctor
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestCdctor(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"game/build", // raw literals, surgery, escape hatch, clean constructions
+	)
+}

@@ -1,0 +1,40 @@
+package build
+
+import (
+	"fmt"
+
+	"internal/cd"
+)
+
+func badLiteral() cd.CD {
+	return cd.CD{} // want "raw cd.CD literal"
+}
+
+func badConcat(region string) cd.CD {
+	return cd.MustParse("/" + region + "/") // want "string built by surgery"
+}
+
+func badSprintf(zone int) (cd.CD, error) {
+	return cd.Parse(fmt.Sprintf("/1/%d", zone)) // want "string built by surgery"
+}
+
+func badKeySplice(c cd.CD, id string) (cd.CD, error) {
+	return cd.FromKey(c.Key() + "/" + id) // want "string built by surgery"
+}
+
+func goodParse(tok string) (cd.CD, error) {
+	return cd.Parse(tok) // a complete value that arrived as data
+}
+
+func goodConstant() cd.CD {
+	return cd.MustParse("/1" + "/2") // constant-folded literal, not surgery
+}
+
+func goodChild(c cd.CD, comp string) (cd.CD, error) {
+	return c.Child(comp)
+}
+
+func allowed(r string) cd.CD {
+	//lint:allow cdctor migration shim, removed with the legacy trace format
+	return cd.MustParse("/" + r)
+}

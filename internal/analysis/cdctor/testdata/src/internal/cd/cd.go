@@ -1,0 +1,15 @@
+// Package cd is a minimal stub of the real internal/cd package, just enough
+// surface for the cdctor testdata to type-check. The analyzer matches it by
+// path suffix.
+package cd
+
+type CD struct{ s string }
+
+func Root() CD                             { return CD{} }
+func New(components ...string) (CD, error) { return CD{}, nil }
+func Parse(s string) (CD, error)           { return CD{s: s}, nil }
+func MustParse(s string) CD                { return CD{s: s} }
+func FromKey(k string) (CD, error)         { return Parse(k) }
+
+func (c CD) Key() string                   { return c.s }
+func (c CD) Child(comp string) (CD, error) { return CD{s: c.s + "/" + comp}, nil }

@@ -1,0 +1,54 @@
+// Package clockfree forbids reading the wall clock inside the simulation
+// and router core.
+//
+// The paper's latency and loss-freedom numbers are only reproducible if a
+// run is a pure function of its inputs: router and simulator code must take
+// the current (virtual) time as a parameter rather than sampling time.Now,
+// and time.Since — which samples time.Now internally — is equally banned.
+// The transport daemon and the experiment timers sit at the edge of the
+// deterministic core and are deliberately out of scope.
+package clockfree
+
+import (
+	"go/ast"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// restricted lists the deterministic-core package roots (module prefix
+// ignored, see analysis.PathIn).
+var restricted = []string{
+	"internal/core",
+	"internal/copss",
+	"internal/broker",
+	"internal/sim",
+	"internal/ndn",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockfree",
+	Doc:  "forbid time.Now/time.Since in the deterministic simulation core; inject time as a parameter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.PathIn(pass.Pkg.Path(), restricted...) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+			return true
+		}
+		if !pass.PkgIdent(sel.X, "time") {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "time.%s is forbidden in %s: simulation time must be injected as a parameter", sel.Sel.Name, pass.Pkg.Path())
+		return true
+	})
+	return nil, nil
+}

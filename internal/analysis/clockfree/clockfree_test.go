@@ -1,0 +1,14 @@
+package clockfree
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestClockfree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"internal/core/clocky", // true positives + //lint:allow escape hatch
+		"other/clean",          // wall clock is fine outside the core
+	)
+}

@@ -1,0 +1,13 @@
+package errcheckedfaces
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestErrcheckedfaces(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"faces/user", // discarded statements, blank assigns, escape hatch, handled negatives
+	)
+}

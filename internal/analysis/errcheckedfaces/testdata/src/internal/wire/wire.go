@@ -1,0 +1,13 @@
+// Package wire stubs the real internal/wire surface for the
+// errcheckedfaces testdata; the analyzer matches it by path suffix.
+package wire
+
+type Packet struct{ Type byte }
+
+func Encode(p *Packet) ([]byte, error)      { return nil, nil }
+func Decode(b []byte) (*Packet, int, error) { return nil, 0, nil }
+
+func (p *Packet) Validate() error { return nil }
+
+// Size returns no error; calls to it must never be flagged.
+func Size(p *Packet) int { return 0 }

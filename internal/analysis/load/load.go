@@ -1,0 +1,195 @@
+// Package load type-checks the repository's packages for analysis without
+// depending on golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -json -export -deps` once: the go tool compiles
+// every dependency into the build cache and reports the export-data file of
+// each, which go/importer's gc importer can consume directly. Only the
+// packages under analysis are parsed from source; all dependencies (stdlib
+// included) are loaded from export data, so a full ./... load stays fast and
+// works fully offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the canonical import path. For an in-package test
+	// variant ("p [p.test]" in go list terms) it is the plain path p; test
+	// variants replace their plain counterpart in the result set.
+	ImportPath string
+	Dir        string
+	Unit       *analysis.Unit
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// Packages loads and type-checks the packages matching the patterns,
+// relative to dir. With includeTests, in-package and external test files are
+// included (each package's test variant supersedes its plain build).
+func Packages(dir string, includeTests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-json=ImportPath,Dir,Name,Export,Standard,DepOnly,ForTest,GoFiles,ImportMap", "-export", "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	raw, err := runGoList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var roots []*listPkg
+	hasTestVariant := map[string]bool{}
+	for _, p := range raw {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesized test binary main package
+		}
+		if p.ForTest != "" && !strings.Contains(p.ImportPath, "_test [") {
+			hasTestVariant[p.ForTest] = true
+		}
+		q := p
+		roots = append(roots, &q)
+	}
+
+	var out []*Package
+	for _, p := range roots {
+		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
+			continue // the test variant of this package supersedes it
+		}
+		pkg, err := check(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportTable returns the import-path → export-data-file mapping for the
+// patterns' full dependency closure (used by the analysistest harness to
+// resolve stdlib imports of testdata packages).
+func ExportTable(dir string, patterns ...string) (map[string]string, error) {
+	args := append([]string{"list", "-json=ImportPath,Export", "-export", "-deps"}, patterns...)
+	raw, err := runGoList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, p := range raw {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+func runGoList(dir string, args []string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var out []listPkg
+	dec := json.NewDecoder(bytes.NewReader(outBytes))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// check parses p's sources and type-checks them against export data.
+func check(p *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// The importer resolves each import through the package's ImportMap
+	// first, so a test variant picks up test-specific builds of its
+	// dependencies when go list says so.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := newInfo()
+	// Strip the test-variant suffix so analyzers see the canonical path.
+	path := p.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        p.Dir,
+		Unit:       &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info},
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}

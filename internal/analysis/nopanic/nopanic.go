@@ -1,0 +1,55 @@
+// Package nopanic forbids panic in packet-handling packages.
+//
+// A router must survive any byte sequence a face can deliver: a malformed
+// packet surfaces as an error (and a Dropped counter), never as a crash that
+// takes the whole node — and every multicast tree hanging off it — down.
+// Test files are exempt: asserting on must-style helpers there is fine.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// restricted lists the packet-path package roots.
+var restricted = []string{
+	"internal/wire",
+	"internal/core",
+	"internal/copss",
+	"internal/transport",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in packet-handling packages; malformed input must surface as an error",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !analysis.PathIn(pass.Pkg.Path(), restricted...) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+		if !ok || b.Name() != "panic" {
+			return true
+		}
+		if pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "panic is forbidden in packet-handling package %s: return an error so a malformed packet cannot crash a router", pass.Pkg.Path())
+		return true
+	})
+	return nil, nil
+}

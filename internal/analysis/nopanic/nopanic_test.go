@@ -1,0 +1,14 @@
+package nopanic
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"internal/wire/panicky", // true positive, test-file exemption, escape hatch
+		"other/tool",            // panic is fine outside the packet path
+	)
+}

@@ -1,0 +1,61 @@
+// Package randinject forbids the global math/rand functions outside main
+// packages.
+//
+// Experiment replayability requires every random decision to flow from a
+// recorded seed. The global functions (rand.Intn, rand.Float64, rand.Perm,
+// …) draw from the process-wide source, which other code can consume from
+// concurrently — so two runs with the same flags can diverge. Library code
+// must thread a seeded *rand.Rand instead; constructing one (rand.New,
+// rand.NewSource, rand.NewZipf) is of course allowed, as are references to
+// the rand.Rand/rand.Source types.
+package randinject
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "randinject",
+	Doc:  "forbid global math/rand functions outside package main; thread a seeded *rand.Rand",
+	Run:  run,
+}
+
+// constructors are the package-level functions that do not draw from the
+// global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !pass.PkgIdent(sel.X, "math/rand") && !pass.PkgIdent(sel.X, "math/rand/v2") {
+			return true
+		}
+		// Only package-level functions draw from the global source; type
+		// references (*rand.Rand parameters) are the fix, not the bug.
+		if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+			return true
+		}
+		if constructors[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "global rand.%s is forbidden outside package main: thread a seeded *rand.Rand for replayable runs", sel.Sel.Name)
+		return true
+	})
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+package randinject
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestRandinject(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"rnd/library", // true positives + escape hatch + threaded-rand negatives
+		"rnd/mainpkg", // package main is exempt
+	)
+}

@@ -53,11 +53,11 @@ func prefixed(ns string, leaf cd.CD) cd.CD {
 func LeafOfDataCD(c cd.CD) (cd.CD, bool) {
 	comps := c.Components()
 	if len(comps) < 1 || comps[0] != DataComponent {
-		return cd.CD{}, false
+		return cd.Root(), false
 	}
 	leaf, err := cd.New(comps[1:]...)
 	if err != nil {
-		return cd.CD{}, false
+		return cd.Root(), false
 	}
 	return leaf, true
 }
@@ -189,7 +189,10 @@ func (b *Broker) HandlePacket(pkt *wire.Packet) []*wire.Packet {
 // handleMulticast consumes game updates (snapshot maintenance) and cyclic
 // session control messages.
 func (b *Broker) handleMulticast(pkt *wire.Packet) []*wire.Packet {
-	c := pkt.CD()
+	c, err := pkt.CD()
+	if err != nil {
+		return nil
+	}
 	comps := c.Components()
 	if len(comps) > 0 && comps[0] == CtlComponent {
 		leaf, err := cd.New(comps[1:]...)

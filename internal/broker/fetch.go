@@ -127,7 +127,11 @@ func (f *CyclicFetch) HandleMulticast(pkt *wire.Packet) ([]*wire.Packet, bool) {
 	if f.done || pkt.Type != wire.TypeMulticast {
 		return nil, f.done
 	}
-	if leaf, ok := LeafOfDataCD(pkt.CD()); !ok || leaf != f.leaf {
+	c, err := pkt.CD()
+	if err != nil {
+		return nil, false
+	}
+	if leaf, ok := LeafOfDataCD(c); !ok || leaf != f.leaf {
 		return nil, false
 	}
 	id, version, manifest, ok := ParseObject(pkt.Payload)

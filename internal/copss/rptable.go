@@ -84,7 +84,7 @@ func (t *RPTable) CoverOf(c cd.CD) (rpName string, prefix cd.CD, ok bool) {
 			return name, p, true
 		}
 	}
-	return "", cd.CD{}, false
+	return "", cd.Root(), false
 }
 
 // IntersectingRPs returns the names of all RPs whose served prefixes

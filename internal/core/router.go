@@ -372,7 +372,11 @@ func (r *Router) rpBoundName(name string) (string, bool) {
 // CD is no longer served here (it was handed off), the publication is
 // re-encapsulated toward the now-covering RP.
 func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
-	c := inner.CD()
+	c, err := inner.CD()
+	if err != nil {
+		r.stats.Dropped++
+		return nil
+	}
 	mon := r.localRPs[rpName]
 	info, _ := r.rpt.Get(rpName)
 	// Any service through the RP path happens after every earlier emission,
@@ -418,7 +422,12 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 		return append(out, r.distribute(from, pkt)...)
 	}
 	if kind == FaceClient {
-		rpName, _, found := r.rpt.CoverOf(pkt.CD())
+		c, err := pkt.CD()
+		if err != nil {
+			r.stats.Dropped++
+			return nil
+		}
+		rpName, _, found := r.rpt.CoverOf(c)
 		if !found {
 			r.stats.Dropped++
 			return nil
@@ -428,14 +437,14 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 		// packet so every downstream ST probe is a bit comparison.
 		if r.matchMode != copss.MatchExact && len(pkt.CDHashes) == 0 {
 			pkt = pkt.Clone()
-			pkt.CDHashes = copss.FlattenHashes(copss.PrefixHashes(pkt.CD()))
+			pkt.CDHashes = copss.FlattenHashes(copss.PrefixHashes(c))
 		}
 		if r.IsRP(rpName) {
 			// Publisher attached directly to the RP: skip encapsulation.
 			// Delivery matches the encapsulated path (all matching faces,
 			// including the publisher's own if subscribed).
 			if mon := r.localRPs[rpName]; mon != nil {
-				mon.Record(pkt.CD())
+				mon.Record(c)
 			}
 			prunes := r.pendingPrunes
 			r.pendingPrunes = nil
@@ -476,11 +485,16 @@ func (r *Router) publishToward(rpName string, inner *wire.Packet) []ndn.Action {
 // prefix of the packet's CD, excluding the arrival face. Precomputed hash
 // pairs from the first hop are used when present.
 func (r *Router) distribute(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	c, err := pkt.CD()
+	if err != nil {
+		r.stats.Dropped++
+		return nil
+	}
 	var faces []ndn.FaceID
 	if len(pkt.CDHashes) > 0 {
-		faces = r.st.FacesForHashed(pkt.CD(), copss.UnflattenHashes(pkt.CDHashes))
+		faces = r.st.FacesForHashed(c, copss.UnflattenHashes(pkt.CDHashes))
 	} else {
-		faces = r.st.FacesFor(pkt.CD())
+		faces = r.st.FacesFor(c)
 	}
 	var out []ndn.Action
 	for _, f := range faces {

@@ -24,6 +24,8 @@ import (
 //  3. The multi-layer map's subscription-state savings versus flattened
 //     per-leaf subscriptions ("CDs ... could be aggregated").
 type AblationResult struct {
+	Provenance Provenance
+
 	// Per-decision forwarding costs (ns), matching one zone update against
 	// the 62-player microbenchmark subscription population.
 	ExactNs, BloomNs, BloomPrehashNs, RangeNs float64
@@ -41,7 +43,7 @@ type AblationResult struct {
 
 // Ablation runs all three studies.
 func Ablation(w *Workbench) (*AblationResult, error) {
-	res := &AblationResult{}
+	res := &AblationResult{Provenance: w.Opts.provenance()}
 	m := w.World.Map
 
 	// --- Study 1 & 2: forwarding cost and precision at one node carrying
@@ -134,7 +136,7 @@ func timePerOp(n int, fn func()) float64 {
 // Render formats the ablation report.
 func (r *AblationResult) Render() string {
 	var b strings.Builder
-	b.WriteString("Ablations — forwarding engine and naming-design choices\n\n")
+	fmt.Fprintf(&b, "Ablations — forwarding engine and naming-design choices (%s)\n\n", r.Provenance)
 
 	t1 := &stats.Table{
 		Title:   "1. Forwarding-decision cost (one node, 62-player subscription population)",

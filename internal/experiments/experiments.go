@@ -33,6 +33,21 @@ func DefaultOptions() Options {
 	return Options{Scale: 0.05, Seed: 42}
 }
 
+// Provenance records the inputs that make a result replayable. Every result
+// embeds one and leads its Render output with it, so a number in a report
+// can always be traced back to the exact run that produced it.
+type Provenance struct {
+	Scale float64
+	Seed  int64
+}
+
+func (o Options) provenance() Provenance { return Provenance{Scale: o.Scale, Seed: o.Seed} }
+
+// String renders the replay line, e.g. "replay: -scale 0.05 -seed 42".
+func (p Provenance) String() string {
+	return fmt.Sprintf("replay: -scale %g -seed %d", p.Scale, p.Seed)
+}
+
 func (o *Options) normalize() {
 	if o.Scale <= 0 || o.Scale > 1 {
 		o.Scale = 0.05

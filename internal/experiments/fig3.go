@@ -13,6 +13,7 @@ import (
 // marginals of Fig. 3c (updates per player) and Fig. 3d (players and objects
 // per area).
 type Fig3Result struct {
+	Provenance   Provenance
 	Players      int
 	TotalUpdates int
 	// UpdateCDF samples the per-player update-count CDF at the deciles.
@@ -25,6 +26,7 @@ type Fig3Result struct {
 // Fig3 regenerates the trace-characterization figure.
 func Fig3(w *Workbench) (*Fig3Result, error) {
 	res := &Fig3Result{
+		Provenance:   w.Opts.provenance(),
 		Players:      len(w.Trace.Players),
 		TotalUpdates: len(w.Trace.Updates),
 	}
@@ -52,7 +54,7 @@ func Fig3(w *Workbench) (*Fig3Result, error) {
 // Render formats the result for the experiment report.
 func (r *Fig3Result) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fig 3c/3d — trace characterization\n")
+	fmt.Fprintf(&b, "Fig 3c/3d — trace characterization (%s)\n", r.Provenance)
 	fmt.Fprintf(&b, "players: %d, total updates: %d\n", r.Players, r.TotalUpdates)
 	fmt.Fprintf(&b, "updates-per-player CDF (Fig 3c):\n")
 	for _, p := range r.UpdateCDF {

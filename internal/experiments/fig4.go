@@ -12,9 +12,10 @@ import (
 // Fig4Result is the microbenchmark: update-latency CDFs of G-COPSS, the
 // NDN query/response solution, and the IP server, on the 6-router testbed.
 type Fig4Result struct {
-	GCOPSS *testbed.MicroResult
-	NDN    *testbed.MicroResult
-	IP     *testbed.MicroResult
+	Provenance Provenance
+	GCOPSS     *testbed.MicroResult
+	NDN        *testbed.MicroResult
+	IP         *testbed.MicroResult
 }
 
 // Fig4 runs the three-system microbenchmark. The trace duration scales with
@@ -26,7 +27,7 @@ func Fig4(opts Options) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig4Result{}
+	res := &Fig4Result{Provenance: opts.provenance()}
 	if res.GCOPSS, err = testbed.RunGCOPSS(s); err != nil {
 		return nil, fmt.Errorf("experiments: fig4 gcopss: %w", err)
 	}
@@ -42,7 +43,7 @@ func Fig4(opts Options) (*Fig4Result, error) {
 // Render formats the latency summaries and CDF samples.
 func (r *Fig4Result) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fig 4 — microbenchmark update-latency CDF (62 players, Fig. 3b topology)\n")
+	fmt.Fprintf(&b, "Fig 4 — microbenchmark update-latency CDF (62 players, Fig. 3b topology; %s)\n", r.Provenance)
 	tbl := &stats.Table{Headers: []string{"system", "published", "deliveries", "mean", "median", "p95", "max", ">55ms"}}
 	row := func(name string, m *testbed.MicroResult) {
 		tbl.AddRow(name,

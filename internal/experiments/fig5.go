@@ -22,9 +22,10 @@ type Fig5Series struct {
 
 // Fig5Result holds the three panels: 3 RPs (a), 2 RPs (b), auto (c).
 type Fig5Result struct {
-	ThreeRP *Fig5Series
-	TwoRP   *Fig5Series
-	Auto    *Fig5Series
+	Provenance Provenance
+	ThreeRP    *Fig5Series
+	TwoRP      *Fig5Series
+	Auto       *Fig5Series
 }
 
 const fig5Points = 24
@@ -54,7 +55,7 @@ func Fig5(w *Workbench) (*Fig5Result, error) {
 		return s, nil
 	}
 
-	res := &Fig5Result{}
+	res := &Fig5Result{Provenance: w.Opts.provenance()}
 	var err error
 	if res.ThreeRP, err = run("3-RP", sim.GCOPSSConfig{RPs: sim.DefaultRPPlacement(w.Env, 3), Costs: costs}); err != nil {
 		return nil, err
@@ -82,7 +83,7 @@ func Fig5(w *Workbench) (*Fig5Result, error) {
 // Render formats the three panels.
 func (r *Fig5Result) Render() string {
 	var b strings.Builder
-	b.WriteString("Fig 5 — traffic-concentration elimination (per-update latency vs packet index)\n")
+	fmt.Fprintf(&b, "Fig 5 — traffic-concentration elimination (per-update latency vs packet index; %s)\n", r.Provenance)
 	for _, s := range []*Fig5Series{r.ThreeRP, r.TwoRP, r.Auto} {
 		fmt.Fprintf(&b, "[%s] mean=%.2fms finalRPs=%d", s.Name, s.MeanMs, s.FinalRP)
 		if len(s.Splits) > 0 {

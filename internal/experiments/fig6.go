@@ -20,7 +20,8 @@ type Fig6Point struct {
 // Fig6Result is the scalability sweep: response latency (a) and aggregate
 // network load (b) versus the number of players, with 3 RPs / 3 servers.
 type Fig6Result struct {
-	Points []Fig6Point
+	Provenance Provenance
+	Points     []Fig6Point
 }
 
 // Fig6 sweeps player subsets of the peak-rate trace. The per-player update
@@ -30,7 +31,7 @@ func Fig6(w *Workbench) (*Fig6Result, error) {
 	n := scaleInt(100_000, w.Opts.Scale, 8000)
 	base := w.steadyUpdates(n)
 	costs := sim.PaperCosts()
-	res := &Fig6Result{}
+	res := &Fig6Result{Provenance: w.Opts.provenance()}
 
 	defer func() {
 		_ = w.Env.RestrictPlayers(nil) // restore full visibility for later experiments
@@ -68,7 +69,7 @@ func Fig6(w *Workbench) (*Fig6Result, error) {
 // Render formats both panels.
 func (r *Fig6Result) Render() string {
 	var b strings.Builder
-	b.WriteString("Fig 6 — scalability with player count (3 RPs / 3 servers, peak rate)\n")
+	fmt.Fprintf(&b, "Fig 6 — scalability with player count (3 RPs / 3 servers, peak rate; %s)\n", r.Provenance)
 	tbl := &stats.Table{Headers: []string{"players", "G-COPSS latency", "IP-server latency", "G-COPSS load (GB)", "IP-server load (GB)"}}
 	for _, p := range r.Points {
 		tbl.AddRow(

@@ -22,14 +22,15 @@ type Table1Row struct {
 // 1–5 (and auto-balanced) RPs versus 1–5 servers, 414 players, the first
 // 100k updates of the peak period.
 type Table1Result struct {
-	Rows    []Table1Row
-	Updates int
+	Provenance Provenance
+	Rows       []Table1Row
+	Updates    int
 }
 
 // Table1 runs the sweep.
 func Table1(w *Workbench) (*Table1Result, error) {
 	updates := w.peakUpdates()
-	res := &Table1Result{Updates: len(updates)}
+	res := &Table1Result{Provenance: w.Opts.provenance(), Updates: len(updates)}
 	costs := sim.PaperCosts()
 
 	for _, n := range []int{1, 2, 3, 4, 5} {
@@ -97,7 +98,7 @@ func (r *Table1Result) Row(kind, count string) (Table1Row, bool) {
 // Render formats Table I.
 func (r *Table1Result) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table I — update latency and network load vs #RPs/servers (414 players, %d peak updates)\n", r.Updates)
+	fmt.Fprintf(&b, "Table I — update latency and network load vs #RPs/servers (414 players, %d peak updates; %s)\n", r.Updates, r.Provenance)
 	tbl := &stats.Table{Headers: []string{"type", "# RP/server", "update latency", "network load (GB)", "final RPs", "splits"}}
 	for _, row := range r.Rows {
 		extra1, extra2 := "", ""

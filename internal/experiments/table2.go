@@ -19,8 +19,9 @@ type Table2Row struct {
 // hybrid-G-COPSS (6 IP multicast groups) on the whole event trace with no
 // congestion.
 type Table2Result struct {
-	Rows    []Table2Row
-	Updates int
+	Provenance Provenance
+	Rows       []Table2Row
+	Updates    int
 }
 
 // Table2 runs the full (scaled) trace through the three systems at its
@@ -28,7 +29,7 @@ type Table2Result struct {
 func Table2(w *Workbench) (*Table2Result, error) {
 	updates := w.Trace.Updates
 	costs := sim.PaperCosts()
-	res := &Table2Result{Updates: len(updates)}
+	res := &Table2Result{Provenance: w.Opts.provenance(), Updates: len(updates)}
 
 	srv, err := sim.RunIPServer(w.Env, updates, sim.ServerConfig{
 		Servers: sim.DefaultServerPlacement(w.Env, 6),
@@ -69,7 +70,7 @@ func (r *Table2Result) Row(kind string) (Table2Row, bool) {
 // Render formats Table II.
 func (r *Table2Result) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table II — full trace (%d updates), 6 servers / 6 RPs / 6 IP multicast groups\n", r.Updates)
+	fmt.Fprintf(&b, "Table II — full trace (%d updates), 6 servers / 6 RPs / 6 IP multicast groups (%s)\n", r.Updates, r.Provenance)
 	tbl := &stats.Table{Headers: []string{"type", "update latency (ms)", "network load (GB)"}}
 	for _, row := range r.Rows {
 		tbl.AddRow(row.Kind, fmt.Sprintf("%.2f", row.LatencyMs), fmt.Sprintf("%.3f", row.LoadGB))

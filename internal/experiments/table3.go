@@ -35,8 +35,9 @@ type Table3Scheme struct {
 // Table3Result is the player-movement experiment: convergence time per
 // movement type for QR (window 5 and 15) and cyclic multicast.
 type Table3Result struct {
-	Counts  map[gamemap.MoveType]int
-	Schemes []Table3Scheme
+	Provenance Provenance
+	Counts     map[gamemap.MoveType]int
+	Schemes    []Table3Scheme
 }
 
 // Table3 generates the movement schedule (5–35 min intervals, 10%/10%
@@ -56,7 +57,7 @@ func Table3(w *Workbench) (*Table3Result, error) {
 		return nil, fmt.Errorf("experiments: table3 moves: %w", err)
 	}
 
-	res := &Table3Result{Counts: make(map[gamemap.MoveType]int)}
+	res := &Table3Result{Provenance: w.Opts.provenance(), Counts: make(map[gamemap.MoveType]int)}
 	runs := []struct {
 		name   string
 		mode   sim.SnapshotMode
@@ -108,7 +109,7 @@ func (r *Table3Result) Scheme(name string) (Table3Scheme, bool) {
 // Render formats Table III.
 func (r *Table3Result) Render() string {
 	var b strings.Builder
-	b.WriteString("Table III — convergence time per movement type (ms, 95% CI in parens)\n")
+	fmt.Fprintf(&b, "Table III — convergence time per movement type (ms, 95%% CI in parens; %s)\n", r.Provenance)
 	headers := []string{"move type", "count", "# leaf CDs"}
 	for _, s := range r.Schemes {
 		headers = append(headers, s.Name)

@@ -282,7 +282,7 @@ func TestPopulateObjectsPaperCounts(t *testing.T) {
 	}
 	var middle, bottom int
 	for _, r := range []string{"1", "2", "3", "4", "5"} {
-		middle += len(w.ObjectsAt(cd.MustParse("/" + r + "/")))
+		middle += len(w.ObjectsAt(cd.MustNew(r, ""))) // region r's airspace leaf
 		for z := 1; z <= 5; z++ {
 			bottom += len(w.ObjectsAt(cd.MustNew(r, string(rune('0'+z)))))
 		}

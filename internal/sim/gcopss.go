@@ -109,14 +109,16 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 
 	var rnd *rand.Rand
 	var candidates []topo.NodeID
+	reservoirSeed := int64(1)
 	if cfg.Balance != nil {
 		rnd = rand.New(rand.NewSource(cfg.Balance.Seed))
 		candidates = append(candidates, cfg.Balance.CandidateNodes...)
+		reservoirSeed = cfg.Balance.Seed
 	}
 
 	pl := newPlanner(env, cfg.Costs)
 	res := &Result{
-		Latency:      stats.NewStream(20000),
+		Latency:      stats.NewStreamSeeded(20000, reservoirSeed),
 		PerUpdateAvg: make([]float32, 0, len(updates)),
 		PerUpdateMin: make([]float32, 0, len(updates)),
 		PerUpdateMax: make([]float32, 0, len(updates)),

@@ -19,12 +19,20 @@ type Stream struct {
 }
 
 // NewStream creates a stream keeping a reservoir of up to reservoirSize
-// observations for quantile estimation (0 disables the reservoir).
+// observations for quantile estimation (0 disables the reservoir). The
+// reservoir subsample uses a fixed seed so identical runs yield identical
+// quantiles; use NewStreamSeeded to tie it to an experiment seed.
 func NewStream(reservoirSize int) *Stream {
+	return NewStreamSeeded(reservoirSize, 1)
+}
+
+// NewStreamSeeded is NewStream with an explicit seed for the reservoir
+// subsample, so callers can record one seed that reproduces the whole run.
+func NewStreamSeeded(reservoirSize int, seed int64) *Stream {
 	s := &Stream{cap: reservoirSize}
 	if reservoirSize > 0 {
 		s.reservoir = make([]float64, 0, reservoirSize)
-		s.rnd = rand.New(rand.NewSource(1))
+		s.rnd = rand.New(rand.NewSource(seed))
 	}
 	return s
 }

@@ -93,7 +93,7 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 			return nil
 		}
 		var out []ndn.Action
-		for _, pi := range vis[pkt.CD().Key()] {
+		for _, pi := range vis[pkt.CDs[0].Key()] {
 			dest := clientName(pi)
 			if dest == pkt.Origin {
 				continue

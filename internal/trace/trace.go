@@ -137,7 +137,7 @@ func Read(r io.Reader) (*Trace, error) {
 	lineNo := 0
 	parseCD := func(tok string) (cd.CD, error) {
 		if !strings.HasPrefix(tok, "~") {
-			return cd.CD{}, fmt.Errorf("missing CD marker in %q", tok)
+			return cd.Root(), fmt.Errorf("missing CD marker in %q", tok)
 		}
 		return cd.FromKey(tok[1:])
 	}

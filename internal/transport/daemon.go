@@ -31,6 +31,7 @@ type Daemon struct {
 	nextFace ndn.FaceID
 
 	events chan faceEvent
+	done   chan struct{} // closed when Run exits; unblocks feeder goroutines
 	wg     sync.WaitGroup
 }
 
@@ -49,6 +50,7 @@ func NewDaemon(name string, opts ...core.Option) *Daemon {
 		logf:   log.Printf,
 		faces:  make(map[ndn.FaceID]*Conn),
 		events: make(chan faceEvent, 1024),
+		done:   make(chan struct{}),
 	}
 }
 
@@ -111,10 +113,25 @@ func (d *Daemon) readLoop(id ndn.FaceID, conn *Conn) {
 	for {
 		pkt, err := conn.ReadPacket()
 		if err != nil {
-			d.events <- faceEvent{face: id, closed: true}
+			d.enqueue(faceEvent{face: id, closed: true})
 			return
 		}
-		d.events <- faceEvent{face: id, pkt: pkt}
+		if !d.enqueue(faceEvent{face: id, pkt: pkt}) {
+			return
+		}
+	}
+}
+
+// enqueue delivers an event to the loop unless the daemon has shut down.
+// Feeder goroutines must use it for every post-startup send: once Run exits
+// nothing drains events, and a blocked send there would deadlock closeAll's
+// wg.Wait.
+func (d *Daemon) enqueue(ev faceEvent) bool {
+	select {
+	case d.events <- ev:
+		return true
+	case <-d.done:
+		return false
 	}
 }
 
@@ -181,10 +198,14 @@ func (d *Daemon) acceptLoop(ctx context.Context) {
 			fk = core.FaceRouter
 		}
 		kindCopy, peerCopy := kind, peer
-		d.events <- faceEvent{fn: func() {
+		ok := d.enqueue(faceEvent{fn: func() {
 			id := d.addFace(conn, fk)
 			d.logf("daemon %s: %s %q attached as face %d", d.name, kindCopy, peerCopy, id)
-		}}
+		}})
+		if !ok {
+			conn.Close() //nolint:errcheck // shutting down
+			return
+		}
 	}
 }
 
@@ -216,6 +237,7 @@ func (d *Daemon) dropFace(id ndn.FaceID) {
 }
 
 func (d *Daemon) closeAll() {
+	close(d.done)
 	if d.ln != nil {
 		d.ln.Close() //nolint:errcheck // shutdown path
 	}

@@ -80,7 +80,7 @@ func TestHelloRejectsNonHello(t *testing.T) {
 	defer ca.Close()
 	defer cb.Close()
 	go func() {
-		ca.WritePacket(&wire.Packet{Type: wire.TypeInterest, Name: "/x"}) //nolint:errcheck
+		ca.WritePacket(&wire.Packet{Type: wire.TypeInterest, Name: "/x"}) //lint:allow errcheckedfaces peer rejects the non-hello; this side only provokes it
 	}()
 	if _, _, err := cb.ReadHello(time.Second); err == nil {
 		t.Error("non-hello accepted")
@@ -223,7 +223,7 @@ func TestDaemonNDNQueryAcrossRouters(t *testing.T) {
 				return
 			}
 			if pkt.Type == wire.TypeInterest {
-				producer.Send(&wire.Packet{ //nolint:errcheck
+				producer.Send(&wire.Packet{ //lint:allow errcheckedfaces test producer: a torn-down face ends the loop via Receive
 					Type:    wire.TypeData,
 					Name:    pkt.Name,
 					Payload: []byte("served:" + pkt.Name),

@@ -132,13 +132,14 @@ type Packet struct {
 	CDHashes []uint64
 }
 
-// CD returns the single content descriptor of a Multicast packet. It panics
-// if the packet carries no CDs; callers must Validate first.
-func (p *Packet) CD() cd.CD {
+// CD returns the single content descriptor of a Multicast packet, or ErrNoCD
+// when the packet carries none. A malformed packet must surface as an error,
+// never crash a router, so there is deliberately no panicking accessor.
+func (p *Packet) CD() (cd.CD, error) {
 	if len(p.CDs) == 0 {
-		panic("wire: packet has no CD")
+		return cd.Root(), ErrNoCD
 	}
-	return p.CDs[0]
+	return p.CDs[0], nil
 }
 
 // Validate checks type-specific structural invariants.
@@ -199,6 +200,10 @@ var (
 	ErrBadMagic    = errors.New("wire: bad magic")
 	ErrBadVersion  = errors.New("wire: unsupported version")
 )
+
+// ErrNoCD reports a packet that carries no content descriptor where one is
+// required.
+var ErrNoCD = errors.New("wire: packet has no CD")
 
 // Encode serializes the packet. The layout is:
 //
@@ -378,9 +383,13 @@ func Encapsulate(rpName string, inner *Packet) (*Packet, error) {
 	if len(enc) > MaxPayload {
 		return nil, fmt.Errorf("wire: encapsulated packet too large: %d bytes", len(enc))
 	}
+	c, err := inner.CD()
+	if err != nil {
+		return nil, err
+	}
 	return &Packet{
 		Type:    TypeInterest,
-		Name:    rpName + inner.CD().Key(),
+		Name:    rpName + c.Key(),
 		Payload: enc,
 		SentAt:  inner.SentAt,
 	}, nil

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -43,14 +44,16 @@ func TestIsNDN(t *testing.T) {
 	}
 }
 
-func TestCDAccessorPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("CD() on empty packet should panic")
-		}
-	}()
+func TestCDAccessorError(t *testing.T) {
 	p := &Packet{Type: TypeInterest, Name: "/x"}
-	p.CD()
+	if _, err := p.CD(); !errors.Is(err, ErrNoCD) {
+		t.Errorf("CD() on empty packet: err = %v, want ErrNoCD", err)
+	}
+	q := &Packet{Type: TypeMulticast, CDs: []cd.CD{cd.MustParse("/1")}}
+	c, err := q.CD()
+	if err != nil || c.Key() != "/1" {
+		t.Errorf("CD() = %v, %v; want /1, nil", c, err)
+	}
 }
 
 func TestCDHashesRoundTrip(t *testing.T) {

@@ -132,8 +132,12 @@ func (p *Player) PublishTo(areaPath, objectID string, data []byte) error {
 func (p *Player) handlePacket(pkt *wire.Packet) {
 	switch pkt.Type {
 	case wire.TypeMulticast:
+		c, err := pkt.CD()
+		if err != nil {
+			return // malformed multicast: drop, never crash the client
+		}
 		// Snapshot data channels feed an in-progress cyclic fetch.
-		if leaf, ok := broker.LeafOfDataCD(pkt.CD()); ok {
+		if leaf, ok := broker.LeafOfDataCD(c); ok {
 			if f := p.fetch.cyclic[leaf.Key()]; f != nil {
 				out, _ := f.HandleMulticast(pkt)
 				p.fetch.out = append(p.fetch.out, out...)
@@ -148,7 +152,7 @@ func (p *Player) handlePacket(pkt *wire.Packet) {
 			objID, body = "", pkt.Payload
 		}
 		u := Update{
-			CD:       pkt.CD().Key(),
+			CD:       c.Key(),
 			Origin:   pkt.Origin,
 			ObjectID: objID,
 			Data:     append([]byte(nil), body...),
