@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz ci
+.PHONY: all build vet lint test race fuzz bench ci
 
 all: build lint test
 
@@ -22,6 +22,15 @@ test:
 # router/migration machinery, and the end-to-end tests in the module root.
 race:
 	$(GO) test -race -count=1 ./internal/transport ./internal/core .
+
+# bench runs the paper-experiment benchmarks (module root) and the telemetry
+# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_2.json
+# (name -> ns/op, B/op, allocs/op). One iteration per experiment benchmark:
+# the artifact records magnitudes, not statistics.
+bench:
+	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
+	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_2.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:

@@ -7,20 +7,26 @@
 //
 //	gbroker -name broker1 -router localhost:7001 -areas "/1/1,/1/2,/1"
 //
-// An empty -areas serves every leaf of the map.
+// An empty -areas serves every leaf of the map. With -debug, the broker's
+// registry (update/query counters, snapshot-query latency histogram, active
+// cyclic sessions) is exposed at /metrics alongside /debug/pprof/*.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/broker"
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
@@ -34,15 +40,23 @@ func main() {
 
 func run() error {
 	var (
-		name    = flag.String("name", "broker1", "broker name")
-		router  = flag.String("router", "localhost:7000", "router address")
-		areas   = flag.String("areas", "", "comma-separated areas to serve (empty = whole map)")
-		regions = flag.Int("regions", 5, "map regions")
-		zones   = flag.Int("zones", 5, "zones per region")
-		tick    = flag.Duration("tick", 2*time.Millisecond, "cyclic multicast pacing")
-		decay   = flag.Float64("decay", gamemap.DefaultDecay, "snapshot size decay λ")
+		name      = flag.String("name", "broker1", "broker name")
+		router    = flag.String("router", "localhost:7000", "router address")
+		areas     = flag.String("areas", "", "comma-separated areas to serve (empty = whole map)")
+		regions   = flag.Int("regions", 5, "map regions")
+		zones     = flag.Int("zones", 5, "zones per region")
+		tick      = flag.Duration("tick", 2*time.Millisecond, "cyclic multicast pacing")
+		decay     = flag.Float64("decay", gamemap.DefaultDecay, "snapshot size decay λ")
+		debugAddr = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (empty = off)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	lg := obs.Scoped(obs.NewLogger(os.Stderr, level), "gbroker").With("broker", *name)
 
 	m, err := gamemap.NewGrid(*regions, *zones)
 	if err != nil {
@@ -70,6 +84,10 @@ func run() error {
 	}
 
 	b := broker.New(*name, leaves, *decay)
+	// The broker state machine is not goroutine-safe; the cyclic ticker, the
+	// receive loop and the debug scraper all go through this mutex.
+	var mu sync.Mutex
+
 	client, err := transport.NewClient(*name, *router)
 	if err != nil {
 		return err
@@ -83,14 +101,36 @@ func run() error {
 	if err := client.AnnouncePrefix(broker.SnapshotPrefix, uint64(time.Now().UnixNano())); err != nil {
 		return err
 	}
-	log.Printf("%s serving %d leaves via %s", *name, len(leaves), *router)
+	lg.Info("serving", "leaves", len(leaves), "router", *router)
+
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux(func(w io.Writer) {
+			mu.Lock()
+			defer mu.Unlock()
+			b.Obs().WriteText(w)
+		}, nil)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				lg.Error("debug server", "err", err)
+			}
+		}()
+		lg.Info("debug endpoint up", "addr", ln.Addr().String())
+	}
 
 	// Cyclic session pacing.
 	go func() {
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()
 		for range ticker.C {
-			for _, pkt := range b.Tick() {
+			mu.Lock()
+			outs := b.Tick()
+			mu.Unlock()
+			for _, pkt := range outs {
 				if err := client.Send(pkt); err != nil {
 					return
 				}
@@ -103,9 +143,11 @@ func run() error {
 		ticker := time.NewTicker(10 * time.Second)
 		defer ticker.Stop()
 		for range ticker.C {
+			mu.Lock()
 			u, q, c := b.Stats()
-			log.Printf("%s: %d updates applied, %d queries served, %d objects cycled, sessions %v",
-				*name, u, q, c, b.ActiveSessions())
+			sessions := b.ActiveSessions()
+			mu.Unlock()
+			lg.Info("stats", "updates", u, "queries", q, "cycled", c, "sessions", fmt.Sprint(sessions))
 		}
 	}()
 
@@ -117,7 +159,17 @@ func run() error {
 		if pkt.Type == wire.TypeMulticast && pkt.Origin == *name {
 			continue // our own cyclic emissions echoed back
 		}
-		for _, out := range b.HandlePacket(pkt) {
+		// Snapshot queries arrive as Interests; time them host-side — the
+		// broker itself is a pure state machine with no clock.
+		isQuery := pkt.Type == wire.TypeInterest
+		start := time.Now()
+		mu.Lock()
+		outs := b.HandlePacket(pkt)
+		mu.Unlock()
+		if isQuery {
+			b.QueryLatency().Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+		}
+		for _, out := range outs {
 			if err := client.Send(out); err != nil {
 				return fmt.Errorf("send: %w", err)
 			}

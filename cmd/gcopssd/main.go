@@ -12,6 +12,13 @@
 //	gcopssd -name R3 -listen :7003 -connect localhost:7002
 //
 // Players then attach with gplayer.
+//
+// With -debug, the daemon serves its runtime telemetry over HTTP:
+// /metrics (Prometheus text exposition), /flight?n= (packet-path flight
+// recorder dump) and /debug/pprof/*:
+//
+//	gcopssd -name R1 -listen :7001 -debug :7101
+//	curl http://localhost:7101/metrics
 package main
 
 import (
@@ -19,7 +26,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +34,8 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
 )
 
@@ -48,21 +56,32 @@ func main() {
 
 func run() error {
 	var (
-		name     = flag.String("name", "R1", "router name")
-		listen   = flag.String("listen", ":7000", "listen address for faces")
-		rpName   = flag.String("rp", "", "host an RP under this name (e.g. /rp1)")
-		rpPrefix = flag.String("rp-prefixes", "/,/1,/2,/3,/4,/5", "comma-separated CD prefixes the RP serves")
-		connects multiFlag
+		name      = flag.String("name", "R1", "router name")
+		listen    = flag.String("listen", ":7000", "listen address for faces")
+		rpName    = flag.String("rp", "", "host an RP under this name (e.g. /rp1)")
+		rpPrefix  = flag.String("rp-prefixes", "/,/1,/2,/3,/4,/5", "comma-separated CD prefixes the RP serves")
+		debugAddr = flag.String("debug", "", "serve /metrics, /flight and /debug/pprof on this address (empty = off)")
+		flightCap = flag.Int("flight-events", 1024, "flight recorder capacity in events (0 = off)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		connects  multiFlag
 	)
 	flag.Var(&connects, "connect", "neighbor router address (repeatable)")
 	flag.Parse()
 
-	d := transport.NewDaemon(*name)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	root := obs.NewLogger(os.Stderr, level)
+	lg := obs.Scoped(root, "gcopssd").With("router", *name)
+
+	d := transport.NewDaemon(*name, core.WithFlightRecorder(obs.NewFlight(*flightCap)))
+	d.SetLogger(obs.Printf(obs.Scoped(root, "daemon")))
 	addr, err := d.Listen(*listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("gcopssd %s listening on %s", *name, addr)
+	lg.Info("listening", "addr", addr.String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -71,11 +90,19 @@ func run() error {
 		if err := d.ConnectRouter(peer); err != nil {
 			return fmt.Errorf("connect %s: %w", peer, err)
 		}
-		log.Printf("gcopssd %s linked to %s", *name, peer)
+		lg.Info("linked to neighbor", "peer", peer)
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- d.Run(ctx) }()
+
+	if *debugAddr != "" {
+		da, err := d.ServeDebug(ctx, *debugAddr)
+		if err != nil {
+			return err
+		}
+		lg.Info("debug endpoint up", "addr", da.String())
+	}
 
 	if *rpName != "" {
 		// Give the neighbor links a moment to attach before flooding.
@@ -91,7 +118,7 @@ func run() error {
 		if err := d.BecomeRP(copss.RPInfo{Name: *rpName, Prefixes: prefixes, Seq: 1}); err != nil {
 			return err
 		}
-		log.Printf("gcopssd %s hosting RP %s serving %v", *name, *rpName, prefixes)
+		lg.Info("hosting RP", "rp", *rpName, "prefixes", fmt.Sprint(prefixes))
 	}
 
 	return <-errc

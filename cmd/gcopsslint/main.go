@@ -13,6 +13,7 @@
 //	nopanic          no panic in packet-handling packages
 //	cdctor           CDs built only via the cd package's constructors
 //	errcheckedfaces  wire/transport errors must be handled
+//	obsnames         telemetry metric names are literal and well-formed
 //
 // A finding is waived in place with `//lint:allow <checker> <reason>` on the
 // flagged line or the line above it.
@@ -31,6 +32,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/analysis/errcheckedfaces"
 	"github.com/icn-gaming/gcopss/internal/analysis/load"
 	"github.com/icn-gaming/gcopss/internal/analysis/nopanic"
+	"github.com/icn-gaming/gcopss/internal/analysis/obsnames"
 	"github.com/icn-gaming/gcopss/internal/analysis/randinject"
 )
 
@@ -40,6 +42,7 @@ var all = []*analysis.Analyzer{
 	nopanic.Analyzer,
 	cdctor.Analyzer,
 	errcheckedfaces.Analyzer,
+	obsnames.Analyzer,
 }
 
 func main() {

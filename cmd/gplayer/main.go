@@ -18,7 +18,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -28,6 +28,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
@@ -86,13 +87,20 @@ func main() {
 
 func run() error {
 	var (
-		name    = flag.String("name", "player1", "player name")
-		router  = flag.String("router", "localhost:7000", "router address")
-		areaStr = flag.String("area", "/1/1", "starting area on the map")
-		regions = flag.Int("regions", 5, "map regions")
-		zones   = flag.Int("zones", 5, "zones per region")
+		name     = flag.String("name", "player1", "player name")
+		router   = flag.String("router", "localhost:7000", "router address")
+		areaStr  = flag.String("area", "/1/1", "starting area on the map")
+		regions  = flag.Int("regions", 5, "map regions")
+		zones    = flag.Int("zones", 5, "zones per region")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	lg := obs.Scoped(obs.NewLogger(os.Stderr, level), "gplayer").With("player", *name)
 
 	m, err := gamemap.NewGrid(*regions, *zones)
 	if err != nil {
@@ -117,10 +125,10 @@ func run() error {
 	if err := client.Subscribe(player.SubscriptionCDs()...); err != nil {
 		return err
 	}
-	log.Printf("%s joined at %v, subscribed to %v", *name, area.CD(), player.SubscriptionCDs())
+	lg.Info("joined", "area", fmt.Sprint(area.CD()), "subscriptions", fmt.Sprint(player.SubscriptionCDs()))
 
 	mgr := &fetchMgr{client: client}
-	go receiveLoop(client, *name, mgr)
+	go receiveLoop(client, *name, mgr, lg)
 
 	sc := bufio.NewScanner(os.Stdin)
 	var seq uint64
@@ -135,17 +143,17 @@ func run() error {
 			destStr := normalizeArea(strings.TrimSpace(strings.TrimPrefix(line, "/move ")))
 			destCD, err := cd.Parse(destStr)
 			if err != nil {
-				log.Printf("bad area: %v", err)
+				lg.Warn("bad area", "err", err)
 				continue
 			}
 			dest, ok := m.Area(destCD)
 			if !ok {
-				log.Printf("no such area %q", destStr)
+				lg.Warn("no such area", "area", destStr)
 				continue
 			}
 			res, err := player.Move(dest)
 			if err != nil {
-				log.Printf("move: %v", err)
+				lg.Warn("move rejected", "err", err)
 				continue
 			}
 			if len(res.Unsubscribe) > 0 {
@@ -158,8 +166,8 @@ func run() error {
 					return err
 				}
 			}
-			log.Printf("moved (%v): +%v -%v, %d snapshot areas to fetch",
-				res.Type, res.Subscribe, res.Unsubscribe, len(res.Snapshots))
+			lg.Info("moved", "type", fmt.Sprint(res.Type), "subscribe", fmt.Sprint(res.Subscribe),
+				"unsubscribe", fmt.Sprint(res.Unsubscribe), "snapshot_areas", len(res.Snapshots))
 			if len(res.Snapshots) > 0 {
 				// Download the unseen areas from whatever broker serves
 				// /snapshot (objects arrive asynchronously; see the log).
@@ -184,25 +192,25 @@ func normalizeArea(s string) string {
 	return s
 }
 
-func receiveLoop(client *transport.Client, self string, mgr *fetchMgr) {
+func receiveLoop(client *transport.Client, self string, mgr *fetchMgr, lg *slog.Logger) {
 	for {
 		pkt, err := client.Receive()
 		if err != nil {
-			log.Printf("connection closed: %v", err)
+			lg.Info("connection closed", "err", err)
 			os.Exit(0)
 		}
 		switch {
 		case pkt.Type == wire.TypeData:
 			if n := mgr.handleData(pkt); n > 0 {
-				log.Printf("snapshot area downloaded (%d changed objects)", n)
+				lg.Info("snapshot area downloaded", "changed_objects", n)
 			}
 		case pkt.Type == wire.TypeMulticast && pkt.Origin != self && pkt.Origin != core.FlushOrigin:
 			latency := ""
 			if pkt.SentAt != 0 {
-				latency = fmt.Sprintf(" (%.2fms)", float64(time.Now().UnixNano()-pkt.SentAt)/1e6)
+				latency = fmt.Sprintf("%.2fms", float64(time.Now().UnixNano()-pkt.SentAt)/1e6)
 			}
 			if c, err := pkt.CD(); err == nil {
-				log.Printf("[%v] %s: %s%s", c, pkt.Origin, pkt.Payload, latency)
+				lg.Info("update", "cd", fmt.Sprint(c), "from", pkt.Origin, "payload", string(pkt.Payload), "latency", latency)
 			}
 		}
 	}

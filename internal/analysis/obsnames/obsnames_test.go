@@ -1,0 +1,13 @@
+package obsnames
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"telemetry", // literals, constants, runtime names, bad grammar, escape hatch
+	)
+}

@@ -1,0 +1,74 @@
+package bloom
+
+// Checked pairs a Bloom filter with the exact membership set it summarizes
+// and accounts observed false positives: probes the filter answers positively
+// for keys the exact set does not contain. It measures the real FP rate of
+// the Subscription Table fast path against the analytic estimate
+// (EstimatedFalsePositiveRate), which assumes ideal hashing.
+//
+// Checked is a measurement harness, not a hot-path structure: the exact set
+// costs one map entry per key, so routers use the bare Filter and tests and
+// experiments use Checked.
+type Checked struct {
+	filter *Filter
+	exact  map[string]struct{}
+
+	probes         uint64
+	positives      uint64
+	falsePositives uint64
+}
+
+// NewChecked wraps a fresh filter of the given geometry.
+func NewChecked(m, k uint64) *Checked {
+	return &Checked{filter: New(m, k), exact: make(map[string]struct{})}
+}
+
+// Filter exposes the underlying filter.
+func (c *Checked) Filter() *Filter { return c.filter }
+
+// Add inserts a key into both the filter and the exact set.
+func (c *Checked) Add(key string) {
+	c.filter.AddString(key)
+	c.exact[key] = struct{}{}
+}
+
+// Test probes the filter and verifies the answer against the exact set,
+// counting observed false positives. It returns the filter's answer.
+func (c *Checked) Test(key string) bool {
+	c.probes++
+	hit := c.filter.TestString(key)
+	if hit {
+		c.positives++
+		if _, ok := c.exact[key]; !ok {
+			c.falsePositives++
+		}
+	}
+	return hit
+}
+
+// Contains reports exact membership (ground truth).
+func (c *Checked) Contains(key string) bool {
+	_, ok := c.exact[key]
+	return ok
+}
+
+// Probes returns the number of Test calls.
+func (c *Checked) Probes() uint64 { return c.probes }
+
+// Positives returns the number of positive filter answers.
+func (c *Checked) Positives() uint64 { return c.positives }
+
+// FalsePositives returns the number of positive answers contradicted by the
+// exact set.
+func (c *Checked) FalsePositives() uint64 { return c.falsePositives }
+
+// ObservedFPRate returns falsePositives / probes-of-nonmembers — the measured
+// counterpart of EstimatedFalsePositiveRate. It is 0 before any non-member
+// has been probed.
+func (c *Checked) ObservedFPRate() float64 {
+	nonMembers := c.probes - (c.positives - c.falsePositives)
+	if nonMembers == 0 {
+		return 0
+	}
+	return float64(c.falsePositives) / float64(nonMembers)
+}

@@ -1,0 +1,75 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestCheckedAccounting(t *testing.T) {
+	c := NewChecked(256, 4)
+	c.Add("/1/2")
+	c.Add("/1/3")
+
+	if !c.Test("/1/2") || !c.Test("/1/3") {
+		t.Fatal("members must test positive")
+	}
+	if c.FalsePositives() != 0 {
+		t.Fatalf("false positives after member probes = %d, want 0", c.FalsePositives())
+	}
+	if !c.Contains("/1/2") || c.Contains("/9/9") {
+		t.Error("exact set disagrees with inserts")
+	}
+
+	// Probe non-members; every positive answer must be counted as a false
+	// positive, every negative must leave the count alone.
+	var positives uint64
+	for i := 0; i < 100; i++ {
+		if c.Test(fmt.Sprintf("/miss/%d", i)) {
+			positives++
+		}
+	}
+	if c.FalsePositives() != positives {
+		t.Errorf("falsePositives = %d, want %d (every non-member hit)", c.FalsePositives(), positives)
+	}
+	if c.Probes() != 102 {
+		t.Errorf("probes = %d, want 102", c.Probes())
+	}
+	if got := c.ObservedFPRate(); got != float64(positives)/100 {
+		t.Errorf("ObservedFPRate = %g, want %g", got, float64(positives)/100)
+	}
+}
+
+// TestCheckedObservedMatchesEstimate loads a filter to a meaningful fill and
+// verifies the measured false-positive rate lands near the analytic
+// (1-e^{-kn/m})^k estimate — the accounting must agree with the theory it is
+// meant to validate.
+func TestCheckedObservedMatchesEstimate(t *testing.T) {
+	c := NewChecked(1024, 4)
+	for i := 0; i < 150; i++ {
+		c.Add(fmt.Sprintf("/member/%d", i))
+	}
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		c.Test(fmt.Sprintf("/nonmember/%d", i))
+	}
+	est := c.Filter().EstimatedFalsePositiveRate()
+	got := c.ObservedFPRate()
+	// Generous tolerance: the estimate itself is an approximation and the
+	// probe count is finite.
+	if math.Abs(got-est) > est*0.5+0.01 {
+		t.Errorf("observed FP rate %g too far from estimate %g", got, est)
+	}
+}
+
+func TestCheckedEmptyFilterNeverFalsePositive(t *testing.T) {
+	c := NewChecked(64, 2)
+	for i := 0; i < 50; i++ {
+		if c.Test(fmt.Sprintf("/k/%d", i)) {
+			t.Fatal("empty filter answered positive")
+		}
+	}
+	if c.ObservedFPRate() != 0 || c.FalsePositives() != 0 {
+		t.Error("empty filter accounted false positives")
+	}
+}

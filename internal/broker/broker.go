@@ -20,6 +20,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -119,10 +120,13 @@ type Broker struct {
 	sessions map[string]*session             // leaf key → active session
 	recent   map[string][]recentEntry        // leaf key → recent updates (ring)
 
-	// Stats.
-	updatesApplied uint64
-	queriesServed  uint64
-	objectsCycled  uint64
+	// Telemetry. The broker is a pure state machine with no clock, so the
+	// query-latency histogram is fed by the host (which owns timing).
+	reg            *obs.Registry
+	updatesApplied *obs.Counter
+	queriesServed  *obs.Counter
+	objectsCycled  *obs.Counter
+	queryLatency   *obs.Histogram
 }
 
 // New creates a broker serving the given leaf CDs. decay is the λ of the
@@ -144,8 +148,28 @@ func New(name string, serving []cd.CD, decay float64) *Broker {
 		b.serving[leaf.Key()] = struct{}{}
 		b.objects[leaf.Key()] = make(map[string]*objState)
 	}
+	b.Instrument(obs.NewRegistry())
 	return b
 }
+
+// Instrument re-binds the broker's metrics to reg. Hosts call this to fold
+// broker telemetry into a process-wide registry; counts accumulated in a
+// previously bound registry are not carried over.
+func (b *Broker) Instrument(reg *obs.Registry) {
+	b.reg = reg
+	b.updatesApplied = reg.Counter("broker.updates_applied")
+	b.queriesServed = reg.Counter("broker.queries_served")
+	b.objectsCycled = reg.Counter("broker.objects_cycled")
+	b.queryLatency = reg.Histogram("broker.query_ms", obs.LatencyBucketsMs())
+	reg.GaugeFunc("broker.active_sessions", func() float64 { return float64(len(b.sessions)) })
+}
+
+// Obs returns the registry the broker records into.
+func (b *Broker) Obs() *obs.Registry { return b.reg }
+
+// QueryLatency returns the snapshot query/response latency histogram
+// (milliseconds). The broker has no clock; the host observes into it.
+func (b *Broker) QueryLatency() *obs.Histogram { return b.queryLatency }
 
 // Name returns the broker's identifier.
 func (b *Broker) Name() string { return b.name }
@@ -230,7 +254,7 @@ func (b *Broker) applyUpdate(leaf cd.CD, objID string, size float64) {
 	}
 	o.size = b.decay*o.size + size
 	o.version++
-	b.updatesApplied++
+	b.updatesApplied.Inc()
 	// A running session picks up new objects on its next rotation.
 	if s, active := b.sessions[leaf.Key()]; active {
 		found := false
@@ -328,7 +352,7 @@ func (b *Broker) Tick() []*wire.Packet {
 		if o == nil {
 			continue
 		}
-		b.objectsCycled++
+		b.objectsCycled.Inc()
 		out = append(out, &wire.Packet{
 			Type:    wire.TypeMulticast,
 			CDs:     []cd.CD{DataCD(s.leaf)},
@@ -394,7 +418,7 @@ func (b *Broker) handleInterest(pkt *wire.Packet) []*wire.Packet {
 	if _, ok := b.serving[leaf.Key()]; !ok {
 		return nil
 	}
-	b.queriesServed++
+	b.queriesServed.Inc()
 	if item == "_recent" {
 		// Catch-up for a player coming back online in this area: the
 		// recent update log, newest last.
@@ -504,7 +528,7 @@ func ParseManifest(payload []byte) map[string]int {
 
 // Stats returns cumulative counters.
 func (b *Broker) Stats() (updates, queries, cycled uint64) {
-	return b.updatesApplied, b.queriesServed, b.objectsCycled
+	return b.updatesApplied.Value(), b.queriesServed.Value(), b.objectsCycled.Value()
 }
 
 // SnapshotSize returns the broker's current snapshot bytes for a leaf.

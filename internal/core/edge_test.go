@@ -54,7 +54,7 @@ func TestPruneEdgeCases(t *testing.T) {
 	r := NewRouter("X")
 	r.AddFace(1, FaceRouter)
 	// Prune for an unknown RP is dropped.
-	acts := r.handlePrune(1, &wire.Packet{
+	acts := r.handlePrune(time.Unix(0, 0), 1, &wire.Packet{
 		Type: wire.TypePrune, Name: "/ghost", CDs: []cd.CD{cd.MustParse("/1")},
 	})
 	if acts != nil || r.Stats().Dropped != 1 {
@@ -64,7 +64,7 @@ func TestPruneEdgeCases(t *testing.T) {
 	if _, err := r.BecomeRP(copss.RPInfo{Name: "/rp", Prefixes: []cd.CD{cd.MustParse("/1")}, Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	acts = r.handlePrune(1, &wire.Packet{
+	acts = r.handlePrune(time.Unix(0, 0), 1, &wire.Packet{
 		Type: wire.TypePrune, Name: "/rp", CDs: []cd.CD{cd.MustParse("/1")},
 	})
 	if acts != nil {
@@ -87,7 +87,7 @@ func TestFlushLeavesIgnoresForeignMarkers(t *testing.T) {
 		Type: wire.TypeMulticast, CDs: []cd.CD{cd.MustParse("/1")},
 		Origin: FlushOrigin, Name: flushMarkerName("Y"),
 	}
-	if acts := r.flushLeaves(1, foreign); acts != nil {
+	if acts := r.flushLeaves(time.Unix(0, 0), 1, foreign); acts != nil {
 		t.Errorf("foreign marker triggered leave: %v", acts)
 	}
 	// Our marker on the WRONG face must not either.
@@ -95,15 +95,15 @@ func TestFlushLeavesIgnoresForeignMarkers(t *testing.T) {
 		Type: wire.TypeMulticast, CDs: []cd.CD{cd.MustParse("/1")},
 		Origin: FlushOrigin, Name: flushMarkerName("X"),
 	}
-	if acts := r.flushLeaves(2, ours); acts != nil {
+	if acts := r.flushLeaves(time.Unix(0, 0), 2, ours); acts != nil {
 		t.Errorf("wrong-face marker triggered leave: %v", acts)
 	}
 	// Our marker on the old face releases the leave exactly once.
-	acts := r.flushLeaves(1, ours)
+	acts := r.flushLeaves(time.Unix(0, 0), 1, ours)
 	if len(acts) != 1 || acts[0].Packet.Type != wire.TypeLeave || acts[0].Face != 1 {
 		t.Fatalf("leave = %v", acts)
 	}
-	if acts := r.flushLeaves(1, ours); acts != nil {
+	if acts := r.flushLeaves(time.Unix(0, 0), 1, ours); acts != nil {
 		t.Errorf("leave emitted twice: %v", acts)
 	}
 }
@@ -116,15 +116,15 @@ func TestMaybeLeaveRequiresConfirmAndMarker(t *testing.T) {
 		oldRP:        "/old",
 		pendingLeave: cd.NewSet(cd.MustParse("/1")),
 	}
-	if acts := r.maybeLeaveOldBranch(g); acts != nil {
+	if acts := r.maybeLeaveOldBranch(time.Unix(0, 0), g); acts != nil {
 		t.Error("leave without confirm or marker")
 	}
 	g.confirmed = true
-	if acts := r.maybeLeaveOldBranch(g); acts != nil {
+	if acts := r.maybeLeaveOldBranch(time.Unix(0, 0), g); acts != nil {
 		t.Error("leave without marker")
 	}
 	g.markerSeen = true
-	if acts := r.maybeLeaveOldBranch(g); len(acts) != 1 {
+	if acts := r.maybeLeaveOldBranch(time.Unix(0, 0), g); len(acts) != 1 {
 		t.Error("leave not released")
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -273,13 +275,13 @@ type HandoffActions struct {
 // handlePrune dissolves the old-tree branch toward a migrated RP: remove
 // the down-entries on the face leading to the new host and forward the
 // Prune one hop closer. The new host consumes it.
-func (r *Router) handlePrune(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handlePrune(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	if r.IsRP(pkt.Name) {
 		return nil // reached the new host: the branch is gone
 	}
 	face, ok := r.upstream[pkt.Name]
 	if !ok {
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "prune for unknown upstream")
 		return nil
 	}
 	for _, c := range pkt.CDs {
@@ -374,17 +376,18 @@ func (r *Router) graftConfirmed(rpName string) bool {
 // atomically shrinks the old RP and installs the new one, learns the route
 // toward the new RP from the arrival face, re-grafts this router's
 // subscription tree onto the new RP (make-before-break), and re-floods.
-func (r *Router) handleHandoffAnnouncement(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.AnnouncementsIn++
+func (r *Router) handleHandoffAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.announcementsIn.Inc()
 	newRP, oldRP := pkt.Name, pkt.Origin
 	if pkt.Seq <= r.announceSeq[newRP] {
 		return nil // duplicate flood
 	}
 	r.announceSeq[newRP] = pkt.Seq
 	if err := applyHandoff(r, oldRP, newRP, pkt.CDs, pkt.Seq); err != nil {
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "conflicting handoff")
 		return nil
 	}
+	r.record(now, obs.EvMigration, from, pkt, "handoff announced")
 
 	var out []ndn.Action
 	// Learn the route unless stage B already pinned one (path routers).
@@ -394,10 +397,10 @@ func (r *Router) handleHandoffAnnouncement(from ndn.FaceID, pkt *wire.Packet) []
 		r.upstream[newRP] = from
 	}
 
-	out = append(out, r.regraft(oldRP, newRP, pkt.CDs)...)
+	out = append(out, r.regraft(now, oldRP, newRP, pkt.CDs)...)
 
 	// Release joins that raced ahead of this announcement.
-	out = append(out, r.drainPendingJoins(newRP)...)
+	out = append(out, r.drainPendingJoins(now, newRP)...)
 
 	fwd := pkt.Clone()
 	fwd.HopCount++
@@ -412,7 +415,7 @@ func (r *Router) handleHandoffAnnouncement(from ndn.FaceID, pkt *wire.Packet) []
 // branch until it is added to a new ST branch"). Routers already grafted by
 // stage B — including the new RP host itself — prune the old branch
 // immediately.
-func (r *Router) regraft(oldRP, newRP string, move []cd.CD) []ndn.Action {
+func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD) []ndn.Action {
 	needs := narrowedNeeds(r, move)
 	if needs.Len() == 0 {
 		return nil
@@ -471,12 +474,14 @@ func (r *Router) regraft(oldRP, newRP string, move []cd.CD) []ndn.Action {
 		g.pendingLeave = needs.Clone()
 	}
 	g.joinSent = true
-	return []ndn.Action{{Face: newFace, Packet: &wire.Packet{
+	join := &wire.Packet{
 		Type:   wire.TypeJoin,
 		Name:   newRP,
 		CDs:    needs.Members(),
 		Origin: r.name,
-	}}}
+	}
+	r.record(now, obs.EvMigration, newFace, join, "join sent (make-before-break)")
+	return []ndn.Action{{Face: newFace, Packet: join}}
 }
 
 // handleJoin grafts a downstream branch onto rpName's multicast tree. The
@@ -484,8 +489,8 @@ func (r *Router) regraft(oldRP, newRP string, move []cd.CD) []ndn.Action {
 // possible during migration, loss is not). A Confirm is returned as soon as
 // this router is itself on the tree; otherwise the Join is aggregated
 // upstream and the Confirm deferred.
-func (r *Router) handleJoin(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.JoinsIn++
+func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.joinsIn.Inc()
 	rpName := pkt.Name
 	for _, c := range pkt.CDs {
 		r.st.Add(from, c)
@@ -510,7 +515,7 @@ func (r *Router) handleJoin(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 					Name:   flushMarkerName(pkt.Origin),
 					Seq:    r.pubSeq,
 				}
-				out = append(out, r.distribute(-1, marker)...)
+				out = append(out, r.distribute(now, -1, marker)...)
 			}
 		}
 		return out
@@ -569,8 +574,8 @@ func (r *Router) handleJoin(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 
 // handleConfirm completes this router's graft: it releases downstream
 // joiners and prunes the old tree (the deferred Leave of make-before-break).
-func (r *Router) handleConfirm(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.ConfirmsIn++
+func (r *Router) handleConfirm(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.confirmsIn.Inc()
 	rpName := pkt.Name
 	g := r.grafts[rpName]
 	if g == nil {
@@ -579,16 +584,17 @@ func (r *Router) handleConfirm(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	var out []ndn.Action
 	if !g.confirmed {
 		out = append(out, r.confirmGraft(rpName)...)
+		r.record(now, obs.EvMigration, from, pkt, "graft confirmed")
 	}
 	// The break of make-before-break happens only when BOTH the new branch
 	// is confirmed live AND our flush marker has drained the old one.
-	out = append(out, r.maybeLeaveOldBranch(g)...)
+	out = append(out, r.maybeLeaveOldBranch(now, g)...)
 	return out
 }
 
 // flushLeaves reacts to a migration flush marker arriving on a face: grafts
 // whose old upstream is that face and whose marker this is may now leave.
-func (r *Router) flushLeaves(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) flushLeaves(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	if pkt.Name != flushMarkerName(r.name) {
 		return nil
 	}
@@ -596,7 +602,8 @@ func (r *Router) flushLeaves(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	for _, g := range r.grafts {
 		if g.hasOld && g.oldFace == from {
 			g.markerSeen = true
-			out = append(out, r.maybeLeaveOldBranch(g)...)
+			r.record(now, obs.EvMigration, from, pkt, "flush marker drained old branch")
+			out = append(out, r.maybeLeaveOldBranch(now, g)...)
 		}
 	}
 	return out
@@ -604,16 +611,18 @@ func (r *Router) flushLeaves(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 
 // maybeLeaveOldBranch sends the deferred Leave once the graft is confirmed
 // and its old branch has been flushed.
-func (r *Router) maybeLeaveOldBranch(g *graft) []ndn.Action {
+func (r *Router) maybeLeaveOldBranch(now time.Time, g *graft) []ndn.Action {
 	if !g.confirmed || !g.markerSeen || !g.hasOld ||
 		g.pendingLeave == nil || g.pendingLeave.Len() == 0 {
 		return nil
 	}
-	out := []ndn.Action{{Face: g.oldFace, Packet: &wire.Packet{
+	leave := &wire.Packet{
 		Type: wire.TypeLeave,
 		Name: g.oldRP,
 		CDs:  g.pendingLeave.Members(),
-	}}}
+	}
+	r.record(now, obs.EvMigration, g.oldFace, leave, "old branch released")
+	out := []ndn.Action{{Face: g.oldFace, Packet: leave}}
 	g.pendingLeave = nil
 	g.hasOld = false
 	return out
@@ -621,13 +630,13 @@ func (r *Router) maybeLeaveOldBranch(g *graft) []ndn.Action {
 
 // handleLeave prunes a downstream branch: identical to an Unsubscribe of the
 // carried CDs, with upstream withdrawal when the last subscriber is gone.
-func (r *Router) handleLeave(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.LeavesIn++
-	return r.handleUnsubscribe(from, &wire.Packet{Type: wire.TypeUnsubscribe, CDs: pkt.CDs})
+func (r *Router) handleLeave(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.leavesIn.Inc()
+	return r.handleUnsubscribe(now, from, &wire.Packet{Type: wire.TypeUnsubscribe, CDs: pkt.CDs})
 }
 
 // drainPendingJoins replays joins that arrived before the announcement.
-func (r *Router) drainPendingJoins(rpName string) []ndn.Action {
+func (r *Router) drainPendingJoins(now time.Time, rpName string) []ndn.Action {
 	pend := r.pendingJoins[rpName]
 	if len(pend) == 0 {
 		return nil
@@ -635,7 +644,7 @@ func (r *Router) drainPendingJoins(rpName string) []ndn.Action {
 	delete(r.pendingJoins, rpName)
 	var out []ndn.Action
 	for _, pj := range pend {
-		out = append(out, r.handleJoin(pj.from, &wire.Packet{
+		out = append(out, r.handleJoin(now, pj.from, &wire.Packet{
 			Type:   wire.TypeJoin,
 			Name:   rpName,
 			CDs:    pj.cds,

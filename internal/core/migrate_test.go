@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
@@ -436,7 +437,7 @@ func TestJoinRacesAnnouncement(t *testing.T) {
 	r.AddFace(1, FaceRouter)
 	r.AddFace(2, FaceRouter)
 	joinPkt := &wire.Packet{Type: wire.TypeJoin, Name: "/rpZ", CDs: []cd.CD{cd.MustParse("/7")}}
-	acts := r.handleJoin(1, joinPkt)
+	acts := r.handleJoin(time.Unix(0, 0), 1, joinPkt)
 	if acts != nil {
 		t.Fatalf("join for unknown RP produced actions: %v", acts)
 	}
@@ -446,7 +447,7 @@ func TestJoinRacesAnnouncement(t *testing.T) {
 	// Announcement arrives on face 2; the parked join must now produce a
 	// Join forwarded upstream (X is not on the tree yet).
 	annPkt := &wire.Packet{Type: wire.TypeFIBAdd, Name: "/rpZ", CDs: []cd.CD{cd.MustParse("/7")}, Seq: 5}
-	acts = r.handleAnnouncement(2, annPkt)
+	acts = r.handleAnnouncement(time.Unix(0, 0), 2, annPkt)
 	foundJoin := false
 	for _, a := range acts {
 		if a.Packet.Type == wire.TypeJoin && a.Face == 2 {

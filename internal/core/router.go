@@ -19,6 +19,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -42,7 +43,9 @@ const (
 // never reference it; it only appears as a packet origin.
 const InternalFace ndn.FaceID = -1
 
-// Stats counts router activity.
+// Stats counts router activity. Values are assembled by Stats() from the
+// router's registry-backed counters, so reading them is safe while another
+// goroutine drives HandlePacket.
 type Stats struct {
 	MulticastIn         uint64 // raw Multicast packets received
 	MulticastOut        uint64 // Multicast packets sent (per face)
@@ -56,6 +59,23 @@ type Stats struct {
 	AnnouncementsIn     uint64
 	Redirected          uint64 // stage-B publications re-encapsulated to a new RP
 	Dropped             uint64
+}
+
+// routerCounters holds the pre-resolved metric handles for the packet paths,
+// so every count is one atomic add with no registry lookup.
+type routerCounters struct {
+	multicastIn         *obs.Counter
+	multicastOut        *obs.Counter
+	publishEncapsulated *obs.Counter
+	rpDeliveries        *obs.Counter
+	subscribesIn        *obs.Counter
+	unsubscribesIn      *obs.Counter
+	joinsIn             *obs.Counter
+	confirmsIn          *obs.Counter
+	leavesIn            *obs.Counter
+	announcementsIn     *obs.Counter
+	redirected          *obs.Counter
+	dropped             *obs.Counter
 }
 
 // Router is one G-COPSS node.
@@ -96,7 +116,11 @@ type Router struct {
 	announceSeq map[string]uint64
 
 	pubSeq uint64
-	stats  Stats
+
+	obsReg          *obs.Registry
+	flight          *obs.Flight
+	ctr             routerCounters
+	deliveryLatency *obs.Histogram
 
 	windowSize int
 	matchMode  copss.MatchMode
@@ -152,6 +176,19 @@ func WithNDNOptions(opts ...ndn.Option) Option {
 	return func(r *Router) { r.ndnEngine = ndn.NewEngine(opts...) }
 }
 
+// WithObs binds the router's metrics to an externally owned registry (hosts
+// share one registry per process and expose it over HTTP). By default each
+// router records into a private registry.
+func WithObs(reg *obs.Registry) Option {
+	return func(r *Router) { r.obsReg = reg }
+}
+
+// WithFlightRecorder attaches a packet-path flight recorder. Without one,
+// recording is disabled (Record on a nil Flight is a no-op).
+func WithFlightRecorder(f *obs.Flight) Option {
+	return func(r *Router) { r.flight = f }
+}
+
 // NewRouter creates a router with no faces.
 func NewRouter(name string, opts ...Option) *Router {
 	r := &Router{
@@ -172,8 +209,43 @@ func NewRouter(name string, opts ...Option) *Router {
 		o(r)
 	}
 	r.st = copss.NewST(r.matchMode)
+	if r.obsReg == nil {
+		r.obsReg = obs.NewRegistry()
+	}
+	r.instrument()
 	return r
 }
+
+// instrument resolves the router's metric handles against its registry,
+// registers the table-size gauges, and folds the embedded NDN engine's
+// telemetry into the same registry.
+func (r *Router) instrument() {
+	reg := r.obsReg
+	r.ctr = routerCounters{
+		multicastIn:         reg.Counter("multicast_in"),
+		multicastOut:        reg.Counter("multicast_out"),
+		publishEncapsulated: reg.Counter("publish_encapsulated"),
+		rpDeliveries:        reg.Counter("rp_deliveries"),
+		subscribesIn:        reg.Counter("subscribes_in"),
+		unsubscribesIn:      reg.Counter("unsubscribes_in"),
+		joinsIn:             reg.Counter("joins_in"),
+		confirmsIn:          reg.Counter("confirms_in"),
+		leavesIn:            reg.Counter("leaves_in"),
+		announcementsIn:     reg.Counter("announcements_in"),
+		redirected:          reg.Counter("redirected"),
+		dropped:             reg.Counter("dropped"),
+	}
+	r.deliveryLatency = reg.Histogram("delivery_latency_ms", obs.LatencyBucketsMs())
+	reg.GaugeFunc("st_entries", func() float64 { return float64(r.st.Len()) })
+	reg.GaugeFunc("rp_table_entries", func() float64 { return float64(r.rpt.Len()) })
+	r.ndnEngine.Instrument(reg)
+}
+
+// Obs returns the registry the router records into.
+func (r *Router) Obs() *obs.Registry { return r.obsReg }
+
+// FlightRecorder returns the attached flight recorder (nil when disabled).
+func (r *Router) FlightRecorder() *obs.Flight { return r.flight }
 
 // Name returns the router's name.
 func (r *Router) Name() string { return r.name }
@@ -187,8 +259,82 @@ func (r *Router) ST() *copss.ST { return r.st }
 // RPTable exposes this router's view of the RP population.
 func (r *Router) RPTable() *copss.RPTable { return r.rpt }
 
-// Stats returns a copy of the router counters.
-func (r *Router) Stats() Stats { return r.stats }
+// Stats returns a copy of the router counters. Counter reads are atomic, so
+// Stats is safe to call concurrently with packet handling.
+func (r *Router) Stats() Stats {
+	return Stats{
+		MulticastIn:         r.ctr.multicastIn.Value(),
+		MulticastOut:        r.ctr.multicastOut.Value(),
+		PublishEncapsulated: r.ctr.publishEncapsulated.Value(),
+		RPDeliveries:        r.ctr.rpDeliveries.Value(),
+		SubscribesIn:        r.ctr.subscribesIn.Value(),
+		UnsubscribesIn:      r.ctr.unsubscribesIn.Value(),
+		JoinsIn:             r.ctr.joinsIn.Value(),
+		ConfirmsIn:          r.ctr.confirmsIn.Value(),
+		LeavesIn:            r.ctr.leavesIn.Value(),
+		AnnouncementsIn:     r.ctr.announcementsIn.Value(),
+		Redirected:          r.ctr.redirected.Value(),
+		Dropped:             r.ctr.dropped.Value(),
+	}
+}
+
+// arrivalKind maps a wire packet type to its flight-recorder arrival kind
+// (0 when the type is unknown).
+func arrivalKind(t wire.Type) obs.EventKind {
+	switch t {
+	case wire.TypeInterest:
+		return obs.EvInterest
+	case wire.TypeData:
+		return obs.EvData
+	case wire.TypeSubscribe:
+		return obs.EvSubscribe
+	case wire.TypeUnsubscribe:
+		return obs.EvUnsubscribe
+	case wire.TypeMulticast:
+		return obs.EvMulticast
+	case wire.TypeFIBAdd:
+		return obs.EvAnnounce
+	case wire.TypeHandoff:
+		return obs.EvHandoff
+	case wire.TypeJoin:
+		return obs.EvJoin
+	case wire.TypeConfirm:
+		return obs.EvConfirm
+	case wire.TypeLeave:
+		return obs.EvLeave
+	case wire.TypePrune:
+		return obs.EvPrune
+	default:
+		return 0
+	}
+}
+
+// record stores one flight event for a packet, filling the shared fields.
+// Kind-specific fields (Face, Note) are set by the caller on ev.
+func (r *Router) record(now time.Time, kind obs.EventKind, face ndn.FaceID, pkt *wire.Packet, note string) {
+	if !r.flight.Enabled() {
+		return
+	}
+	ev := obs.Event{
+		At:   now.UnixNano(),
+		Kind: kind,
+		Face: int64(face),
+		Name: pkt.Name,
+		Note: note,
+	}
+	if len(pkt.CDs) > 0 {
+		ev.CD = pkt.CDs[0].Key()
+	}
+	ev.Origin = pkt.Origin
+	r.flight.Record(ev)
+}
+
+// drop counts a discarded packet and leaves a flight-recorder trace with the
+// reason.
+func (r *Router) drop(now time.Time, from ndn.FaceID, pkt *wire.Packet, reason string) {
+	r.ctr.dropped.Inc()
+	r.record(now, obs.EvDrop, from, pkt, reason)
+}
 
 // AddFace registers a face of the given kind.
 func (r *Router) AddFace(id ndn.FaceID, kind FaceKind) {
@@ -287,31 +433,34 @@ func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 // HandlePacket is the router's single entry point: it dispatches by packet
 // type exactly as the "is a NDN pkt?" demultiplexer of Fig. 2 does.
 func (r *Router) HandlePacket(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	if kind := arrivalKind(pkt.Type); kind != 0 {
+		r.record(now, kind, from, pkt, "")
+	}
 	switch pkt.Type {
 	case wire.TypeInterest:
 		return r.handleInterest(now, from, pkt)
 	case wire.TypeData:
 		return r.ndnEngine.HandleData(now, from, pkt)
 	case wire.TypeSubscribe:
-		return r.handleSubscribe(from, pkt)
+		return r.handleSubscribe(now, from, pkt)
 	case wire.TypeUnsubscribe:
-		return r.handleUnsubscribe(from, pkt)
+		return r.handleUnsubscribe(now, from, pkt)
 	case wire.TypeMulticast:
 		return r.handleMulticast(now, from, pkt)
 	case wire.TypeFIBAdd:
-		return r.handleAnnouncement(from, pkt)
+		return r.handleAnnouncement(now, from, pkt)
 	case wire.TypeHandoff:
-		return r.handleHandoffAnnouncement(from, pkt)
+		return r.handleHandoffAnnouncement(now, from, pkt)
 	case wire.TypeJoin:
-		return r.handleJoin(from, pkt)
+		return r.handleJoin(now, from, pkt)
 	case wire.TypeConfirm:
-		return r.handleConfirm(from, pkt)
+		return r.handleConfirm(now, from, pkt)
 	case wire.TypeLeave:
-		return r.handleLeave(from, pkt)
+		return r.handleLeave(now, from, pkt)
 	case wire.TypePrune:
-		return r.handlePrune(from, pkt)
+		return r.handlePrune(now, from, pkt)
 	default:
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "unknown packet type")
 		return nil
 	}
 }
@@ -334,14 +483,14 @@ func (r *Router) handleInterest(now time.Time, from ndn.FaceID, pkt *wire.Packet
 	if r.IsRP(rpName) {
 		inner, err := wire.Decapsulate(pkt)
 		if err != nil {
-			r.stats.Dropped++
+			r.drop(now, from, pkt, "malformed encapsulation")
 			return nil
 		}
 		return r.deliverAsRP(now, rpName, inner)
 	}
 	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
 	if !ok {
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "no route to RP")
 		return nil
 	}
 	out := pkt.Clone()
@@ -374,7 +523,7 @@ func (r *Router) rpBoundName(name string) (string, bool) {
 func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
 	c, err := inner.CD()
 	if err != nil {
-		r.stats.Dropped++
+		r.drop(now, InternalFace, inner, "publication without CD")
 		return nil
 	}
 	mon := r.localRPs[rpName]
@@ -387,11 +536,12 @@ func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet) [
 		// The CD moved to another RP; redirect (half-RTT loss-freedom rule).
 		newRP, _, ok := r.rpt.CoverOf(c)
 		if !ok || newRP == rpName {
-			r.stats.Dropped++
+			r.drop(now, InternalFace, inner, "no RP covers CD")
 			return prunes
 		}
-		r.stats.Redirected++
-		return append(prunes, r.publishToward(newRP, inner)...)
+		r.ctr.redirected.Inc()
+		r.record(now, obs.EvRedirect, InternalFace, inner, newRP)
+		return append(prunes, r.publishToward(now, newRP, inner)...)
 	}
 	if mon != nil {
 		mon.Record(c)
@@ -399,18 +549,19 @@ func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet) [
 	if inner.Name == TwoStepRequest {
 		return append(prunes, r.deliverTwoStep(now, rpName, inner)...)
 	}
-	r.stats.RPDeliveries++
-	return append(prunes, r.distribute(-1, inner)...) // -1: no arrival face to exclude
+	r.ctr.rpDeliveries.Inc()
+	r.record(now, obs.EvRPDeliver, InternalFace, inner, rpName)
+	return append(prunes, r.distribute(now, -1, inner)...) // -1: no arrival face to exclude
 }
 
 // handleMulticast implements the paper's two Multicast cases: from an end
 // host, encapsulate toward the covering RP; from another router, forward
 // straight from the ST.
 func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.MulticastIn++
+	r.ctr.multicastIn.Inc()
 	kind, ok := r.faces[from]
 	if !ok {
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "unregistered face")
 		return nil
 	}
 	if kind == FaceRouter && pkt.Origin == FlushOrigin {
@@ -418,18 +569,18 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 		// upstream face, the old branch has drained — the deferred Leave of
 		// make-before-break can finally be sent. Either way the marker
 		// continues down the tree for joiners below us.
-		out := r.flushLeaves(from, pkt)
-		return append(out, r.distribute(from, pkt)...)
+		out := r.flushLeaves(now, from, pkt)
+		return append(out, r.distribute(now, from, pkt)...)
 	}
 	if kind == FaceClient {
 		c, err := pkt.CD()
 		if err != nil {
-			r.stats.Dropped++
+			r.drop(now, from, pkt, "publication without CD")
 			return nil
 		}
 		rpName, _, found := r.rpt.CoverOf(c)
 		if !found {
-			r.stats.Dropped++
+			r.drop(now, from, pkt, "no RP covers CD")
 			return nil
 		}
 		// First-hop optimization (Section III-C): compute the Bloom hash
@@ -451,43 +602,46 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 			if pkt.Name == TwoStepRequest {
 				return append(prunes, r.deliverTwoStep(now, rpName, pkt)...)
 			}
-			r.stats.RPDeliveries++
-			return append(prunes, r.distribute(-1, pkt)...)
+			r.ctr.rpDeliveries.Inc()
+			r.record(now, obs.EvRPDeliver, InternalFace, pkt, rpName)
+			return append(prunes, r.distribute(now, -1, pkt)...)
 		}
-		r.stats.PublishEncapsulated++
-		return r.publishToward(rpName, pkt)
+		r.ctr.publishEncapsulated.Inc()
+		return r.publishToward(now, rpName, pkt)
 	}
-	return r.distribute(from, pkt)
+	return r.distribute(now, from, pkt)
 }
 
 // publishToward encapsulates a Multicast into an Interest addressed to the
 // given RP and forwards it along the FIB. The encapsulation name gets a
 // unique (origin, seq) suffix so that distinct publications to the same CD
 // are never aggregated by PIT-style state anywhere.
-func (r *Router) publishToward(rpName string, inner *wire.Packet) []ndn.Action {
+func (r *Router) publishToward(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
 	outer, err := wire.Encapsulate(rpName, inner)
 	if err != nil {
-		r.stats.Dropped++
+		r.drop(now, InternalFace, inner, "encapsulation failed")
 		return nil
 	}
 	r.pubSeq++
 	outer.Name = outer.Name + "/" + inner.Origin + "/" + strconv.FormatUint(r.pubSeq, 36)
 	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
 	if !ok {
-		r.stats.Dropped++
+		r.drop(now, InternalFace, inner, "no route to RP")
 		return nil
 	}
 	outer.HopCount = inner.HopCount + 1
+	r.record(now, obs.EvEncapsulate, faces[0], inner, rpName)
 	return []ndn.Action{{Face: faces[0], Packet: outer}}
 }
 
 // distribute forwards a Multicast to every face whose subscriptions match a
 // prefix of the packet's CD, excluding the arrival face. Precomputed hash
-// pairs from the first hop are used when present.
-func (r *Router) distribute(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+// pairs from the first hop are used when present. Deliveries to client faces
+// carrying a send timestamp feed the delivery-latency histogram.
+func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	c, err := pkt.CD()
 	if err != nil {
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "multicast without CD")
 		return nil
 	}
 	var faces []ndn.FaceID
@@ -504,7 +658,13 @@ func (r *Router) distribute(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 		cp := pkt.Clone()
 		cp.HopCount++
 		out = append(out, ndn.Action{Face: f, Packet: cp})
-		r.stats.MulticastOut++
+		r.ctr.multicastOut.Inc()
+		r.record(now, obs.EvFanOut, f, pkt, "")
+		if pkt.SentAt != 0 && pkt.Origin != FlushOrigin && r.faces[f] == FaceClient {
+			if dt := now.UnixNano() - pkt.SentAt; dt >= 0 {
+				r.deliveryLatency.Observe(float64(dt) / 1e6)
+			}
+		}
 	}
 	return out
 }
@@ -516,8 +676,8 @@ func (r *Router) distribute(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 // as deeper(p, c) — the more specific of the two. Because the served prefix
 // population is prefix-free, every narrowed CD belongs to exactly one RP,
 // which is what makes per-RP tree maintenance (migration) unambiguous.
-func (r *Router) handleSubscribe(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.SubscribesIn++
+func (r *Router) handleSubscribe(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.subscribesIn.Inc()
 	var out []ndn.Action
 	for _, c := range pkt.CDs {
 		r.st.Add(from, c)
@@ -563,8 +723,8 @@ func (r *Router) propagateSubscription(from ndn.FaceID, c cd.CD) []ndn.Action {
 
 // handleUnsubscribe removes subscriptions and withdraws upstream state that
 // no remaining subscriber needs.
-func (r *Router) handleUnsubscribe(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.UnsubscribesIn++
+func (r *Router) handleUnsubscribe(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.unsubscribesIn.Inc()
 	var out []ndn.Action
 	for _, c := range pkt.CDs {
 		if !r.st.Remove(from, c) {
@@ -661,8 +821,8 @@ func (r *Router) upstreamFaceFor(rpName string) (ndn.FaceID, bool) {
 // add/remove packets to directly deal with maintaining the FIB"). Either
 // way the route toward the origin is learned from the arrival face (first
 // arrival approximates the shortest path) and the flood continues.
-func (r *Router) handleAnnouncement(from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	r.stats.AnnouncementsIn++
+func (r *Router) handleAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	r.ctr.announcementsIn.Inc()
 	if pkt.Seq <= r.announceSeq[pkt.Name] {
 		return nil // duplicate or stale flood
 	}
@@ -676,14 +836,14 @@ func (r *Router) handleAnnouncement(from ndn.FaceID, pkt *wire.Packet) []ndn.Act
 		return r.floodExcept(from, fwd)
 	}
 	if err := r.rpt.Set(pkt.Name, pkt.CDs, pkt.Seq); err != nil {
-		r.stats.Dropped++
+		r.drop(now, from, pkt, "conflicting RP announcement")
 		return nil
 	}
 	r.announceSeq[pkt.Name] = pkt.Seq
 	r.ndnEngine.FIB().RemovePrefix(pkt.Name)
 	r.ndnEngine.FIB().Add(pkt.Name, from)
 	r.upstream[pkt.Name] = from
-	out := r.drainPendingJoins(pkt.Name)
+	out := r.drainPendingJoins(now, pkt.Name)
 	fwd := pkt.Clone()
 	fwd.HopCount++
 	return append(out, r.floodExcept(from, fwd)...)

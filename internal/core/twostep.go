@@ -70,8 +70,8 @@ func (r *Router) deliverTwoStep(now time.Time, rpName string, inner *wire.Packet
 	snippet := inner.Clone()
 	snippet.Name = ""
 	snippet.Payload = []byte(snippetMarker + name)
-	r.stats.RPDeliveries++
-	return r.distribute(-1, snippet)
+	r.ctr.rpDeliveries.Inc()
+	return r.distribute(now, -1, snippet)
 }
 
 // PublishMode selects the COPSS delivery model for a publication.

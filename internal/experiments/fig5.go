@@ -18,6 +18,9 @@ type Fig5Series struct {
 	Splits  []sim.SplitEvent
 	MeanMs  float64
 	FinalRP int
+	// RPQueues reports each RP's queue-depth summary for the panel —
+	// the load picture behind the latency curves.
+	RPQueues []sim.RPQueueStat
 }
 
 // Fig5Result holds the three panels: 3 RPs (a), 2 RPs (b), auto (c).
@@ -40,7 +43,7 @@ func Fig5(w *Workbench) (*Fig5Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig5 %s: %w", name, err)
 		}
-		s := &Fig5Series{Name: name, Splits: r.Splits, MeanMs: r.Latency.Mean(), FinalRP: r.FinalRPs}
+		s := &Fig5Series{Name: name, Splits: r.Splits, MeanMs: r.Latency.Mean(), FinalRP: r.FinalRPs, RPQueues: r.RPQueues}
 		n := len(r.PerUpdateAvg)
 		stride := n / fig5Points
 		if stride < 1 {
@@ -93,6 +96,10 @@ func (r *Fig5Result) Render() string {
 			}
 		}
 		b.WriteString("\n")
+		for _, q := range s.RPQueues {
+			fmt.Fprintf(&b, "  queue %s@%v: max=%d mean=%.2f over %d updates\n",
+				q.Name, q.Node, q.MaxDepth, q.MeanDepth, q.Updates)
+		}
 		b.WriteString("  packet#      min      avg      max\n")
 		for i := range s.Index {
 			fmt.Fprintf(&b, "  %7d  %7.1f  %7.1f  %7.1f\n", s.Index[i], s.MinMs[i], s.AvgMs[i], s.MaxMs[i])

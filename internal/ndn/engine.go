@@ -3,6 +3,7 @@ package ndn
 import (
 	"time"
 
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -13,7 +14,8 @@ type Action struct {
 	Packet *wire.Packet
 }
 
-// Stats counts engine activity, used by the microbenchmarks.
+// Stats counts engine activity, used by the microbenchmarks. Values are
+// assembled from the engine's registry-backed counters by Stats().
 type Stats struct {
 	InterestsReceived   uint64
 	InterestsForwarded  uint64
@@ -23,6 +25,25 @@ type Stats struct {
 	DataForwarded       uint64
 	DataUnsolicited     uint64
 	CacheHits           uint64
+	FIBHits             uint64
+	FIBMisses           uint64
+	PITExpired          uint64
+}
+
+// counters holds the engine's pre-resolved metric handles so the packet
+// paths record with single atomic operations.
+type counters struct {
+	interestsReceived   *obs.Counter
+	interestsForwarded  *obs.Counter
+	interestsAggregated *obs.Counter
+	interestsDropped    *obs.Counter
+	dataReceived        *obs.Counter
+	dataForwarded       *obs.Counter
+	dataUnsolicited     *obs.Counter
+	cacheHits           *obs.Counter
+	fibHits             *obs.Counter
+	fibMisses           *obs.Counter
+	pitExpired          *obs.Counter
 }
 
 // Engine is a pure NDN forwarding engine: FIB + PIT + Content Store. Methods
@@ -33,7 +54,9 @@ type Engine struct {
 	fib   FIB
 	pit   PIT
 	store *ContentStore
-	stats Stats
+
+	reg *obs.Registry
+	ctr counters
 
 	interestLifetime time.Duration
 }
@@ -51,6 +74,12 @@ func WithInterestLifetime(d time.Duration) Option {
 	return func(e *Engine) { e.interestLifetime = d }
 }
 
+// WithObs binds the engine's metrics to an externally owned registry; by
+// default each engine records into a private one.
+func WithObs(reg *obs.Registry) Option {
+	return func(e *Engine) { e.reg = reg }
+}
+
 // NewEngine creates an engine with a 1024-entry content store by default.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -60,8 +89,39 @@ func NewEngine(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.Instrument(e.reg)
 	return e
 }
+
+// Instrument re-binds the engine's metrics to reg: counters are resolved as
+// fresh handles and the PIT/content-store size gauges are registered against
+// this engine. Hosts that embed the engine (core.Router) call this to fold
+// its telemetry into a shared registry. Counts accumulated in a previously
+// bound registry are not carried over.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.reg = reg
+	e.ctr = counters{
+		interestsReceived:   reg.Counter("ndn.interests_received"),
+		interestsForwarded:  reg.Counter("ndn.interests_forwarded"),
+		interestsAggregated: reg.Counter("ndn.interests_aggregated"),
+		interestsDropped:    reg.Counter("ndn.interests_dropped"),
+		dataReceived:        reg.Counter("ndn.data_received"),
+		dataForwarded:       reg.Counter("ndn.data_forwarded"),
+		dataUnsolicited:     reg.Counter("ndn.data_unsolicited"),
+		cacheHits:           reg.Counter("ndn.cache_hits"),
+		fibHits:             reg.Counter("ndn.fib_hits"),
+		fibMisses:           reg.Counter("ndn.fib_misses"),
+		pitExpired:          reg.Counter("ndn.pit_expired"),
+	}
+	reg.GaugeFunc("ndn.pit_entries", func() float64 { return float64(e.pit.Len()) })
+	reg.GaugeFunc("ndn.cs_entries", func() float64 { return float64(e.store.Len()) })
+}
+
+// Obs returns the registry the engine currently records into.
+func (e *Engine) Obs() *obs.Registry { return e.reg }
 
 // FIB exposes the engine's FIB for route installation (FIBAdd/FIBRemove
 // packets are translated to these calls by the G-COPSS layer).
@@ -71,7 +131,21 @@ func (e *Engine) FIB() *FIB { return &e.fib }
 func (e *Engine) Store() *ContentStore { return e.store }
 
 // Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	return Stats{
+		InterestsReceived:   e.ctr.interestsReceived.Value(),
+		InterestsForwarded:  e.ctr.interestsForwarded.Value(),
+		InterestsAggregated: e.ctr.interestsAggregated.Value(),
+		InterestsDropped:    e.ctr.interestsDropped.Value(),
+		DataReceived:        e.ctr.dataReceived.Value(),
+		DataForwarded:       e.ctr.dataForwarded.Value(),
+		DataUnsolicited:     e.ctr.dataUnsolicited.Value(),
+		CacheHits:           e.ctr.cacheHits.Value(),
+		FIBHits:             e.ctr.fibHits.Value(),
+		FIBMisses:           e.ctr.fibMisses.Value(),
+		PITExpired:          e.ctr.pitExpired.Value(),
+	}
+}
 
 // HandleInterest processes an Interest arriving on face from at time now.
 //
@@ -81,21 +155,23 @@ func (e *Engine) Stats() Stats { return e.stats }
 //   - Otherwise: forward along the FIB's longest-prefix match, excluding the
 //     arrival face.
 func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []Action {
-	e.stats.InterestsReceived++
+	e.ctr.interestsReceived.Inc()
 	if payload, ok := e.store.Get(pkt.Name, now); ok {
-		e.stats.CacheHits++
+		e.ctr.cacheHits.Inc()
 		data := &wire.Packet{Type: wire.TypeData, Name: pkt.Name, Payload: payload, SentAt: pkt.SentAt}
 		return []Action{{Face: from, Packet: data}}
 	}
 	if !e.pit.Insert(pkt.Name, from, now, e.interestLifetime) {
-		e.stats.InterestsAggregated++
+		e.ctr.interestsAggregated.Inc()
 		return nil
 	}
 	faces, _, ok := e.fib.Lookup(pkt.Name)
 	if !ok {
-		e.stats.InterestsDropped++
+		e.ctr.fibMisses.Inc()
+		e.ctr.interestsDropped.Inc()
 		return nil
 	}
+	e.ctr.fibHits.Inc()
 	var actions []Action
 	for _, f := range faces {
 		if f == from {
@@ -106,9 +182,9 @@ func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []
 		actions = append(actions, Action{Face: f, Packet: out})
 	}
 	if len(actions) == 0 {
-		e.stats.InterestsDropped++
+		e.ctr.interestsDropped.Inc()
 	} else {
-		e.stats.InterestsForwarded++
+		e.ctr.interestsForwarded.Inc()
 	}
 	return actions
 }
@@ -117,10 +193,10 @@ func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []
 // PIT bread crumbs back toward all requesters. Unsolicited Data (no PIT
 // entry) is dropped per NDN semantics.
 func (e *Engine) HandleData(now time.Time, from FaceID, pkt *wire.Packet) []Action {
-	e.stats.DataReceived++
+	e.ctr.dataReceived.Inc()
 	faces := e.pit.Consume(pkt.Name, now)
 	if len(faces) == 0 {
-		e.stats.DataUnsolicited++
+		e.ctr.dataUnsolicited.Inc()
 		return nil
 	}
 	e.store.Put(pkt.Name, pkt.Payload, now)
@@ -132,7 +208,7 @@ func (e *Engine) HandleData(now time.Time, from FaceID, pkt *wire.Packet) []Acti
 		out := pkt.Clone()
 		out.HopCount++
 		actions = append(actions, Action{Face: f, Packet: out})
-		e.stats.DataForwarded++
+		e.ctr.dataForwarded.Inc()
 	}
 	return actions
 }
@@ -151,7 +227,13 @@ func (e *Engine) Handle(now time.Time, from FaceID, pkt *wire.Packet) []Action {
 }
 
 // Expire evicts timed-out PIT entries; hosts call it periodically.
-func (e *Engine) Expire(now time.Time) int { return e.pit.Expire(now) }
+func (e *Engine) Expire(now time.Time) int {
+	n := e.pit.Expire(now)
+	if n > 0 {
+		e.ctr.pitExpired.Add(uint64(n))
+	}
+	return n
+}
 
 // PendingInterests returns the number of live PIT entries.
 func (e *Engine) PendingInterests() int { return e.pit.Len() }

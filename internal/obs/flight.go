@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind types a flight-recorder event. Arrival kinds mirror the wire
+// packet types; the remaining kinds mark the router-internal transitions
+// that turn an opaque trace into a readable packet path (encapsulation at
+// the edge, decapsulation at the RP, subscription-tree fan-out, migration
+// stages).
+type EventKind uint8
+
+// Flight recorder event kinds.
+const (
+	// EvInterest through EvPrune record packet arrivals by wire type.
+	EvInterest EventKind = iota + 1
+	EvData
+	EvSubscribe
+	EvUnsubscribe
+	EvMulticast
+	EvAnnounce
+	EvJoin
+	EvConfirm
+	EvLeave
+	EvHandoff
+	EvPrune
+	// EvEncapsulate marks a client publication wrapped toward its RP.
+	EvEncapsulate
+	// EvRPDeliver marks decapsulation and RP delivery of a publication.
+	EvRPDeliver
+	// EvFanOut marks one subscription-tree forwarding decision (per face).
+	EvFanOut
+	// EvRedirect marks a stage-B re-encapsulation toward a migrated RP.
+	EvRedirect
+	// EvDrop marks a packet discarded by the router.
+	EvDrop
+	// EvMigration marks a migration-protocol state transition.
+	EvMigration
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInterest:
+		return "interest"
+	case EvData:
+		return "data"
+	case EvSubscribe:
+		return "subscribe"
+	case EvUnsubscribe:
+		return "unsubscribe"
+	case EvMulticast:
+		return "multicast"
+	case EvAnnounce:
+		return "announce"
+	case EvJoin:
+		return "join"
+	case EvConfirm:
+		return "confirm"
+	case EvLeave:
+		return "leave"
+	case EvHandoff:
+		return "handoff"
+	case EvPrune:
+		return "prune"
+	case EvEncapsulate:
+		return "encapsulate"
+	case EvRPDeliver:
+		return "rp-deliver"
+	case EvFanOut:
+		return "fan-out"
+	case EvRedirect:
+		return "redirect"
+	case EvDrop:
+		return "drop"
+	case EvMigration:
+		return "migration"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded packet-path step. String fields alias their sources
+// (no copies are made), so recording is allocation-free; At carries the
+// host's clock — wall time in the daemon, virtual time in simulation hosts.
+type Event struct {
+	Seq    uint64    // assigned by Record, monotonically increasing
+	At     int64     // nanoseconds on the host's (sim or wall) clock
+	Kind   EventKind //
+	Face   int64     // arrival face for packet events, egress face for fan-out
+	CD     string    // content descriptor, when the packet carries one
+	Name   string    // content or RP name, when present
+	Origin string    // publishing player/node, when present
+	Note   string    // free-form detail (migration stage, drop reason)
+}
+
+// Flight is a bounded ring buffer of Events — a flight recorder: always on,
+// overwriting the oldest entries, dumped on demand when a failure needs a
+// replayable trace. A nil or zero-capacity Flight discards records, so
+// instrumented code never branches on whether recording is enabled.
+type Flight struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events recorded since creation
+}
+
+// NewFlight creates a recorder holding the last capacity events; capacity
+// <= 0 returns a disabled recorder.
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		return &Flight{}
+	}
+	return &Flight{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether records are retained.
+func (f *Flight) Enabled() bool { return f != nil && len(f.buf) > 0 }
+
+// Record stores one event, stamping its sequence number. It is safe for
+// concurrent use and performs no heap allocation.
+func (f *Flight) Record(ev Event) {
+	if f == nil || len(f.buf) == 0 {
+		return
+	}
+	f.mu.Lock()
+	ev.Seq = f.next
+	f.buf[f.next%uint64(len(f.buf))] = ev
+	f.next++
+	f.mu.Unlock()
+}
+
+// Recorded returns the total number of events recorded since creation,
+// including overwritten ones.
+func (f *Flight) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.buf)
+}
+
+// Snapshot returns the retained events, oldest first.
+func (f *Flight) Snapshot() []Event {
+	if f == nil || len(f.buf) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	size := uint64(len(f.buf))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		out = append(out, f.buf[i%size])
+	}
+	return out
+}
+
+// Last returns the most recent n retained events, oldest first. n <= 0
+// returns everything retained.
+func (f *Flight) Last(n int) []Event {
+	all := f.Snapshot()
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// Dump writes the last n events (n <= 0: all retained) as one line per
+// event, oldest first.
+func (f *Flight) Dump(w io.Writer, n int) error {
+	events := f.Last(n)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# flight recorder: %d events retained, %d recorded\n", len(events), f.Recorded())
+	for i := range events {
+		ev := &events[i]
+		fmt.Fprintf(bw, "#%d t=%dns %s face=%d", ev.Seq, ev.At, ev.Kind, ev.Face)
+		if ev.CD != "" {
+			fmt.Fprintf(bw, " cd=%s", ev.CD)
+		}
+		if ev.Name != "" {
+			fmt.Fprintf(bw, " name=%s", ev.Name)
+		}
+		if ev.Origin != "" {
+			fmt.Fprintf(bw, " origin=%s", ev.Origin)
+		}
+		if ev.Note != "" {
+			fmt.Fprintf(bw, " note=%q", ev.Note)
+		}
+		bw.WriteByte('\n') //nolint:errcheck // flushed below
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counters. Observe is
+// lock-free and allocation-free: one binary search over the (immutable)
+// bounds, three atomic operations.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; immutable after construction
+	buckets []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// newHistogram builds a histogram from ascending upper bounds; non-ascending
+// inputs are sanitized by dropping out-of-order bounds. nil bounds default to
+// LatencyBucketsMs.
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBucketsMs()
+	}
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if len(clean) == 0 || b > clean[len(clean)-1] {
+			clean = append(clean, b)
+		}
+	}
+	return &Histogram{
+		bounds:  clean,
+		buckets: make([]atomic.Uint64, len(clean)+1),
+	}
+}
+
+// LatencyBucketsMs returns the canonical log-spaced latency bounds in
+// milliseconds: powers of two from 50 µs to ~26 s, matching the ms-scale
+// per-hop and per-update latency plots of the paper (Figs. 4–6) while still
+// resolving the sub-millisecond forwarding costs of the microbenchmarks.
+func LatencyBucketsMs() []float64 {
+	out := make([]float64, 0, 20)
+	for b := 0.05; len(out) < 20; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; index len(bounds) is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Snapshot returns per-bucket counts (not cumulative); the last entry counts
+// observations above the final bound.
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

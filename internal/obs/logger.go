@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger returns a text-format slog logger writing to w at the given
+// level. Daemons create one root logger and derive per-component children
+// with Scoped.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Scoped returns a child logger tagged with a component attribute, the
+// per-component scoping used across the daemons (router, broker, player,
+// debug server).
+func Scoped(l *slog.Logger, component string) *slog.Logger {
+	return l.With("component", component)
+}
+
+// ParseLevel maps the -log-level flag values (debug, info, warn, error,
+// case-insensitive) to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return slog.LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// Printf adapts a slog logger to the printf-style logging hooks older
+// components expose (e.g. transport.Daemon.SetLogger).
+func Printf(l *slog.Logger) func(format string, args ...interface{}) {
+	return func(format string, args ...interface{}) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/stats"
 	"github.com/icn-gaming/gcopss/internal/topo"
 	"github.com/icn-gaming/gcopss/internal/trace"
@@ -40,6 +41,10 @@ type GCOPSSConfig struct {
 	RPs     []RPPlacement
 	Costs   Costs
 	Balance *AutoBalance // nil disables auto-balancing
+	// Obs, when non-nil, receives a "sim.rp_queue_depth" gauge family
+	// (label "rp") tracking each RP's instantaneous FIFO depth as the
+	// replay progresses.
+	Obs *obs.Registry
 }
 
 // SplitEvent records one automatic RP split (Fig. 5c annotations).
@@ -70,6 +75,23 @@ type Result struct {
 	MaxQueueLen int
 	// FinalRPs is the RP count at the end of the run.
 	FinalRPs int
+	// RPQueues summarizes each RP's FIFO queue over the run, in RP order
+	// (RPs created by auto-balancing splits appear after the initial set).
+	RPQueues []RPQueueStat
+}
+
+// RPQueueStat is the per-RP queue summary of one run.
+type RPQueueStat struct {
+	// Name is the RP's name (/rp1, /rp2, ...).
+	Name string
+	// Node is the topology node hosting the RP.
+	Node topo.NodeID
+	// MaxDepth is the largest FIFO depth (packets) observed at this RP.
+	MaxDepth int
+	// MeanDepth is the mean FIFO depth over the updates this RP served.
+	MeanDepth float64
+	// Updates counts the updates routed through this RP.
+	Updates uint64
 }
 
 // rpState is one simulated RP.
@@ -79,6 +101,10 @@ type rpState struct {
 	lastDepart float64
 	monitor    *core.LoadMonitor
 	name       string
+
+	maxDepth int
+	depthSum float64
+	updates  uint64
 }
 
 // RunGCOPSS replays updates through the G-COPSS data path: publisher → edge
@@ -114,6 +140,11 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 		rnd = rand.New(rand.NewSource(cfg.Balance.Seed))
 		candidates = append(candidates, cfg.Balance.CandidateNodes...)
 		reservoirSeed = cfg.Balance.Seed
+	}
+
+	var queueVec *obs.GaugeVec
+	if cfg.Obs != nil {
+		queueVec = cfg.Obs.GaugeVec("sim.rp_queue_depth", "rp")
 	}
 
 	pl := newPlanner(env, cfg.Costs)
@@ -171,8 +202,9 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 		}
 		upDelay, upHops := pl.upstream(u.Player, rp.node)
 		arrive := nowMs + upDelay
+		qlen := 0
 		if arrive < rp.lastDepart {
-			qlen := int((rp.lastDepart - arrive) / cfg.Costs.RPServiceMs)
+			qlen = int((rp.lastDepart - arrive) / cfg.Costs.RPServiceMs)
 			if qlen > res.MaxQueueLen {
 				res.MaxQueueLen = qlen
 			}
@@ -197,6 +229,14 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 					}
 				}
 			}
+		}
+		if qlen > rp.maxDepth {
+			rp.maxDepth = qlen
+		}
+		rp.depthSum += float64(qlen)
+		rp.updates++
+		if queueVec != nil {
+			queueVec.With(rp.name).Set(int64(qlen))
 		}
 		depart := arrive
 		if rp.lastDepart > depart {
@@ -239,6 +279,13 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 		}
 	}
 	res.FinalRPs = len(rps)
+	for _, rp := range rps {
+		st := RPQueueStat{Name: rp.name, Node: rp.node, MaxDepth: rp.maxDepth, Updates: rp.updates}
+		if rp.updates > 0 {
+			st.MeanDepth = rp.depthSum / float64(rp.updates)
+		}
+		res.RPQueues = append(res.RPQueues, st)
+	}
 	return res, nil
 }
 

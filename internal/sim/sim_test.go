@@ -2,11 +2,13 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/topo"
 	"github.com/icn-gaming/gcopss/internal/trace"
 )
@@ -80,7 +82,8 @@ func TestRunGCOPSSCongestionWithOneRP(t *testing.T) {
 	// Ramp 3.0 → 1.8 ms: a single 3.3 ms RP is oversubscribed throughout.
 	updates := CompressRamp(env.Trace.Updates, 3.0, 1.8)
 
-	one, err := RunGCOPSS(env, updates, GCOPSSConfig{RPs: DefaultRPPlacement(env, 1), Costs: PaperCosts()})
+	reg := obs.NewRegistry()
+	one, err := RunGCOPSS(env, updates, GCOPSSConfig{RPs: DefaultRPPlacement(env, 1), Costs: PaperCosts(), Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,6 +109,22 @@ func TestRunGCOPSSCongestionWithOneRP(t *testing.T) {
 	}
 	if one.MaxQueueLen == 0 {
 		t.Error("no queueing observed at the congested RP")
+	}
+	// The per-RP queue summary must carry the same congestion picture and
+	// the registry gauge must have tracked the lone RP's queue.
+	if len(one.RPQueues) != 1 {
+		t.Fatalf("RPQueues = %v, want one entry", one.RPQueues)
+	}
+	q := one.RPQueues[0]
+	if q.Name != "/rp1" || q.MaxDepth != one.MaxQueueLen || q.Updates == 0 || q.MeanDepth <= 0 {
+		t.Errorf("congested RP queue summary %+v (MaxQueueLen=%d)", q, one.MaxQueueLen)
+	}
+	var expo strings.Builder
+	if err := reg.WriteText(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), `sim.rp_queue_depth{rp="/rp1"}`) {
+		t.Errorf("registry missing per-RP queue gauge:\n%s", expo.String())
 	}
 }
 

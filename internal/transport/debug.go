@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/obs"
+)
+
+// DebugHandler returns the daemon's runtime debug endpoint: /metrics
+// (Prometheus text exposition of the router's registry), /flight?n= (flight
+// recorder dump) and /debug/pprof/*. Both exposition and dump execute on the
+// daemon's event loop via Inspect — GaugeFunc callbacks read loop-owned
+// tables (ST, RP table, PIT) — so the handler must only serve while Run is
+// running.
+func (d *Daemon) DebugHandler() http.Handler {
+	metrics := func(w io.Writer) {
+		d.Inspect(func(r *core.Router) {
+			r.Obs().WriteText(w) //nolint:errcheck // exposition write failure surfaces as a truncated scrape
+		})
+	}
+	var flight func(io.Writer, int)
+	if d.router.FlightRecorder().Enabled() {
+		flight = func(w io.Writer, n int) {
+			d.Inspect(func(r *core.Router) {
+				r.FlightRecorder().Dump(w, n) //nolint:errcheck // same as exposition
+			})
+		}
+	}
+	return obs.NewDebugMux(metrics, flight)
+}
+
+// ServeDebug binds an HTTP server for DebugHandler on addr and serves until
+// ctx is cancelled. It returns the bound address (addr may use port 0).
+func (d *Daemon) ServeDebug(ctx context.Context, addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon %s: debug listen: %w", d.name, err)
+	}
+	srv := &http.Server{Handler: d.DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx) //nolint:errcheck // best-effort shutdown
+	}()
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			d.logf("daemon %s: debug server: %v", d.name, err)
+		}
+	}()
+	return ln.Addr(), nil
+}

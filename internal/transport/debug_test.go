@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// startDebugDaemon runs a silent daemon with router options on a loopback
+// listener and binds its debug endpoint.
+func startDebugDaemon(t *testing.T, ctx context.Context, name string, opts ...core.Option) (d *Daemon, addr, debugURL string) {
+	t.Helper()
+	d = NewDaemon(name, opts...)
+	d.SetLogger(func(string, ...interface{}) {})
+	a, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Run(ctx) //nolint:errcheck // cancelled at test end
+	da, err := d.ServeDebug(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, a.String(), "http://" + da.String()
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test shim
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// metricValue extracts the value of an unlabeled sample from a Prometheus
+// text exposition, or -1 when absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+// TestDebugEndpointAfterPublicationExchange is the telemetry acceptance
+// test: after a two-router publication exchange the debug endpoints must
+// expose nonzero multicast_in / rp_deliveries counters and a populated
+// delivery-latency histogram, and the flight recorder must reconstruct the
+// packet path in order — encapsulation at the edge, decapsulation at the RP,
+// subscription-tree fan-out.
+func TestDebugEndpointAfterPublicationExchange(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Both routers record into one shared flight recorder, so the dump holds
+	// the full cross-router path in sequence order. R1 hosts the RP; R2 is
+	// the edge router with both the subscriber and the publisher attached.
+	flight := obs.NewFlight(256)
+	d1, addr1, debug1 := startDebugDaemon(t, ctx, "R1", core.WithFlightRecorder(flight))
+	d2, addr2, debug2 := startDebugDaemon(t, ctx, "R2", core.WithFlightRecorder(flight))
+	if err := d2.ConnectRouter(addr1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // link attachment settles
+
+	if err := d1.BecomeRP(copss.RPInfo{
+		Name:     "/rp1",
+		Prefixes: []cd.CD{cd.MustNew("1"), cd.MustNew("2")},
+		Seq:      1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // announcement flood settles
+
+	sub, err := NewClient("soldier", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close() //nolint:errcheck // test shutdown
+	if err := sub.Subscribe(cd.MustParse("/1/2")); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewClient("plane", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()                  //nolint:errcheck // test shutdown
+	time.Sleep(100 * time.Millisecond) // subscription propagation settles
+
+	if err := pub.Publish(cd.MustParse("/1/2"), 1, []byte("flyover")); err != nil {
+		t.Fatal(err)
+	}
+	rxc := make(chan *wire.Packet, 1)
+	go func() {
+		if p, err := sub.Receive(); err == nil {
+			rxc <- p
+		}
+	}()
+	select {
+	case p := <-rxc:
+		if string(p.Payload) != "flyover" {
+			t.Fatalf("received %q", p.Payload)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("publication never delivered")
+	}
+
+	// R2 (the edge) saw the raw client Multicast and delivered to a client
+	// face, so it owns multicast_in and the latency histogram; R1 (the RP)
+	// owns rp_deliveries.
+	code, body2 := httpGet(t, debug2+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics on R2: status %d", code)
+	}
+	if v := metricValue(body2, "multicast_in"); v < 1 {
+		t.Errorf("R2 multicast_in = %v, want >= 1", v)
+	}
+	if v := metricValue(body2, "delivery_latency_ms_count"); v < 1 {
+		t.Errorf("R2 delivery_latency_ms_count = %v, want >= 1", v)
+	}
+	if !strings.Contains(body2, `delivery_latency_ms_bucket{le="+Inf"}`) {
+		t.Error("R2 exposition lacks the latency histogram buckets")
+	}
+	code, body1 := httpGet(t, debug1+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics on R1: status %d", code)
+	}
+	if v := metricValue(body1, "rp_deliveries"); v < 1 {
+		t.Errorf("R1 rp_deliveries = %v, want >= 1", v)
+	}
+	if v := metricValue(body1, "rp_table_entries"); v < 1 {
+		t.Errorf("R1 rp_table_entries = %v, want >= 1", v)
+	}
+
+	// The flight dump (same recorder behind both endpoints) must order the
+	// packet path: encapsulation at the edge, then RP delivery, then
+	// subscription-tree fan-out of the publication.
+	code, dump := httpGet(t, debug1+"/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/flight: status %d", code)
+	}
+	iEnc := strings.Index(dump, " encapsulate face")
+	iRP := strings.Index(dump, " rp-deliver face")
+	iFan := strings.LastIndex(dump, " fan-out face")
+	if iEnc < 0 || iRP < 0 || iFan < 0 {
+		t.Fatalf("flight dump misses path stages (enc=%d rp=%d fan=%d):\n%s", iEnc, iRP, iFan, dump)
+	}
+	if !(iEnc < iRP && iRP < iFan) {
+		t.Errorf("flight dump out of order (enc=%d rp=%d fan=%d):\n%s", iEnc, iRP, iFan, dump)
+	}
+	if !strings.Contains(dump, "origin=plane") {
+		t.Errorf("flight dump lost the publication origin:\n%s", dump)
+	}
+
+	// pprof rides along on the same mux.
+	if code, _ := httpGet(t, debug1+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+}
