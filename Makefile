@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench ci
+.PHONY: all build vet lint test race fuzz bench cover ci
 
 all: build lint test
 
@@ -36,5 +36,21 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzMigrationHandoff -fuzztime=30s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=20s ./internal/faultnet
 
-ci: build lint test race fuzz
+# cover gates statement coverage on the reliability-critical packages: the
+# router core (ARQ, migration), the broker (QR fetch retry) and the fault
+# injector itself. The chaos matrix exercises them but lives in testbed, so
+# the gate here is about each package's own unit tests.
+COVER_PKGS = ./internal/core ./internal/broker ./internal/faultnet
+COVER_MIN  = 70
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+	  pct=$$($(GO) test -cover $$pkg | awk '{for(i=1;i<=NF;i++) if($$i ~ /%/){gsub(/%.*/,"",$$i); print $$i}}'); \
+	  if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; exit 1; fi; \
+	  echo "$$pkg coverage: $$pct%"; \
+	  awk -v p="$$pct" -v m=$(COVER_MIN) 'BEGIN{exit !(p>=m)}' || \
+	    { echo "FAIL: $$pkg coverage $$pct% is below $(COVER_MIN)%"; exit 1; }; \
+	done
+
+ci: build lint test race cover fuzz

@@ -25,6 +25,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/broker"
 	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
@@ -49,6 +50,8 @@ func run() error {
 		decay     = flag.Float64("decay", gamemap.DefaultDecay, "snapshot size decay λ")
 		debugAddr = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		faultSpec = flag.String("fault-spec", "", "inject uplink faults, e.g. 'loss=0.05' (empty = off)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
 	)
 	flag.Parse()
 
@@ -93,12 +96,27 @@ func run() error {
 		return err
 	}
 	defer client.Close() //nolint:errcheck // shutdown path
-
-	if err := client.Subscribe(b.SubscriptionCDs()...); err != nil {
-		return err
+	if *faultSpec != "" {
+		spec, err := faultnet.ParseSpec(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("bad -fault-spec: %w", err)
+		}
+		in := faultnet.New(spec, *faultSeed)
+		in.SetEpoch(time.Now())
+		client.SetFaults(in)
+		lg.Info("fault injection armed", "spec", spec.String(), "seed", fmt.Sprint(*faultSeed))
 	}
-	// Make the snapshot namespace routable network-wide.
-	if err := client.AnnouncePrefix(broker.SnapshotPrefix, uint64(time.Now().UnixNano())); err != nil {
+
+	// Subscriptions and the snapshot-prefix announcement are face state on
+	// the router; they must be re-issued after every (re)connect.
+	announce := func() error {
+		if err := client.Subscribe(b.SubscriptionCDs()...); err != nil {
+			return err
+		}
+		// Make the snapshot namespace routable network-wide.
+		return client.AnnouncePrefix(broker.SnapshotPrefix, uint64(time.Now().UnixNano()))
+	}
+	if err := announce(); err != nil {
 		return err
 	}
 	lg.Info("serving", "leaves", len(leaves), "router", *router)
@@ -154,7 +172,15 @@ func run() error {
 	for {
 		pkt, err := client.Receive()
 		if err != nil {
-			return fmt.Errorf("connection closed: %w", err)
+			lg.Warn("connection lost, reconnecting", "err", err)
+			if err := client.Reconnect(nil); err != nil {
+				return fmt.Errorf("reconnect gave up: %w", err)
+			}
+			if err := announce(); err != nil {
+				return fmt.Errorf("re-announce after reconnect: %w", err)
+			}
+			lg.Info("reconnected")
+			continue
 		}
 		if pkt.Type == wire.TypeMulticast && pkt.Origin == *name {
 			continue // our own cyclic emissions echoed back

@@ -35,6 +35,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
 )
@@ -63,6 +64,8 @@ func run() error {
 		debugAddr = flag.String("debug", "", "serve /metrics, /flight and /debug/pprof on this address (empty = off)")
 		flightCap = flag.Int("flight-events", 1024, "flight recorder capacity in events (0 = off)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		faultSpec = flag.String("fault-spec", "", "inject egress faults, e.g. 'loss=0.05,reorder=0.2' or 'face2:only=ctl,loss=0.1' (empty = off)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
 		connects  multiFlag
 	)
 	flag.Var(&connects, "connect", "neighbor router address (repeatable)")
@@ -77,6 +80,16 @@ func run() error {
 
 	d := transport.NewDaemon(*name, core.WithFlightRecorder(obs.NewFlight(*flightCap)))
 	d.SetLogger(obs.Printf(obs.Scoped(root, "daemon")))
+	if *faultSpec != "" {
+		spec, err := faultnet.ParseSpec(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("bad -fault-spec: %w", err)
+		}
+		in := faultnet.New(spec, *faultSeed)
+		in.SetEpoch(time.Now())
+		d.SetFaults(in)
+		lg.Info("fault injection armed", "spec", spec.String(), "seed", fmt.Sprint(*faultSeed))
+	}
 	addr, err := d.Listen(*listen)
 	if err != nil {
 		return err

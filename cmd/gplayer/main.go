@@ -27,6 +27,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/broker"
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
@@ -47,7 +48,7 @@ func (m *fetchMgr) begin(leaves []cd.CD) error {
 	for _, leaf := range leaves {
 		f := broker.NewQRFetch(leaf, 15)
 		m.fetches = append(m.fetches, f)
-		for _, pkt := range f.Start() {
+		for _, pkt := range f.StartAt(time.Now()) {
 			if err := m.client.Send(pkt); err != nil {
 				return err
 			}
@@ -64,18 +65,39 @@ func (m *fetchMgr) handleData(pkt *wire.Packet) int {
 	completed := 0
 	var still []*broker.QRFetch
 	for _, f := range m.fetches {
-		follow, done := f.HandleData(pkt)
+		follow, done := f.HandleDataAt(time.Now(), pkt)
 		for _, out := range follow {
 			m.client.Send(out) //lint:allow errcheckedfaces connection errors surface on Receive
 		}
 		if done {
 			completed += f.Received()
-		} else {
+		} else if !f.Failed() {
 			still = append(still, f)
 		}
 	}
 	m.fetches = still
 	return completed
+}
+
+// tick drives the retry timers of the active fetches; failed downloads are
+// dropped (the player can /move again to retry from scratch).
+func (m *fetchMgr) tick(now time.Time, lg *slog.Logger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var still []*broker.QRFetch
+	for _, f := range m.fetches {
+		for _, out := range f.Tick(now) {
+			m.client.Send(out) //lint:allow errcheckedfaces connection errors surface on Receive
+		}
+		if f.Failed() {
+			lg.Warn("snapshot download failed", "received", f.Received())
+			continue
+		}
+		if !f.Done() {
+			still = append(still, f)
+		}
+	}
+	m.fetches = still
 }
 
 func main() {
@@ -90,9 +112,11 @@ func run() error {
 		name     = flag.String("name", "player1", "player name")
 		router   = flag.String("router", "localhost:7000", "router address")
 		areaStr  = flag.String("area", "/1/1", "starting area on the map")
-		regions  = flag.Int("regions", 5, "map regions")
-		zones    = flag.Int("zones", 5, "zones per region")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		regions   = flag.Int("regions", 5, "map regions")
+		zones     = flag.Int("zones", 5, "zones per region")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		faultSpec = flag.String("fault-spec", "", "inject uplink faults, e.g. 'loss=0.05' (empty = off)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
 	)
 	flag.Parse()
 
@@ -121,6 +145,16 @@ func run() error {
 		return err
 	}
 	defer client.Close() //nolint:errcheck // shutdown path
+	if *faultSpec != "" {
+		spec, err := faultnet.ParseSpec(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("bad -fault-spec: %w", err)
+		}
+		in := faultnet.New(spec, *faultSeed)
+		in.SetEpoch(time.Now())
+		client.SetFaults(in)
+		lg.Info("fault injection armed", "spec", spec.String(), "seed", fmt.Sprint(*faultSeed))
+	}
 
 	if err := client.Subscribe(player.SubscriptionCDs()...); err != nil {
 		return err
@@ -128,7 +162,13 @@ func run() error {
 	lg.Info("joined", "area", fmt.Sprint(area.CD()), "subscriptions", fmt.Sprint(player.SubscriptionCDs()))
 
 	mgr := &fetchMgr{client: client}
-	go receiveLoop(client, *name, mgr, lg)
+	go func() {
+		for range time.Tick(100 * time.Millisecond) {
+			mgr.tick(time.Now(), lg)
+		}
+	}()
+	resubscribe := func() error { return client.Subscribe(player.SubscriptionCDs()...) }
+	go receiveLoop(client, *name, mgr, resubscribe, lg)
 
 	sc := bufio.NewScanner(os.Stdin)
 	var seq uint64
@@ -192,12 +232,22 @@ func normalizeArea(s string) string {
 	return s
 }
 
-func receiveLoop(client *transport.Client, self string, mgr *fetchMgr, lg *slog.Logger) {
+func receiveLoop(client *transport.Client, self string, mgr *fetchMgr, resubscribe func() error, lg *slog.Logger) {
 	for {
 		pkt, err := client.Receive()
 		if err != nil {
-			lg.Info("connection closed", "err", err)
-			os.Exit(0)
+			lg.Warn("connection lost, reconnecting", "err", err)
+			if err := client.Reconnect(nil); err != nil {
+				lg.Info("reconnect gave up", "err", err)
+				os.Exit(0)
+			}
+			// Subscriptions are face state on the router: re-issue them.
+			if err := resubscribe(); err != nil {
+				lg.Info("resubscribe failed", "err", err)
+				os.Exit(0)
+			}
+			lg.Info("reconnected")
+			continue
 		}
 		switch {
 		case pkt.Type == wire.TypeData:

@@ -23,6 +23,7 @@ var restricted = []string{
 	"internal/broker",
 	"internal/sim",
 	"internal/ndn",
+	"internal/faultnet",
 }
 
 // Analyzer implements the check.

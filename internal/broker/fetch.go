@@ -1,25 +1,47 @@
 package broker
 
 import (
+	"sort"
+	"time"
+
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
+
+// QR-fetch retry parameters; fixed for now (callers that need tuning can get
+// an option later — the chaos tests only need termination, not speed).
+const (
+	// DefaultQRRTO is the initial per-Interest retry timeout.
+	DefaultQRRTO = 100 * time.Millisecond
+	// DefaultQRMaxAttempts bounds sends per Interest (first send included);
+	// exhausting it fails the whole fetch rather than hanging forever.
+	DefaultQRMaxAttempts = 5
+)
+
+// qrInFlight is the retry state of one unanswered Interest.
+type qrInFlight struct {
+	attempts int
+	nextAt   time.Time
+}
 
 // QRFetch drives the query-response snapshot download of one leaf: first
 // the manifest, then the changed objects with a pipelining window ("we let
 // a player have a set of at most N queries outstanding at any time").
 // It is a pure state machine: feed it the Data packets addressed to it and
-// emit what it returns.
+// emit what it returns. Interests are retried with exponential backoff from
+// Tick; a fetch always terminates — Done on success, Failed once any
+// Interest exhausts its attempts.
 type QRFetch struct {
 	leaf   cd.CD
 	window int
 
-	wanted       []string
-	nextToAsk    int
-	outstanding  int
-	received     map[string]int // object id → version
-	haveManifest bool
-	done         bool
+	wanted    []string
+	nextToAsk int
+	inflight  map[string]*qrInFlight // Interest name → retry state
+	received  map[string]int         // object id → version
+	done      bool
+	failed    bool
+	retrans   uint64
 }
 
 // NewQRFetch prepares a download of leaf's snapshot with the given window.
@@ -27,70 +49,121 @@ func NewQRFetch(leaf cd.CD, window int) *QRFetch {
 	if window < 1 {
 		window = 1
 	}
-	return &QRFetch{leaf: leaf, window: window, received: make(map[string]int)}
+	return &QRFetch{
+		leaf:     leaf,
+		window:   window,
+		inflight: make(map[string]*qrInFlight),
+		received: make(map[string]int),
+	}
 }
 
-// Start returns the manifest Interest.
-func (f *QRFetch) Start() []*wire.Packet {
-	return []*wire.Packet{{Type: wire.TypeInterest, Name: ManifestName(f.leaf)}}
+// StartAt returns the manifest Interest and arms its retry timer.
+func (f *QRFetch) StartAt(now time.Time) []*wire.Packet {
+	name := ManifestName(f.leaf)
+	f.inflight[name] = &qrInFlight{attempts: 1, nextAt: now.Add(DefaultQRRTO)}
+	return []*wire.Packet{{Type: wire.TypeInterest, Name: name}}
 }
 
-// HandleData consumes a Data packet; it returns follow-up Interests and
-// whether the download completed.
-func (f *QRFetch) HandleData(pkt *wire.Packet) ([]*wire.Packet, bool) {
-	if f.done || pkt.Type != wire.TypeData {
+// Start returns the manifest Interest. Legacy entry point for callers
+// without a clock; retries stay disarmed until someone calls Tick.
+func (f *QRFetch) Start() []*wire.Packet { return f.StartAt(time.Time{}) }
+
+// HandleDataAt consumes a Data packet; it returns follow-up Interests and
+// whether the download completed. Only Data answering an Interest this fetch
+// currently has in flight is accepted: duplicates and unrequested packets
+// are ignored without touching the pipeline accounting, so a hostile or
+// lossy network can delay the download but never wedge or corrupt it.
+func (f *QRFetch) HandleDataAt(now time.Time, pkt *wire.Packet) ([]*wire.Packet, bool) {
+	if f.done || f.failed || pkt.Type != wire.TypeData {
 		return nil, f.done
 	}
-	switch pkt.Name {
-	case ManifestName(f.leaf):
-		if f.haveManifest {
-			return nil, false
-		}
-		f.haveManifest = true
+	if _, asked := f.inflight[pkt.Name]; !asked {
+		return nil, false // duplicate or unrequested: idempotent no-op
+	}
+	if pkt.Name == ManifestName(f.leaf) {
+		delete(f.inflight, pkt.Name)
 		for id := range ParseManifest(pkt.Payload) {
 			f.wanted = append(f.wanted, id)
 		}
+		sort.Strings(f.wanted) // map order is random; fetch order must not be
 		if len(f.wanted) == 0 {
 			f.done = true
 			return nil, true
 		}
-		return f.fill(), false
-	default:
-		id, version, _, ok := ParseObject(pkt.Payload)
-		if !ok || id == "" {
-			return nil, false
-		}
-		if pkt.Name != ObjectName(f.leaf, id) {
-			return nil, false // another leaf's object (parallel fetches)
-		}
-		if _, dup := f.received[id]; dup {
-			return nil, false
-		}
-		f.received[id] = version
-		f.outstanding--
-		out := f.fill()
-		if len(f.received) == len(f.wanted) {
-			f.done = true
-			return out, true
-		}
-		return out, false
+		return f.fill(now), false
 	}
+	id, version, _, ok := ParseObject(pkt.Payload)
+	if !ok || id == "" || pkt.Name != ObjectName(f.leaf, id) {
+		return nil, false // malformed, or named like our Interest but lying
+	}
+	delete(f.inflight, pkt.Name)
+	f.received[id] = version
+	out := f.fill(now)
+	if len(f.received) == len(f.wanted) {
+		f.done = true
+		return out, true
+	}
+	return out, false
 }
 
-// fill tops the pipeline back up to the window.
-func (f *QRFetch) fill() []*wire.Packet {
+// HandleData is the legacy clockless entry point.
+func (f *QRFetch) HandleData(pkt *wire.Packet) ([]*wire.Packet, bool) {
+	return f.HandleDataAt(time.Time{}, pkt)
+}
+
+// Tick retries every in-flight Interest whose timeout expired, with
+// exponential backoff. An Interest that exhausts DefaultQRMaxAttempts fails
+// the whole fetch (returned Interests: none; Failed() turns true) — the
+// caller can restart from scratch if it wants another go. Iteration is
+// sorted by name so equal clocks produce equal retry orders.
+func (f *QRFetch) Tick(now time.Time) []*wire.Packet {
+	if f.done || f.failed || len(f.inflight) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(f.inflight))
+	for name := range f.inflight {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []*wire.Packet
-	for f.outstanding < f.window && f.nextToAsk < len(f.wanted) {
-		id := f.wanted[f.nextToAsk]
-		f.nextToAsk++
-		f.outstanding++
-		out = append(out, &wire.Packet{Type: wire.TypeInterest, Name: ObjectName(f.leaf, id)})
+	for _, name := range names {
+		s := f.inflight[name]
+		if s.nextAt.After(now) {
+			continue
+		}
+		if s.attempts >= DefaultQRMaxAttempts {
+			f.failed = true
+			return nil
+		}
+		s.attempts++
+		s.nextAt = now.Add(DefaultQRRTO << uint(s.attempts))
+		f.retrans++
+		out = append(out, &wire.Packet{Type: wire.TypeInterest, Name: name})
 	}
 	return out
 }
 
-// Done reports completion.
+// fill tops the pipeline back up to the window.
+func (f *QRFetch) fill(now time.Time) []*wire.Packet {
+	var out []*wire.Packet
+	for len(f.inflight) < f.window && f.nextToAsk < len(f.wanted) {
+		id := f.wanted[f.nextToAsk]
+		f.nextToAsk++
+		name := ObjectName(f.leaf, id)
+		f.inflight[name] = &qrInFlight{attempts: 1, nextAt: now.Add(DefaultQRRTO)}
+		out = append(out, &wire.Packet{Type: wire.TypeInterest, Name: name})
+	}
+	return out
+}
+
+// Done reports successful completion.
 func (f *QRFetch) Done() bool { return f.done }
+
+// Failed reports that some Interest exhausted its retry budget.
+func (f *QRFetch) Failed() bool { return f.failed }
+
+// Retransmissions returns how many Interest retries Tick has issued.
+func (f *QRFetch) Retransmissions() uint64 { return f.retrans }
 
 // Received returns how many objects arrived.
 func (f *QRFetch) Received() int { return len(f.received) }

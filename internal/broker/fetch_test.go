@@ -1,0 +1,171 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+func manifestData(leaf cd.CD, ids ...string) *wire.Packet {
+	var payload []byte
+	for _, id := range ids {
+		payload = append(payload, []byte(id+":10\n")...)
+	}
+	return &wire.Packet{Type: wire.TypeData, Name: ManifestName(leaf), Payload: payload}
+}
+
+func objectData(leaf cd.CD, id string) *wire.Packet {
+	return &wire.Packet{
+		Type:    wire.TypeData,
+		Name:    ObjectName(leaf, id),
+		Payload: []byte(fmt.Sprintf("obj:%s:1:", id)),
+	}
+}
+
+// names extracts the Interest names from a packet batch.
+func names(pkts []*wire.Packet) []string {
+	var out []string
+	for _, p := range pkts {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+func TestQRFetchHappyPath(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewQRFetch(leaf, 2)
+	start := f.Start()
+	if len(start) != 1 || start[0].Name != ManifestName(leaf) {
+		t.Fatalf("Start = %v", names(start))
+	}
+	out, done := f.HandleData(manifestData(leaf, "a", "b", "c"))
+	if done || len(out) != 2 {
+		t.Fatalf("after manifest: out=%v done=%v, want 2 Interests (window)", names(out), done)
+	}
+	out, done = f.HandleData(objectData(leaf, "a"))
+	if done || len(out) != 1 {
+		t.Fatalf("after a: out=%v done=%v, want 1 refill Interest", names(out), done)
+	}
+	if _, done = f.HandleData(objectData(leaf, "b")); done {
+		t.Fatal("done too early")
+	}
+	if _, done = f.HandleData(objectData(leaf, "c")); !done {
+		t.Fatal("not done after all three objects")
+	}
+	if !f.Done() || f.Failed() || f.Received() != 3 {
+		t.Fatalf("Done=%v Failed=%v Received=%d", f.Done(), f.Failed(), f.Received())
+	}
+}
+
+// Regression: unrequested or duplicate Data arriving while the pipeline is
+// saturated used to corrupt the outstanding/received accounting — a ghost
+// object inflated len(received) past len(wanted), so the == completion check
+// never fired and the download hung forever. HandleData must be idempotent:
+// only Data answering a currently-in-flight Interest counts.
+func TestQRFetchUnrequestedDataCannotWedge(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewQRFetch(leaf, 2)
+	f.Start()
+	out, _ := f.HandleData(manifestData(leaf, "a", "b", "c"))
+	if len(out) != 2 {
+		t.Fatalf("window: %v", names(out))
+	}
+	// Ghost object: named like ours, never in the manifest, never requested.
+	if out, done := f.HandleData(objectData(leaf, "ghost")); len(out) != 0 || done {
+		t.Fatalf("ghost data changed state: out=%v done=%v", names(out), done)
+	}
+	// Object c is wanted but not yet requested (window saturated by a, b).
+	if out, done := f.HandleData(objectData(leaf, "c")); len(out) != 0 || done {
+		t.Fatalf("unrequested-yet data changed state: out=%v done=%v", names(out), done)
+	}
+	// Duplicate manifest after consumption.
+	if out, done := f.HandleData(manifestData(leaf, "a", "b", "c")); len(out) != 0 || done {
+		t.Fatalf("duplicate manifest changed state: out=%v done=%v", names(out), done)
+	}
+	f.HandleData(objectData(leaf, "a"))
+	// Duplicate of an already-received object.
+	if out, done := f.HandleData(objectData(leaf, "a")); len(out) != 0 || done {
+		t.Fatalf("duplicate data changed state: out=%v done=%v", names(out), done)
+	}
+	f.HandleData(objectData(leaf, "b"))
+	if _, done := f.HandleData(objectData(leaf, "c")); !done {
+		t.Fatal("fetch wedged: all wanted objects delivered but not done")
+	}
+	if f.Received() != 3 {
+		t.Fatalf("Received = %d, want 3", f.Received())
+	}
+}
+
+func TestQRFetchTickRetriesWithBackoff(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewQRFetch(leaf, 4)
+	t0 := time.Unix(0, 0)
+	f.StartAt(t0)
+	// Before the RTO: silence.
+	if out := f.Tick(t0.Add(DefaultQRRTO / 2)); len(out) != 0 {
+		t.Fatalf("premature retry: %v", names(out))
+	}
+	// After the RTO the manifest Interest is re-issued.
+	out := f.Tick(t0.Add(DefaultQRRTO + time.Millisecond))
+	if len(out) != 1 || out[0].Name != ManifestName(leaf) {
+		t.Fatalf("retry = %v, want the manifest Interest", names(out))
+	}
+	if f.Retransmissions() != 1 {
+		t.Fatalf("Retransmissions = %d, want 1", f.Retransmissions())
+	}
+	// Backoff doubled: an immediate second Tick stays silent.
+	if out := f.Tick(t0.Add(DefaultQRRTO + 2*time.Millisecond)); len(out) != 0 {
+		t.Fatalf("backoff not applied: %v", names(out))
+	}
+	// The retried Interest's answer still completes the fetch.
+	now := t0.Add(time.Second)
+	out, _ = f.HandleDataAt(now, manifestData(leaf, "a"))
+	if len(out) != 1 {
+		t.Fatalf("after manifest: %v", names(out))
+	}
+	if _, done := f.HandleDataAt(now, objectData(leaf, "a")); !done {
+		t.Fatal("not done")
+	}
+	if f.Tick(now.Add(time.Hour)) != nil {
+		t.Fatal("done fetch must not retry")
+	}
+}
+
+func TestQRFetchFailsAfterMaxAttempts(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewQRFetch(leaf, 4)
+	now := time.Unix(0, 0)
+	f.StartAt(now)
+	for i := 0; i < 2*DefaultQRMaxAttempts; i++ {
+		now = now.Add(time.Hour) // always past any backoff
+		f.Tick(now)
+	}
+	if !f.Failed() {
+		t.Fatal("fetch did not fail after exhausting attempts")
+	}
+	if f.Done() {
+		t.Fatal("failed fetch reports Done")
+	}
+	if got := f.Retransmissions(); got != DefaultQRMaxAttempts-1 {
+		t.Fatalf("Retransmissions = %d, want %d", got, DefaultQRMaxAttempts-1)
+	}
+	// Terminal: no further output ever.
+	if out := f.Tick(now.Add(time.Hour)); out != nil {
+		t.Fatalf("failed fetch still retrying: %v", names(out))
+	}
+	if out, _ := f.HandleDataAt(now, manifestData(leaf, "a")); out != nil {
+		t.Fatalf("failed fetch accepted data: %v", names(out))
+	}
+}
+
+func TestQRFetchEmptyManifestCompletes(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewQRFetch(leaf, 4)
+	f.Start()
+	if _, done := f.HandleData(manifestData(leaf)); !done {
+		t.Fatal("empty manifest must complete immediately")
+	}
+}

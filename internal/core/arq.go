@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// The control-plane ARQ makes the migration protocol survive lossy links.
+// The paper's loss-freedom argument assumes Join/Confirm/Prune/Handoff (and
+// the announcement floods they ride on) eventually arrive; one dropped
+// control packet would otherwise wedge a graft forever. Reliability is
+// hop-by-hop: every reliable control packet sent to a router face is stamped
+// with a per-router monotonic CtlSeq, the receiving router echoes a TypeAck
+// on the arrival face and deduplicates reprocessing, and the sender
+// retransmits unacknowledged packets with exponential backoff from
+// Router.Tick. Hop-by-hop (rather than end-to-end) matters for the Handoff
+// flood: duplicate-suppression via announceSeq means an origin-level
+// re-flood would be absorbed by the first router that already saw it, so
+// only per-hop retransmission can heal downstream loss.
+
+// Default ARQ parameters; override with WithARQ.
+const (
+	// DefaultARQRTO is the initial retransmission timeout.
+	DefaultARQRTO = 50 * time.Millisecond
+	// DefaultARQMaxAttempts bounds retransmissions per packet; after this
+	// many unacknowledged resends the packet is abandoned.
+	DefaultARQMaxAttempts = 6
+	// arqSeenCap bounds the per-face dedup window.
+	arqSeenCap = 4096
+)
+
+// WithARQ tunes the control-plane retransmission timers: rto is the initial
+// retransmission timeout (doubled per attempt), maxAttempts bounds resends.
+func WithARQ(rto time.Duration, maxAttempts int) Option {
+	return func(r *Router) {
+		if rto > 0 {
+			r.arqRTO = rto
+		}
+		if maxAttempts > 0 {
+			r.arqMaxAttempts = maxAttempts
+		}
+	}
+}
+
+// arqKey identifies one in-flight reliable control packet.
+type arqKey struct {
+	face ndn.FaceID
+	seq  uint64
+}
+
+// arqEntry is the sender-side retransmission state for one packet.
+type arqEntry struct {
+	pkt      *wire.Packet
+	attempts int
+	nextAt   time.Time
+}
+
+// arqSeen is the receiver-side dedup window for one face: a bounded set of
+// CtlSeq values already processed, evicted FIFO.
+type arqSeen struct {
+	set   map[uint64]struct{}
+	order []uint64
+}
+
+func (s *arqSeen) has(seq uint64) bool {
+	_, ok := s.set[seq]
+	return ok
+}
+
+func (s *arqSeen) add(seq uint64) {
+	if s.set == nil {
+		s.set = make(map[uint64]struct{})
+	}
+	s.set[seq] = struct{}{}
+	s.order = append(s.order, seq)
+	if len(s.order) > arqSeenCap {
+		delete(s.set, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// reliableType reports whether a packet type gets hop-by-hop ARQ between
+// routers: the migration control packets plus the announcement floods whose
+// loss would leave routes permanently missing.
+func reliableType(t wire.Type) bool {
+	switch t {
+	case wire.TypeJoin, wire.TypeConfirm, wire.TypeLeave, wire.TypeHandoff,
+		wire.TypePrune, wire.TypeFIBAdd, wire.TypeFIBRemove:
+		return true
+	}
+	return false
+}
+
+// reliableOut stamps every reliable control packet bound for a router face
+// with a fresh CtlSeq and registers it for retransmission. Client-face and
+// unknown-face actions pass through untouched (clients do not ack). Actions
+// are returned unchanged in order.
+func (r *Router) reliableOut(now time.Time, actions []ndn.Action) []ndn.Action {
+	for _, a := range actions {
+		if !reliableType(a.Packet.Type) || r.faces[a.Face] != FaceRouter {
+			continue
+		}
+		r.arqSeq++
+		a.Packet.CtlSeq = r.arqSeq
+		r.arqPending[arqKey{face: a.Face, seq: r.arqSeq}] = &arqEntry{
+			pkt:    a.Packet.Clone(),
+			nextAt: now.Add(r.arqRTO),
+		}
+	}
+	return actions
+}
+
+// arqReceive runs on every arriving reliable packet that carries a CtlSeq:
+// it always acks on the arrival face, and reports whether the packet is a
+// retransmission this router already processed.
+func (r *Router) arqReceive(from ndn.FaceID, pkt *wire.Packet) (ack []ndn.Action, dup bool) {
+	ack = []ndn.Action{{Face: from, Packet: &wire.Packet{Type: wire.TypeAck, CtlSeq: pkt.CtlSeq}}}
+	seen := r.arqSeen[from]
+	if seen == nil {
+		seen = &arqSeen{}
+		r.arqSeen[from] = seen
+	}
+	if seen.has(pkt.CtlSeq) {
+		return ack, true
+	}
+	seen.add(pkt.CtlSeq)
+	return ack, false
+}
+
+// handleAck clears the pending entry the ack covers.
+func (r *Router) handleAck(now time.Time, from ndn.FaceID, pkt *wire.Packet) {
+	r.ctr.acksIn.Inc()
+	delete(r.arqPending, arqKey{face: from, seq: pkt.CtlSeq})
+}
+
+// Tick drives the retransmission timers: every pending reliable packet whose
+// timeout expired is resent with doubled backoff, until DefaultARQMaxAttempts
+// (or the WithARQ override) is exhausted and the packet is abandoned. Hosts
+// call it periodically — the testbed from a scheduled recurring event, the
+// TCP daemon from its event-loop ticker. Iteration is sorted so equal clocks
+// produce equal retransmission orders (deterministic replays).
+func (r *Router) Tick(now time.Time) []ndn.Action {
+	if len(r.arqPending) == 0 {
+		return nil
+	}
+	keys := make([]arqKey, 0, len(r.arqPending))
+	for k := range r.arqPending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].face != keys[j].face {
+			return keys[i].face < keys[j].face
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	var out []ndn.Action
+	for _, k := range keys {
+		e := r.arqPending[k]
+		if e.nextAt.After(now) {
+			continue
+		}
+		if _, up := r.faces[k.face]; !up {
+			delete(r.arqPending, k) // face went away; reconnect re-syncs state
+			continue
+		}
+		if e.attempts >= r.arqMaxAttempts {
+			delete(r.arqPending, k)
+			r.ctr.retransAbandoned.Inc()
+			r.record(now, obs.EvDrop, k.face, e.pkt, "retransmission abandoned")
+			continue
+		}
+		e.attempts++
+		e.nextAt = now.Add(r.arqRTO << uint(e.attempts))
+		r.ctr.retransTotal.Inc()
+		r.record(now, obs.EvRetrans, k.face, e.pkt, "")
+		out = append(out, ndn.Action{Face: k.face, Packet: e.pkt.Clone()})
+	}
+	return out
+}
+
+// ARQPending returns the number of unacknowledged reliable control packets,
+// for tests and debug exposition.
+func (r *Router) ARQPending() int { return len(r.arqPending) }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// arqPair builds two directly linked routers with R1 hosting /rp1.
+func arqPair(t *testing.T, opts ...Option) *harness {
+	t.Helper()
+	h := newHarness(t)
+	h.addRouter("R1", opts...)
+	h.addRouter("R2", opts...)
+	h.connect("R1", 1, "R2", 1)
+	actions, err := h.routers["R1"].BecomeRPAt(time.Unix(0, 0), copss.RPInfo{
+		Name:     "/rp1",
+		Prefixes: []cd.CD{cd.MustParse("/1")},
+		Seq:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.enqueueActions("R1", actions)
+	return h
+}
+
+func TestARQAckClearsPending(t *testing.T) {
+	h := arqPair(t)
+	r1 := h.routers["R1"]
+	if got := r1.ARQPending(); got != 1 {
+		t.Fatalf("after BecomeRPAt: pending = %d, want 1 (the announcement)", got)
+	}
+	h.run() // deliver the announcement; R2 acks; the ack clears the entry
+	if got := r1.ARQPending(); got != 0 {
+		t.Fatalf("after ack: pending = %d, want 0", got)
+	}
+	if r1.Stats().AcksIn != 1 {
+		t.Fatalf("AcksIn = %d, want 1", r1.Stats().AcksIn)
+	}
+}
+
+func TestARQRetransmitWithBackoffUntilAck(t *testing.T) {
+	h := arqPair(t)
+	r1 := h.routers["R1"]
+	h.queue = nil // the announcement is "lost": never delivered to R2
+
+	t0 := time.Unix(0, 0)
+	// Before the RTO expires nothing is resent.
+	if out := r1.Tick(t0.Add(DefaultARQRTO / 2)); len(out) != 0 {
+		t.Fatalf("premature retransmission: %v", out)
+	}
+	// After the RTO the packet is resent; backoff doubles each attempt.
+	out := r1.Tick(t0.Add(DefaultARQRTO + time.Millisecond))
+	if len(out) != 1 || out[0].Packet.Type != wire.TypeFIBAdd {
+		t.Fatalf("first retransmission = %v, want the FIBAdd", out)
+	}
+	if r1.Stats().Retransmissions != 1 {
+		t.Fatalf("Retransmissions = %d, want 1", r1.Stats().Retransmissions)
+	}
+	// Immediately after, the doubled backoff suppresses another resend.
+	if out := r1.Tick(t0.Add(DefaultARQRTO + 2*time.Millisecond)); len(out) != 0 {
+		t.Fatalf("backoff not applied: %v", out)
+	}
+	// Deliver the retransmission; the ack must clear the pending entry.
+	h.enqueueActions("R1", out)
+	h.enqueueActions("R1", r1.Tick(t0.Add(time.Hour))) // expired again: resend
+	h.run()
+	if got := r1.ARQPending(); got != 0 {
+		t.Fatalf("pending after acked retransmission = %d, want 0", got)
+	}
+}
+
+func TestARQGivesUpAfterMaxAttempts(t *testing.T) {
+	h := arqPair(t, WithARQ(10*time.Millisecond, 3))
+	r1 := h.routers["R1"]
+	h.queue = nil // lose the announcement forever
+
+	now := time.Unix(0, 0)
+	resent := 0
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Hour) // always past any backoff
+		resent += len(r1.Tick(now))
+	}
+	if resent != 3 {
+		t.Fatalf("resent %d times, want 3 (maxAttempts)", resent)
+	}
+	if got := r1.ARQPending(); got != 0 {
+		t.Fatalf("pending after give-up = %d, want 0", got)
+	}
+	if r1.Stats().RetransAbandoned != 1 {
+		t.Fatalf("RetransAbandoned = %d, want 1", r1.Stats().RetransAbandoned)
+	}
+}
+
+func TestARQDuplicateSuppressedButAcked(t *testing.T) {
+	h := arqPair(t)
+	h.run()
+	r2 := h.routers["R2"]
+	join := &wire.Packet{
+		Type: wire.TypeJoin, Name: "/rp1", Origin: "R9",
+		CDs: []cd.CD{cd.MustParse("/1/2")}, CtlSeq: 77,
+	}
+	first := r2.HandlePacket(time.Unix(0, 0), 1, join)
+	second := r2.HandlePacket(time.Unix(0, 0), 1, join.Clone())
+	if r2.Stats().JoinsIn != 1 {
+		t.Fatalf("JoinsIn = %d, want 1 (duplicate must not reprocess)", r2.Stats().JoinsIn)
+	}
+	if r2.Stats().CtlDupsIn != 1 {
+		t.Fatalf("CtlDupsIn = %d, want 1", r2.Stats().CtlDupsIn)
+	}
+	// Both deliveries ack (the first ack may have been lost upstream).
+	for i, actions := range [][]ndn.Action{first, second} {
+		acked := false
+		for _, a := range actions {
+			if a.Face == 1 && a.Packet.Type == wire.TypeAck && a.Packet.CtlSeq == 77 {
+				acked = true
+			}
+		}
+		if !acked {
+			t.Fatalf("delivery %d did not ack: %v", i, actions)
+		}
+	}
+}
+
+func TestARQLegacyZeroCtlSeqNeverAcked(t *testing.T) {
+	h := arqPair(t)
+	h.run()
+	r2 := h.routers["R2"]
+	join := &wire.Packet{Type: wire.TypeJoin, Name: "/rp1", CDs: []cd.CD{cd.MustParse("/1/2")}}
+	for _, a := range r2.HandlePacket(time.Unix(0, 0), 1, join) {
+		if a.Packet.Type == wire.TypeAck {
+			t.Fatalf("legacy packet (CtlSeq=0) must not be acked: %v", a)
+		}
+	}
+	// And reprocessing is NOT suppressed for legacy packets.
+	r2.HandlePacket(time.Unix(0, 0), 1, join.Clone())
+	if r2.Stats().JoinsIn != 2 {
+		t.Fatalf("JoinsIn = %d, want 2", r2.Stats().JoinsIn)
+	}
+}
+
+func TestARQRemoveFaceDropsState(t *testing.T) {
+	h := arqPair(t)
+	r1 := h.routers["R1"]
+	h.queue = nil
+	if r1.ARQPending() != 1 {
+		t.Fatal("expected one pending entry")
+	}
+	r1.RemoveFace(1)
+	if r1.ARQPending() != 0 {
+		t.Fatal("RemoveFace must clear pending entries for the face")
+	}
+	if out := r1.Tick(time.Unix(0, 0).Add(time.Hour)); len(out) != 0 {
+		t.Fatalf("no retransmissions expected after face removal: %v", out)
+	}
+}
+
+func TestARQStampsOnlyRouterFaces(t *testing.T) {
+	h := newHarness(t)
+	h.addRouter("R1")
+	h.addRouter("R2")
+	h.connect("R1", 1, "R2", 1)
+	h.attach("c", "R1", 10)
+	r1 := h.routers["R1"]
+	actions, err := r1.BecomeRPAt(time.Unix(0, 0), copss.RPInfo{
+		Name: "/rp1", Prefixes: []cd.CD{cd.MustParse("/1")}, Seq: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range actions {
+		if a.Face == 10 {
+			t.Fatalf("announcement flooded to a client face: %v", a)
+		}
+		if a.Face == 1 && a.Packet.CtlSeq == 0 {
+			t.Fatalf("router-face announcement not stamped: %v", a.Packet)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
@@ -58,7 +59,7 @@ func FuzzMigrationHandoff(f *testing.F) {
 		target := fn.names[rnd.Intn(n)]
 		if target != rpHost {
 			path := fn.pathBetween(rpHost, target)
-			actions, err := PrepareHandoff("/rpA", "/rpB", []cd.CD{cd.MustNew("2")}, 2, fn.hops(path))
+			actions, err := PrepareHandoff(time.Unix(0, 0), "/rpA", "/rpB", []cd.CD{cd.MustNew("2")}, 2, fn.hops(path))
 			if err != nil {
 				t.Fatal(err)
 			}

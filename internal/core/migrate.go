@@ -138,8 +138,10 @@ type PathHop struct {
 // It returns the packets that start stage C — the network-wide Handoff
 // announcement flood (emitted by the NEW host) and the old-branch Prune
 // (emitted by the OLD host, FIFO behind its last old-tree delivery) — after
-// which routers re-graft make-before-break.
-func PrepareHandoff(oldRP, newRP string, move []cd.CD, seq uint64, path []PathHop) (*HandoffActions, error) {
+// which routers re-graft make-before-break. now feeds the hosts' ARQ
+// registration: the returned control packets are retransmitted by the
+// respective host's Tick until each neighbor acknowledges them.
+func PrepareHandoff(now time.Time, oldRP, newRP string, move []cd.CD, seq uint64, path []PathHop) (*HandoffActions, error) {
 	if len(path) < 2 {
 		return nil, fmt.Errorf("core: handoff path needs at least 2 hops, got %d", len(path))
 	}
@@ -254,7 +256,8 @@ func PrepareHandoff(oldRP, newRP string, move []cd.CD, seq uint64, path []PathHo
 		})
 	}
 
-	// Stage C: the new host floods the combined announcement.
+	// Stage C: the new host floods the combined announcement. Both emission
+	// sets are ARQ-registered on their host so lost copies are retransmitted.
 	fromNew := newHost.floodExcept(-1, &wire.Packet{
 		Type:   wire.TypeHandoff,
 		Name:   newRP,
@@ -262,7 +265,10 @@ func PrepareHandoff(oldRP, newRP string, move []cd.CD, seq uint64, path []PathHo
 		CDs:    move,
 		Seq:    seq,
 	})
-	return &HandoffActions{FromNew: fromNew, FromOld: fromOld}, nil
+	return &HandoffActions{
+		FromNew: newHost.reliableOut(now, fromNew),
+		FromOld: oldHost.reliableOut(now, fromOld),
+	}, nil
 }
 
 // HandoffActions are the packets PrepareHandoff hands back to the host for

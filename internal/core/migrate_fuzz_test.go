@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
@@ -181,7 +182,7 @@ func TestMigrationFuzz(t *testing.T) {
 					t.Fatal("disconnected graph")
 				}
 				seq++
-				actions, err := PrepareHandoff(oldRP, newRP, moved[hNum], seq, fn.hops(path))
+				actions, err := PrepareHandoff(time.Unix(0, 0), oldRP, newRP, moved[hNum], seq, fn.hops(path))
 				if err != nil {
 					t.Fatalf("handoff %d: %v", hNum, err)
 				}
@@ -275,7 +276,7 @@ func TestMigrationFuzzStrictLoss(t *testing.T) {
 			target := fn.names[rnd.Intn(n)]
 			if target != rpHost {
 				path := fn.pathBetween(rpHost, target)
-				actions, err := PrepareHandoff("/rpA", "/rpB", []cd.CD{cd.MustNew("2")}, 2, fn.hops(path))
+				actions, err := PrepareHandoff(time.Unix(0, 0), "/rpA", "/rpB", []cd.CD{cd.MustNew("2")}, 2, fn.hops(path))
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -169,7 +169,7 @@ func doHandoff(t *testing.T, h *harness, move []cd.CD, seq uint64) {
 		{Router: h.routers["R2"], FaceUp: 2, FaceDown: 1}, // R2: down→R1, up→R3
 		{Router: h.routers["R3"], FaceDown: 1},            // R3 ← R2
 	}
-	actions, err := PrepareHandoff("/rpA", "/rpB", move, seq, path)
+	actions, err := PrepareHandoff(time.Unix(0, 0), "/rpA", "/rpB", move, seq, path)
 	if err != nil {
 		t.Fatalf("PrepareHandoff: %v", err)
 	}
@@ -181,18 +181,18 @@ func TestPrepareHandoffValidation(t *testing.T) {
 	h := migrationTopology(t)
 	r1 := h.routers["R1"]
 	// Path too short.
-	if _, err := PrepareHandoff("/rpA", "/rpB", []cd.CD{cd.MustParse("/2")}, 2,
+	if _, err := PrepareHandoff(time.Unix(0, 0), "/rpA", "/rpB", []cd.CD{cd.MustParse("/2")}, 2,
 		[]PathHop{{Router: r1}}); err == nil {
 		t.Error("accepted single-hop path")
 	}
 	// Wrong old host.
-	if _, err := PrepareHandoff("/rpA", "/rpB", []cd.CD{cd.MustParse("/2")}, 2,
+	if _, err := PrepareHandoff(time.Unix(0, 0), "/rpA", "/rpB", []cd.CD{cd.MustParse("/2")}, 2,
 		[]PathHop{{Router: h.routers["R2"]}, {Router: h.routers["R3"]}}); err == nil {
 		t.Error("accepted non-host origin")
 	}
 	// Moving everything would leave the old RP empty.
 	info, _ := r1.RPTable().Get("/rpA")
-	if _, err := PrepareHandoff("/rpA", "/rpB", info.Prefixes, 2,
+	if _, err := PrepareHandoff(time.Unix(0, 0), "/rpA", "/rpB", info.Prefixes, 2,
 		[]PathHop{{Router: r1, FaceUp: 1}, {Router: h.routers["R2"], FaceDown: 1}}); err == nil {
 		t.Error("accepted emptying handoff")
 	}
@@ -344,7 +344,7 @@ func TestSequentialHandoffs(t *testing.T) {
 		{Router: h.routers["R3"], FaceUp: 3},
 		{Router: h.routers["R6"], FaceDown: 1},
 	}
-	actions, err := PrepareHandoff("/rpB", "/rpC", []cd.CD{cd.MustParse("/4")}, 3, path)
+	actions, err := PrepareHandoff(time.Unix(0, 0), "/rpB", "/rpC", []cd.CD{cd.MustParse("/4")}, 3, path)
 	if err != nil {
 		t.Fatalf("second handoff: %v", err)
 	}

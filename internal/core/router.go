@@ -59,6 +59,10 @@ type Stats struct {
 	AnnouncementsIn     uint64
 	Redirected          uint64 // stage-B publications re-encapsulated to a new RP
 	Dropped             uint64
+	Retransmissions     uint64 // ARQ resends of reliable control packets
+	RetransAbandoned    uint64 // reliable packets given up on after max attempts
+	AcksIn              uint64 // ARQ acks received
+	CtlDupsIn           uint64 // duplicate reliable packets suppressed by dedup
 }
 
 // routerCounters holds the pre-resolved metric handles for the packet paths,
@@ -76,6 +80,10 @@ type routerCounters struct {
 	announcementsIn     *obs.Counter
 	redirected          *obs.Counter
 	dropped             *obs.Counter
+	retransTotal        *obs.Counter
+	retransAbandoned    *obs.Counter
+	acksIn              *obs.Counter
+	ctlDupsIn           *obs.Counter
 }
 
 // Router is one G-COPSS node.
@@ -116,6 +124,15 @@ type Router struct {
 	announceSeq map[string]uint64
 
 	pubSeq uint64
+
+	// Control-plane ARQ state (see arq.go): sender-side pending
+	// retransmissions keyed by (face, CtlSeq), the per-router stamp
+	// counter, and the per-face receiver dedup windows.
+	arqSeq         uint64
+	arqPending     map[arqKey]*arqEntry
+	arqSeen        map[ndn.FaceID]*arqSeen
+	arqRTO         time.Duration
+	arqMaxAttempts int
 
 	obsReg          *obs.Registry
 	flight          *obs.Flight
@@ -202,6 +219,10 @@ func NewRouter(name string, opts ...Option) *Router {
 		grafts:       make(map[string]*graft),
 		pendingJoins: make(map[string][]pendingJoin),
 		announceSeq:  make(map[string]uint64),
+		arqPending:   make(map[arqKey]*arqEntry),
+		arqSeen:      make(map[ndn.FaceID]*arqSeen),
+		arqRTO:       DefaultARQRTO,
+		arqMaxAttempts: DefaultARQMaxAttempts,
 		windowSize:   DefaultLoadWindow,
 		matchMode:    copss.MatchBloomVerified,
 	}
@@ -234,6 +255,10 @@ func (r *Router) instrument() {
 		announcementsIn:     reg.Counter("announcements_in"),
 		redirected:          reg.Counter("redirected"),
 		dropped:             reg.Counter("dropped"),
+		retransTotal:        reg.Counter("retrans_total"),
+		retransAbandoned:    reg.Counter("retrans_abandoned_total"),
+		acksIn:              reg.Counter("arq_acks_in"),
+		ctlDupsIn:           reg.Counter("arq_dups_in"),
 	}
 	r.deliveryLatency = reg.Histogram("delivery_latency_ms", obs.LatencyBucketsMs())
 	reg.GaugeFunc("st_entries", func() float64 { return float64(r.st.Len()) })
@@ -275,6 +300,10 @@ func (r *Router) Stats() Stats {
 		AnnouncementsIn:     r.ctr.announcementsIn.Value(),
 		Redirected:          r.ctr.redirected.Value(),
 		Dropped:             r.ctr.dropped.Value(),
+		Retransmissions:     r.ctr.retransTotal.Value(),
+		RetransAbandoned:    r.ctr.retransAbandoned.Value(),
+		AcksIn:              r.ctr.acksIn.Value(),
+		CtlDupsIn:           r.ctr.ctlDupsIn.Value(),
 	}
 }
 
@@ -341,10 +370,17 @@ func (r *Router) AddFace(id ndn.FaceID, kind FaceKind) {
 	r.faces[id] = kind
 }
 
-// RemoveFace drops a face and its subscriptions.
+// RemoveFace drops a face and its subscriptions, along with any ARQ state
+// bound to it (a reconnecting peer re-syncs from scratch).
 func (r *Router) RemoveFace(id ndn.FaceID) {
 	delete(r.faces, id)
 	r.st.RemoveFace(id)
+	delete(r.arqSeen, id)
+	for k := range r.arqPending {
+		if k.face == id {
+			delete(r.arqPending, k)
+		}
+	}
 }
 
 // FaceKindOf returns the kind of a registered face.
@@ -417,6 +453,18 @@ func (r *Router) BecomeRP(info copss.RPInfo) ([]ndn.Action, error) {
 	}), nil
 }
 
+// BecomeRPAt is BecomeRP with ARQ registration stamped at now: the returned
+// announcement flood is retransmitted by Tick until every neighbor acks, so
+// bootstrap survives lossy links. Plain BecomeRP keeps the unregistered
+// (fire-and-forget) behavior for hosts that do not drive Tick.
+func (r *Router) BecomeRPAt(now time.Time, info copss.RPInfo) ([]ndn.Action, error) {
+	actions, err := r.BecomeRP(info)
+	if err != nil {
+		return nil, err
+	}
+	return r.reliableOut(now, actions), nil
+}
+
 // floodExcept builds send actions for every router face except the given one
 // (use a negative face to flood everywhere).
 func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet) []ndn.Action {
@@ -431,11 +479,34 @@ func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 }
 
 // HandlePacket is the router's single entry point: it dispatches by packet
-// type exactly as the "is a NDN pkt?" demultiplexer of Fig. 2 does.
+// type exactly as the "is a NDN pkt?" demultiplexer of Fig. 2 does. Around
+// the dispatch sits the control-plane ARQ (arq.go): acks are consumed,
+// reliable arrivals are acked and deduplicated, and reliable departures to
+// router faces are stamped and registered for retransmission.
 func (r *Router) HandlePacket(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	if kind := arrivalKind(pkt.Type); kind != 0 {
 		r.record(now, kind, from, pkt, "")
 	}
+	if pkt.Type == wire.TypeAck {
+		r.handleAck(now, from, pkt)
+		return nil
+	}
+	var acks []ndn.Action
+	if reliableType(pkt.Type) && pkt.CtlSeq != 0 {
+		ack, dup := r.arqReceive(from, pkt)
+		acks = ack
+		if dup {
+			r.ctr.ctlDupsIn.Inc()
+			r.record(now, obs.EvDrop, from, pkt, "arq duplicate")
+			return acks
+		}
+	}
+	actions := r.dispatch(now, from, pkt)
+	return r.reliableOut(now, append(acks, actions...))
+}
+
+// dispatch is the Fig. 2 demultiplexer proper.
+func (r *Router) dispatch(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	switch pkt.Type {
 	case wire.TypeInterest:
 		return r.handleInterest(now, from, pkt)

@@ -215,7 +215,8 @@ func TestStatsExactDeltasPerPacketType(t *testing.T) {
 					CDs: []cd.CD{cd.MustParse("/7")}, Seq: 5,
 				})
 			},
-			want: Stats{AnnouncementsIn: 1},
+			// The re-flood toward R3 is ARQ-stamped, so R3's ack comes back.
+			want: Stats{AnnouncementsIn: 1, AcksIn: 1},
 		},
 		{
 			name:   "handoff announcement",
@@ -226,7 +227,7 @@ func TestStatsExactDeltasPerPacketType(t *testing.T) {
 					CDs: []cd.CD{cd.MustParse("/2")}, Seq: 2,
 				})
 			},
-			want: Stats{AnnouncementsIn: 1},
+			want: Stats{AnnouncementsIn: 1, AcksIn: 1},
 		},
 		{
 			// Join reaching the RP: the branch is grafted and the joiner's
@@ -240,7 +241,7 @@ func TestStatsExactDeltasPerPacketType(t *testing.T) {
 					CDs: []cd.CD{cd.MustParse("/1/2")},
 				})
 			},
-			want: Stats{JoinsIn: 1, MulticastOut: 1},
+			want: Stats{JoinsIn: 1, MulticastOut: 1, AcksIn: 1},
 		},
 		{
 			name:   "confirm without graft",
@@ -275,7 +276,8 @@ func TestStatsExactDeltasPerPacketType(t *testing.T) {
 					CDs: []cd.CD{cd.MustParse("/1/2")},
 				})
 			},
-			want: Stats{},
+			// The forwarded Prune toward R1 is ARQ-stamped; R1 acks it.
+			want: Stats{AcksIn: 1},
 		},
 		{
 			name:   "prune for unknown upstream dropped",

@@ -1,0 +1,352 @@
+// Package faultnet is a seeded, deterministic fault-injection layer for the
+// gcopss link layer. It wraps both the in-process testbed links and the TCP
+// transport with configurable per-link loss, duplication, reordering,
+// fixed+jittered delay, and partition/heal schedules.
+//
+// Every decision is a pure function of (spec, seed, link, arrival order,
+// injected clock): the package never reads the wall clock and never touches
+// the global math/rand source, so a chaos run replays bit-identically from
+// its seed. Hosts feed their own notion of "now" (virtual time in the
+// testbed, wall time in the daemon) and an epoch that anchors the partition
+// schedule.
+//
+// # Spec grammar
+//
+// A fault spec is a semicolon-separated list of clauses. Each clause
+// optionally names the link it applies to, then gives comma-separated
+// key=value parameters:
+//
+//	spec   := clause (';' clause)*
+//	clause := [link ':'] param (',' param)*
+//	param  := key '=' value
+//
+// The link is "*" (default, all links), "a-b" (both directions of the link
+// between a and b) or "a>b" (that direction only). The first clause whose
+// link and class match a packet decides its fate. Parameters:
+//
+//	only=CLASS   packet class filter: all (default), ctl (Join/Confirm/
+//	             Leave/Handoff/Prune/FIBAdd/FIBRemove/Ack), qr (Interest/
+//	             Data), mcast (Multicast/Subscribe/Unsubscribe)
+//	loss=P       drop probability in [0,1]
+//	dup=P        duplication probability in [0,1]
+//	reorder=P    reorder probability in [0,1]; a reordered packet is held
+//	             back by 1-4 reorder quanta so later packets overtake it
+//	delay=D      fixed extra delay (Go duration, also the reorder quantum)
+//	jitter=D     uniform random extra delay in [0,D)
+//	part=A..B    partition window: drop everything matching this clause
+//	             between epoch+A and epoch+B (repeatable)
+//
+// Example:
+//
+//	"R1-R3:loss=0.05,reorder=0.2,delay=1ms;*:only=ctl,part=150ms..200ms"
+package faultnet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// Class filters which packet types a rule applies to.
+type Class uint8
+
+// Packet classes.
+const (
+	// ClassAll matches every packet.
+	ClassAll Class = iota
+	// ClassCtl matches control-plane packets: Join, Confirm, Leave,
+	// Handoff, Prune, FIBAdd, FIBRemove and Ack.
+	ClassCtl
+	// ClassQR matches query-response packets: Interest and Data.
+	ClassQR
+	// ClassMcast matches dissemination packets: Multicast, Subscribe,
+	// Unsubscribe.
+	ClassMcast
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassAll:
+		return "all"
+	case ClassCtl:
+		return "ctl"
+	case ClassQR:
+		return "qr"
+	case ClassMcast:
+		return "mcast"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Matches reports whether the class covers the packet type.
+func (c Class) Matches(t wire.Type) bool {
+	switch c {
+	case ClassAll:
+		return true
+	case ClassCtl:
+		switch t {
+		case wire.TypeJoin, wire.TypeConfirm, wire.TypeLeave, wire.TypeHandoff,
+			wire.TypePrune, wire.TypeFIBAdd, wire.TypeFIBRemove, wire.TypeAck:
+			return true
+		}
+	case ClassQR:
+		return t == wire.TypeInterest || t == wire.TypeData
+	case ClassMcast:
+		return t == wire.TypeMulticast || t == wire.TypeSubscribe || t == wire.TypeUnsubscribe
+	}
+	return false
+}
+
+// Window is a half-open partition interval [From, To) of offsets from the
+// injector's epoch.
+type Window struct {
+	From, To time.Duration
+}
+
+// Rule is one parsed clause of a fault spec.
+type Rule struct {
+	// Link is "*" (all links), "a-b" (either direction) or "a>b" (directed).
+	Link string
+	// Class filters packet types; ClassAll matches everything.
+	Class Class
+	// Loss, Dup and Reorder are per-packet probabilities in [0,1].
+	Loss, Dup, Reorder float64
+	// Delay is a fixed extra latency added to matching packets; it doubles
+	// as the reorder quantum (1ms when zero).
+	Delay time.Duration
+	// Jitter adds a uniform random extra latency in [0, Jitter).
+	Jitter time.Duration
+	// Partitions are drop-everything windows anchored at the epoch.
+	Partitions []Window
+}
+
+// matchesLink reports whether the rule covers the directed link "a>b".
+func (r *Rule) matchesLink(link string) bool {
+	switch {
+	case r.Link == "*" || r.Link == link:
+		return true
+	case strings.Contains(r.Link, "-"):
+		a, b, _ := strings.Cut(r.Link, "-")
+		la, lb, ok := strings.Cut(link, ">")
+		return ok && ((la == a && lb == b) || (la == b && lb == a))
+	}
+	return false
+}
+
+// Spec is a parsed fault specification: an ordered rule list where the first
+// matching rule decides a packet's fate.
+type Spec struct {
+	Rules []Rule
+}
+
+// ParseSpec parses the textual fault-spec grammar. An empty string yields an
+// empty spec (no faults).
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		rule, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		spec.Rules = append(spec.Rules, rule)
+	}
+	return spec, nil
+}
+
+func parseClause(clause string) (Rule, error) {
+	rule := Rule{Link: "*"}
+	params := clause
+	// A link prefix is everything before the first ':' — but only when it
+	// contains no '=' (so "loss=0.1" alone is params, not a link).
+	if head, tail, ok := strings.Cut(clause, ":"); ok && !strings.Contains(head, "=") {
+		link := strings.TrimSpace(head)
+		if link == "" {
+			return rule, fmt.Errorf("faultnet: empty link in clause %q", clause)
+		}
+		if err := checkLinkName(link); err != nil {
+			return rule, err
+		}
+		rule.Link = link
+		params = tail
+	}
+	for _, param := range strings.Split(params, ",") {
+		param = strings.TrimSpace(param)
+		if param == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(param, "=")
+		if !ok {
+			return rule, fmt.Errorf("faultnet: parameter %q is not key=value", param)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "only":
+			rule.Class, err = parseClass(val)
+		case "loss":
+			rule.Loss, err = parseProb(key, val)
+		case "dup":
+			rule.Dup, err = parseProb(key, val)
+		case "reorder":
+			rule.Reorder, err = parseProb(key, val)
+		case "delay":
+			rule.Delay, err = parseDur(key, val)
+		case "jitter":
+			rule.Jitter, err = parseDur(key, val)
+		case "part":
+			var w Window
+			w, err = parseWindow(val)
+			rule.Partitions = append(rule.Partitions, w)
+		default:
+			return rule, fmt.Errorf("faultnet: unknown parameter %q", key)
+		}
+		if err != nil {
+			return rule, err
+		}
+	}
+	return rule, nil
+}
+
+func checkLinkName(link string) error {
+	if link == "*" {
+		return nil
+	}
+	if strings.ContainsAny(link, ";:,= \t") {
+		return fmt.Errorf("faultnet: link name %q contains reserved characters", link)
+	}
+	dashes := strings.Count(link, "-")
+	arrows := strings.Count(link, ">")
+	if dashes+arrows > 1 {
+		return fmt.Errorf("faultnet: link %q must be a name, \"a-b\", \"a>b\" or \"*\"", link)
+	}
+	if dashes+arrows == 1 {
+		sep := "-"
+		if arrows == 1 {
+			sep = ">"
+		}
+		a, b, _ := strings.Cut(link, sep)
+		if a == "" || b == "" {
+			return fmt.Errorf("faultnet: link %q has an empty endpoint", link)
+		}
+	}
+	return nil
+}
+
+func parseClass(val string) (Class, error) {
+	switch val {
+	case "all":
+		return ClassAll, nil
+	case "ctl":
+		return ClassCtl, nil
+	case "qr":
+		return ClassQR, nil
+	case "mcast":
+		return ClassMcast, nil
+	}
+	return ClassAll, fmt.Errorf("faultnet: unknown class %q (want all, ctl, qr or mcast)", val)
+}
+
+func parseProb(key, val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faultnet: bad %s=%q: %w", key, val, err)
+	}
+	if p < 0 || p > 1 || p != p { // p != p rejects NaN
+		return 0, fmt.Errorf("faultnet: %s=%v out of [0,1]", key, p)
+	}
+	return p, nil
+}
+
+func parseDur(key, val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("faultnet: bad %s=%q: %w", key, val, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("faultnet: negative %s=%v", key, d)
+	}
+	return d, nil
+}
+
+func parseWindow(val string) (Window, error) {
+	from, to, ok := strings.Cut(val, "..")
+	if !ok {
+		return Window{}, fmt.Errorf("faultnet: partition %q is not A..B", val)
+	}
+	a, err := parseDur("part", from)
+	if err != nil {
+		return Window{}, err
+	}
+	b, err := parseDur("part", to)
+	if err != nil {
+		return Window{}, err
+	}
+	if b <= a {
+		return Window{}, fmt.Errorf("faultnet: empty partition window %q", val)
+	}
+	return Window{From: a, To: b}, nil
+}
+
+// String renders the spec in canonical form; ParseSpec(s.String()) yields an
+// equal spec.
+func (s *Spec) String() string {
+	var clauses []string
+	for i := range s.Rules {
+		clauses = append(clauses, s.Rules[i].String())
+	}
+	return strings.Join(clauses, ";")
+}
+
+// String renders one rule as a spec clause.
+func (r *Rule) String() string {
+	var params []string
+	if r.Class != ClassAll {
+		params = append(params, "only="+r.Class.String())
+	}
+	if r.Loss != 0 {
+		params = append(params, "loss="+strconv.FormatFloat(r.Loss, 'g', -1, 64))
+	}
+	if r.Dup != 0 {
+		params = append(params, "dup="+strconv.FormatFloat(r.Dup, 'g', -1, 64))
+	}
+	if r.Reorder != 0 {
+		params = append(params, "reorder="+strconv.FormatFloat(r.Reorder, 'g', -1, 64))
+	}
+	if r.Delay != 0 {
+		params = append(params, "delay="+r.Delay.String())
+	}
+	if r.Jitter != 0 {
+		params = append(params, "jitter="+r.Jitter.String())
+	}
+	ws := append([]Window(nil), r.Partitions...)
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].From != ws[j].From {
+			return ws[i].From < ws[j].From
+		}
+		return ws[i].To < ws[j].To
+	})
+	for _, w := range ws {
+		params = append(params, "part="+w.From.String()+".."+w.To.String())
+	}
+	if len(params) == 0 {
+		params = append(params, "loss=0")
+	}
+	out := strings.Join(params, ",")
+	if r.Link != "*" {
+		out = r.Link + ":" + out
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// FuzzFaultSchedule fuzzes the fault-spec parser: it must never panic, and
+// any spec it accepts must have a stable canonical form (parse → String →
+// parse → String is a fixed point) and a usable injector.
+func FuzzFaultSchedule(f *testing.F) {
+	seeds := []string{
+		"",
+		"loss=0.05",
+		"R1-R3:loss=0.05,reorder=0.2,delay=1ms,jitter=500us",
+		"*:only=ctl,part=150ms..200ms,part=300ms..350ms",
+		"R2>R4:dup=0.1;only=qr,loss=1",
+		"a-b:part=0s..1h",
+		"loss=1e-9,delay=2h45m",
+		";;;",
+		"only=mcast,reorder=1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		canon := spec.String()
+		spec2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not re-parse: %v", canon, s, err)
+		}
+		if got := spec2.String(); got != canon {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", s, canon, got)
+		}
+		// Any accepted spec must drive an injector without panicking, and
+		// probabilities must stay honest: loss=0 everywhere means no drops.
+		in := New(spec, 1)
+		in.SetEpoch(time.Unix(0, 0))
+		lossless := true
+		for _, r := range spec.Rules {
+			if r.Loss > 0 || len(r.Partitions) > 0 {
+				lossless = false
+			}
+		}
+		drops := 0
+		for i := 0; i < 32; i++ {
+			v := in.Decide(time.Unix(0, int64(i)), "a>b", &wire.Packet{Type: wire.TypeMulticast, Seq: uint64(i)})
+			if v.Drop {
+				drops++
+			}
+			if v.Delay < 0 {
+				t.Fatalf("negative delay %v from spec %q", v.Delay, s)
+			}
+		}
+		if lossless && drops > 0 {
+			t.Fatalf("spec %q has no loss or partitions but dropped %d packets", s, drops)
+		}
+	})
+}

@@ -40,6 +40,11 @@ const (
 	EvDrop
 	// EvMigration marks a migration-protocol state transition.
 	EvMigration
+	// EvFault marks a fault injected by the faultnet layer (drop, dup,
+	// delay, partition); Note carries the reason, Name the link.
+	EvFault
+	// EvRetrans marks an ARQ retransmission of a reliable control packet.
+	EvRetrans
 )
 
 func (k EventKind) String() string {
@@ -78,6 +83,10 @@ func (k EventKind) String() string {
 		return "drop"
 	case EvMigration:
 		return "migration"
+	case EvFault:
+		return "fault"
+	case EvRetrans:
+		return "retrans"
 	default:
 		return "unknown"
 	}

@@ -98,7 +98,7 @@ func TestMigrationUnderRealDelays(t *testing.T) {
 					{Router: rn.routers["R6"], FaceDown: rn.faceToward["R6"]["R3"]},
 				}
 				move := []cd.CD{cd.MustNew("2"), cd.MustNew("4"), cd.MustNew("5")}
-				acts, err := core.PrepareHandoff("/rpA", "/rpB", move, 2, path)
+				acts, err := core.PrepareHandoff(now, "/rpA", "/rpB", move, 2, path)
 				if err != nil {
 					t.Errorf("PrepareHandoff: %v", err)
 					return

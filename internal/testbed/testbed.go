@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/event"
+	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
@@ -86,8 +87,9 @@ type nodeState struct {
 
 // Testbed wires nodes and runs the discrete-event loop.
 type Testbed struct {
-	sched *event.Scheduler
-	nodes map[string]*nodeState
+	sched  *event.Scheduler
+	nodes  map[string]*nodeState
+	faults *faultnet.Injector
 
 	packetEvents uint64
 	bytes        float64
@@ -103,6 +105,50 @@ func New() *Testbed {
 
 // Now returns the current virtual time.
 func (tb *Testbed) Now() time.Time { return tb.sched.Now() }
+
+// SetFaults installs a fault injector on every link: each transmitted packet
+// consults it and may be dropped, duplicated, delayed or reordered. Link
+// keys are "from>to" (node names). The caller owns the injector's epoch —
+// set it to the sim start so partition windows line up with virtual time.
+func (tb *Testbed) SetFaults(in *faultnet.Injector) { tb.faults = in }
+
+// Every schedules fn at start and then every interval after it, forever
+// (the Run deadline bounds it). Drives recurring work like ARQ ticks.
+func (tb *Testbed) Every(start time.Time, interval time.Duration, fn func(now time.Time)) {
+	if interval <= 0 {
+		return
+	}
+	var again func(now time.Time)
+	again = func(now time.Time) {
+		fn(now)
+		tb.sched.At(now.Add(interval), again)
+	}
+	tb.sched.At(start, again)
+}
+
+// transmit puts one packet on the wire from node n's face-link l at time at,
+// applying link faults. It is the single choke point shared by the service
+// path (receive) and the timer path (Emit).
+func (tb *Testbed) transmit(n *nodeState, l link, at time.Time, pkt *wire.Packet) {
+	copies := 1
+	if tb.faults != nil {
+		v := tb.faults.Decide(at, n.name+">"+l.to, pkt)
+		if v.Drop {
+			return
+		}
+		if v.Dup {
+			copies = 2
+		}
+		at = at.Add(v.Delay)
+	}
+	tb.bytes += float64(wire.Size(pkt))
+	to, toFace := l.to, l.face
+	for i := 0; i < copies; i++ {
+		tb.sched.At(at.Add(l.delay), func(t time.Time) {
+			tb.receive(t, to, toFace, pkt)
+		})
+	}
+}
 
 // AddNode registers a node with its handler and processing-cost function.
 func (tb *Testbed) AddNode(name string, handle Handler, proc ProcFunc, perCopy time.Duration) {
@@ -178,12 +224,7 @@ func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wir
 		if !wired {
 			continue
 		}
-		out := a.Packet
-		tb.bytes += float64(wire.Size(out))
-		to, toFace := l.to, l.face
-		tb.sched.At(finish.Add(l.delay), func(t time.Time) {
-			tb.receive(t, to, toFace, out)
-		})
+		tb.transmit(n, l, finish, a.Packet)
 	}
 }
 
@@ -199,12 +240,7 @@ func (tb *Testbed) Emit(now time.Time, node string, actions []ndn.Action) {
 		if !wired {
 			continue
 		}
-		out := a.Packet
-		tb.bytes += float64(wire.Size(out))
-		to, toFace := l.to, l.face
-		tb.sched.At(now.Add(l.delay), func(t time.Time) {
-			tb.receive(t, to, toFace, out)
-		})
+		tb.transmit(n, l, now, a.Packet)
 	}
 }
 

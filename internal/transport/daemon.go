@@ -12,8 +12,24 @@ import (
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// Daemon liveness defaults.
+const (
+	// DefaultIdleTimeout is the per-frame read deadline on established
+	// faces: a peer that stalls mid-frame (or goes silent) this long is
+	// dropped instead of leaking its reader goroutine.
+	DefaultIdleTimeout = 90 * time.Second
+	// DefaultTickInterval drives the router's ARQ retransmission timers.
+	DefaultTickInterval = 25 * time.Millisecond
+	// reconnectAttempts/reconnectBackoff bound the re-dial loop for a lost
+	// dialed-neighbor link (deterministic exponential backoff, no jitter).
+	reconnectAttempts = 8
+	reconnectBackoff  = 250 * time.Millisecond
 )
 
 // Daemon runs one G-COPSS router over TCP: every accepted or dialed
@@ -26,9 +42,15 @@ type Daemon struct {
 
 	ln net.Listener
 
-	mu       sync.Mutex
-	faces    map[ndn.FaceID]*Conn
-	nextFace ndn.FaceID
+	mu        sync.Mutex
+	faces     map[ndn.FaceID]*Conn
+	neighbors map[ndn.FaceID]string // dialed-router addr, for auto-reconnect
+	nextFace  ndn.FaceID
+
+	idleTimeout  time.Duration
+	tickInterval time.Duration
+	faults       *faultnet.Injector
+	reconnects   *obs.Counter
 
 	events chan faceEvent
 	done   chan struct{} // closed when Run exits; unblocks feeder goroutines
@@ -44,15 +66,34 @@ type faceEvent struct {
 
 // NewDaemon creates a daemon for a fresh router.
 func NewDaemon(name string, opts ...core.Option) *Daemon {
-	return &Daemon{
-		name:   name,
-		router: core.NewRouter(name, opts...),
-		logf:   log.Printf,
-		faces:  make(map[ndn.FaceID]*Conn),
-		events: make(chan faceEvent, 1024),
-		done:   make(chan struct{}),
+	d := &Daemon{
+		name:         name,
+		router:       core.NewRouter(name, opts...),
+		logf:         log.Printf,
+		faces:        make(map[ndn.FaceID]*Conn),
+		neighbors:    make(map[ndn.FaceID]string),
+		idleTimeout:  DefaultIdleTimeout,
+		tickInterval: DefaultTickInterval,
+		events:       make(chan faceEvent, 1024),
+		done:         make(chan struct{}),
 	}
+	d.Instrument(obs.NewRegistry())
+	return d
 }
+
+// Instrument re-registers the daemon's counters on reg. Call before Run.
+func (d *Daemon) Instrument(reg *obs.Registry) {
+	d.reconnects = reg.Counter("reconnects_total")
+}
+
+// SetIdleTimeout overrides the per-frame read deadline applied to every
+// face (tests shrink it; zero disables). Call before Run.
+func (d *Daemon) SetIdleTimeout(t time.Duration) { d.idleTimeout = t }
+
+// SetFaults installs a fault injector on the daemon's egress: every
+// dispatched packet consults it and may be dropped, duplicated or delayed.
+// The link key is "face<N>". Call before Run.
+func (d *Daemon) SetFaults(in *faultnet.Injector) { d.faults = in }
 
 // SetLogger replaces the daemon's log function (tests use a silent one).
 func (d *Daemon) SetLogger(logf func(string, ...interface{})) { d.logf = logf }
@@ -85,18 +126,51 @@ func (d *Daemon) Listen(addr string) (net.Addr, error) {
 // ConnectRouter dials a neighboring router and registers the link. The
 // attachment is executed by the event loop, so it is safe to call while the
 // daemon runs (the events channel buffers attachments queued before Run).
+// The address is remembered: if the link later drops, the daemon re-dials it
+// with bounded exponential backoff.
 func (d *Daemon) ConnectRouter(addr string) error {
 	conn, err := Dial(addr, PeerRouter, d.name, 5*time.Second)
 	if err != nil {
 		return err
 	}
-	d.events <- faceEvent{fn: func() { d.addFace(conn, core.FaceRouter) }}
+	d.events <- faceEvent{fn: func() {
+		id := d.addFace(conn, core.FaceRouter)
+		d.mu.Lock()
+		d.neighbors[id] = addr
+		d.mu.Unlock()
+	}}
 	return nil
+}
+
+// reconnect re-dials a lost dialed-neighbor link in the background and, on
+// success, attaches the fresh connection as a new router face. The remote
+// router resynchronizes state over the new face (clients re-announce, ARQ
+// entries for the dead face were discarded by RemoveFace).
+func (d *Daemon) reconnect(addr string) {
+	defer d.wg.Done()
+	conn, err := DialRetry(addr, PeerRouter, d.name, 5*time.Second,
+		reconnectAttempts, reconnectBackoff, d.done)
+	if err != nil {
+		d.logf("daemon %s: reconnect %s: %v", d.name, addr, err)
+		return
+	}
+	ok := d.enqueue(faceEvent{fn: func() {
+		id := d.addFace(conn, core.FaceRouter)
+		d.mu.Lock()
+		d.neighbors[id] = addr
+		d.mu.Unlock()
+		d.reconnects.Inc()
+		d.logf("daemon %s: reconnected to %s as face %d", d.name, addr, id)
+	}})
+	if !ok {
+		conn.Close() //nolint:errcheck // shutting down
+	}
 }
 
 // addFace registers a connection and starts its reader. Must run on the
 // event loop (all router mutations do).
 func (d *Daemon) addFace(conn *Conn, kind core.FaceKind) ndn.FaceID {
+	conn.SetIdleTimeout(d.idleTimeout)
 	d.mu.Lock()
 	d.nextFace++
 	id := d.nextFace
@@ -157,11 +231,19 @@ func (d *Daemon) Run(ctx context.Context) error {
 		d.wg.Add(1)
 		go d.acceptLoop(ctx)
 	}
+	var tick <-chan time.Time
+	if d.tickInterval > 0 {
+		t := time.NewTicker(d.tickInterval)
+		defer t.Stop()
+		tick = t.C
+	}
 	defer d.closeAll()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case now := <-tick:
+			d.dispatch(d.router.Tick(now))
 		case ev := <-d.events:
 			switch {
 			case ev.fn != nil:
@@ -210,6 +292,8 @@ func (d *Daemon) acceptLoop(ctx context.Context) {
 }
 
 // dispatch writes actions to their faces; write failures drop the face.
+// With a fault injector installed, each write may be suppressed, duplicated
+// or deferred first (the Conn write mutex makes deferred writes safe).
 func (d *Daemon) dispatch(actions []ndn.Action) {
 	for _, a := range actions {
 		d.mu.Lock()
@@ -218,9 +302,36 @@ func (d *Daemon) dispatch(actions []ndn.Action) {
 		if conn == nil {
 			continue
 		}
-		if err := conn.WritePacket(a.Packet); err != nil {
-			d.logf("daemon %s: write face %d: %v", d.name, a.Face, err)
-			d.dropFace(a.Face)
+		copies := 1
+		if d.faults != nil {
+			v := d.faults.Decide(time.Now(), fmt.Sprintf("face%d", a.Face), a.Packet)
+			if v.Drop {
+				continue
+			}
+			if v.Dup {
+				copies = 2
+			}
+			if v.Delay > 0 {
+				pkt, face := a.Packet, a.Face
+				for i := 0; i < copies; i++ {
+					time.AfterFunc(v.Delay, func() {
+						d.mu.Lock()
+						late := d.faces[face]
+						d.mu.Unlock()
+						if late != nil {
+							late.WritePacket(pkt) //lint:allow errcheckedfaces delayed fault write; the read loop notices dead faces
+						}
+					})
+				}
+				continue
+			}
+		}
+		for i := 0; i < copies; i++ {
+			if err := conn.WritePacket(a.Packet); err != nil {
+				d.logf("daemon %s: write face %d: %v", d.name, a.Face, err)
+				d.dropFace(a.Face)
+				break
+			}
 		}
 	}
 }
@@ -229,11 +340,22 @@ func (d *Daemon) dropFace(id ndn.FaceID) {
 	d.mu.Lock()
 	conn := d.faces[id]
 	delete(d.faces, id)
+	addr := d.neighbors[id]
+	delete(d.neighbors, id)
 	d.mu.Unlock()
-	if conn != nil {
-		conn.Close() //nolint:errcheck // already dropping
+	if conn == nil {
+		return // already dropped (read error racing a write error)
 	}
+	conn.Close() //nolint:errcheck // already dropping
 	d.router.RemoveFace(id)
+	if addr != "" {
+		select {
+		case <-d.done:
+		default:
+			d.wg.Add(1)
+			go d.reconnect(addr)
+		}
+	}
 }
 
 func (d *Daemon) closeAll() {
@@ -255,7 +377,13 @@ func (d *Daemon) closeAll() {
 // writers.
 type Client struct {
 	name string
-	conn *Conn
+	addr string
+
+	mu     sync.Mutex
+	conn   *Conn
+	faults *faultnet.Injector
+
+	reconnects *obs.Counter
 }
 
 // NewClient dials a router daemon as an end host.
@@ -264,28 +392,98 @@ func NewClient(name, routerAddr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{name: name, conn: conn}, nil
+	c := &Client{name: name, addr: routerAddr, conn: conn}
+	c.Instrument(obs.NewRegistry())
+	return c, nil
+}
+
+// Instrument re-registers the client's counters on reg.
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.reconnects = reg.Counter("reconnects_total")
+}
+
+// SetFaults installs a fault injector on the client's uplink: every sent
+// packet consults it and may be dropped, duplicated or delayed. The link
+// key is "uplink".
+func (c *Client) SetFaults(in *faultnet.Injector) {
+	c.mu.Lock()
+	c.faults = in
+	c.mu.Unlock()
 }
 
 // Name returns the client's identifier.
 func (c *Client) Name() string { return c.name }
 
 // Close tears the face down.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.current().Close() }
+
+// current returns the live connection.
+func (c *Client) current() *Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+// Reconnect re-dials the remembered router address with bounded
+// deterministic backoff and swaps in the fresh connection. Subscriptions and
+// prefix announcements are face state on the router side, so the caller must
+// re-issue them after a successful reconnect. stop, when non-nil, aborts the
+// backoff wait early.
+func (c *Client) Reconnect(stop <-chan struct{}) error {
+	conn, err := DialRetry(c.addr, PeerClient, c.name, 5*time.Second,
+		reconnectAttempts, reconnectBackoff, stop)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	old := c.conn
+	c.conn = conn
+	c.mu.Unlock()
+	old.Close() //nolint:errcheck // replaced
+	c.reconnects.Inc()
+	return nil
+}
+
+// write pushes one packet through the fault injector (if any) and out the
+// live connection.
+func (c *Client) write(pkt *wire.Packet) error {
+	c.mu.Lock()
+	conn, faults := c.conn, c.faults
+	c.mu.Unlock()
+	copies := 1
+	if faults != nil {
+		v := faults.Decide(time.Now(), "uplink", pkt)
+		if v.Drop {
+			return nil // the link ate it; retry layers recover
+		}
+		if v.Dup {
+			copies = 2
+		}
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+	}
+	for i := 0; i < copies; i++ {
+		if err := conn.WritePacket(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Subscribe adds subscriptions.
 func (c *Client) Subscribe(cds ...cd.CD) error {
-	return c.conn.WritePacket(&wire.Packet{Type: wire.TypeSubscribe, CDs: cds})
+	return c.write(&wire.Packet{Type: wire.TypeSubscribe, CDs: cds})
 }
 
 // Unsubscribe removes subscriptions.
 func (c *Client) Unsubscribe(cds ...cd.CD) error {
-	return c.conn.WritePacket(&wire.Packet{Type: wire.TypeUnsubscribe, CDs: cds})
+	return c.write(&wire.Packet{Type: wire.TypeUnsubscribe, CDs: cds})
 }
 
 // Publish pushes an update to a CD.
 func (c *Client) Publish(to cd.CD, seq uint64, payload []byte) error {
-	return c.conn.WritePacket(&wire.Packet{
+	return c.write(&wire.Packet{
 		Type:    wire.TypeMulticast,
 		CDs:     []cd.CD{to},
 		Origin:  c.name,
@@ -300,7 +498,7 @@ func (c *Client) Publish(to cd.CD, seq uint64, payload []byte) error {
 // snapshot namespace this way). seq must increase across restarts; a
 // wall-clock timestamp works.
 func (c *Client) AnnouncePrefix(prefix string, seq uint64) error {
-	return c.conn.WritePacket(&wire.Packet{
+	return c.write(&wire.Packet{
 		Type:   wire.TypeFIBAdd,
 		Name:   prefix,
 		Seq:    seq,
@@ -310,11 +508,11 @@ func (c *Client) AnnouncePrefix(prefix string, seq uint64) error {
 
 // Query sends an NDN Interest.
 func (c *Client) Query(name string) error {
-	return c.conn.WritePacket(&wire.Packet{Type: wire.TypeInterest, Name: name, SentAt: time.Now().UnixNano()})
+	return c.write(&wire.Packet{Type: wire.TypeInterest, Name: name, SentAt: time.Now().UnixNano()})
 }
 
 // Send writes an arbitrary packet (brokers use this for Data responses).
-func (c *Client) Send(pkt *wire.Packet) error { return c.conn.WritePacket(pkt) }
+func (c *Client) Send(pkt *wire.Packet) error { return c.write(pkt) }
 
 // Receive blocks for the next packet.
-func (c *Client) Receive() (*wire.Packet, error) { return c.conn.ReadPacket() }
+func (c *Client) Receive() (*wire.Packet, error) { return c.current().ReadPacket() }

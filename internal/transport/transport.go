@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/wire"
@@ -45,13 +46,23 @@ func (k PeerKind) String() string {
 // helloName is the reserved content name of handshake packets.
 const helloName = "/gcopss/hello"
 
-// Conn frames wire packets over a stream.
+// Conn frames wire packets over a stream. Writes are serialized by an
+// internal mutex so concurrent writers cannot interleave frames.
 type Conn struct {
-	c net.Conn
+	c    net.Conn
+	wmu  sync.Mutex
+	idle time.Duration // 0 = no idle read deadline
 }
 
 // NewConn wraps an established stream.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// SetIdleTimeout arms a per-frame read deadline: every ReadPacket must
+// complete (header AND body) within d, or it fails with a timeout error.
+// This is the defense against a peer that completes the hello and then
+// stalls mid-frame — without it the reader goroutine blocks in io.ReadFull
+// forever and leaks. Zero disables the deadline.
+func (c *Conn) SetIdleTimeout(d time.Duration) { c.idle = d }
 
 // Close closes the underlying stream.
 func (c *Conn) Close() error { return c.c.Close() }
@@ -73,6 +84,8 @@ func (c *Conn) WritePacket(pkt *wire.Packet) error {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if _, err := c.c.Write(hdr[:]); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
 	}
@@ -84,6 +97,11 @@ func (c *Conn) WritePacket(pkt *wire.Packet) error {
 
 // ReadPacket reads one framed packet.
 func (c *Conn) ReadPacket() (*wire.Packet, error) {
+	if c.idle > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+			return nil, fmt.Errorf("transport: set idle deadline: %w", err)
+		}
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
 		return nil, fmt.Errorf("transport: read header: %w", err)
@@ -159,4 +177,31 @@ func Dial(addr string, kind PeerKind, name string, timeout time.Duration) (*Conn
 		return nil, err
 	}
 	return c, nil
+}
+
+// DialRetry dials with bounded, deterministic exponential backoff: up to
+// attempts tries, sleeping backoff, 2*backoff, 4*backoff ... between them
+// (no jitter, so reconnect behaviour is reproducible in tests). stop, when
+// non-nil, aborts the wait early.
+func DialRetry(addr string, kind PeerKind, name string, timeout time.Duration,
+	attempts int, backoff time.Duration, stop <-chan struct{}) (*Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(backoff << uint(i-1)):
+			case <-stop:
+				return nil, fmt.Errorf("transport: dial %s aborted: %w", addr, lastErr)
+			}
+		}
+		conn, err := Dial(addr, kind, name, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
 }

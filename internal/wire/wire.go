@@ -51,6 +51,9 @@ const (
 	// handoff path FIFO-behind the last old-tree data, so it can never
 	// outrun a delivery.
 	TypePrune
+	// TypeAck is a hop-by-hop acknowledgement for a reliable control packet.
+	// It echoes the CtlSeq of the acknowledged packet; it is never forwarded.
+	TypeAck
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +83,8 @@ func (t Type) String() string {
 		return "Handoff"
 	case TypePrune:
 		return "Prune"
+	case TypeAck:
+		return "Ack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -130,6 +135,13 @@ type Packet struct {
 	// re-hashing the name at every hop. Optional; empty means downstream
 	// routers hash for themselves.
 	CDHashes []uint64
+
+	// CtlSeq is the hop-by-hop ARQ sequence number for reliable control
+	// packets (Join/Confirm/Leave/Handoff/Prune/FIBAdd between routers).
+	// The sender stamps a per-link monotonic value; the receiver echoes it
+	// in a TypeAck and uses it to deduplicate retransmissions. Zero means
+	// the packet travels unacknowledged (legacy / client faces).
+	CtlSeq uint64
 }
 
 // CD returns the single content descriptor of a Multicast packet, or ErrNoCD
@@ -170,6 +182,10 @@ func (p *Packet) Validate() error {
 		if p.Name == "" {
 			return fmt.Errorf("wire: %v without an RP name", p.Type)
 		}
+	case TypeAck:
+		if p.CtlSeq == 0 {
+			return fmt.Errorf("wire: Ack without a CtlSeq")
+		}
 	default:
 		return fmt.Errorf("wire: unknown packet type %d", uint8(p.Type))
 	}
@@ -186,6 +202,7 @@ const (
 	fieldSentAt   = 6
 	fieldHops     = 7
 	fieldCDHashes = 8
+	fieldCtlSeq   = 9
 )
 
 const (
@@ -253,6 +270,11 @@ func Encode(p *Packet) ([]byte, error) {
 			binary.BigEndian.PutUint64(buf[i*8:], h)
 		}
 		appendField(fieldCDHashes, buf)
+	}
+	if p.CtlSeq != 0 {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], p.CtlSeq)
+		appendField(fieldCtlSeq, buf[:n])
 	}
 
 	out := make([]byte, 0, 4+binary.MaxVarintLen64+len(body))
@@ -335,6 +357,12 @@ func Decode(buf []byte) (*Packet, int, error) {
 			for i := range p.CDHashes {
 				p.CDHashes[i] = binary.BigEndian.Uint64(val[i*8:])
 			}
+		case fieldCtlSeq:
+			v, vn := binary.Uvarint(val)
+			if vn <= 0 {
+				return nil, 0, ErrShortPacket
+			}
+			p.CtlSeq = v
 		default:
 			// Unknown fields are skipped for forward compatibility.
 		}
