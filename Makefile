@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench cover ci
+.PHONY: all build vet lint test race fuzz bench bench-diff cover ci
 
 all: build lint test
 
@@ -11,7 +11,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own invariant checkers (cmd/gcopsslint):
-# clockfree, randinject, nopanic, cdctor, errcheckedfaces.
+# clockfree, randinject, nopanic, cdctor, errcheckedfaces, obsnames,
+# sharedpkt.
 lint: vet
 	$(GO) run ./cmd/gcopsslint ./...
 
@@ -24,13 +25,21 @@ race:
 	$(GO) test -race -count=1 ./internal/transport ./internal/core .
 
 # bench runs the paper-experiment benchmarks (module root) and the telemetry
-# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_2.json
+# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_4.json
 # (name -> ns/op, B/op, allocs/op). One iteration per experiment benchmark:
-# the artifact records magnitudes, not statistics.
+# the artifact records magnitudes, not statistics. BENCH_2.json is the
+# committed pre-zero-copy baseline; compare with bench-diff.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_2.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_4.json
+
+# bench-diff compares the fresh BENCH_4.json against the committed baseline.
+# Report-only by default; pass THRESHOLD=<pct> to fail on regressions beyond
+# that percentage.
+BENCH_BASELINE = BENCH_2.json
+bench-diff: bench
+	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_4.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:

@@ -5,6 +5,16 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // echoed to stderr so the run stays observable in CI logs.
+//
+// With -diff, benchjson compares two reports instead of reading stdin:
+//
+//	benchjson -diff BENCH_OLD.json BENCH_NEW.json
+//	benchjson -diff -threshold 10 BENCH_OLD.json BENCH_NEW.json
+//
+// It prints per-benchmark deltas of ns/op, B/op and allocs/op (new vs old,
+// negative is an improvement). With -threshold set, any metric regressing
+// by more than that percentage makes the command exit non-zero, so CI can
+// gate on the committed baseline.
 package main
 
 import (
@@ -35,7 +45,16 @@ func main() {
 
 func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two JSON reports (old new) instead of reading stdin")
+	threshold := flag.Float64("threshold", 0, "with -diff: exit non-zero if any metric regresses by more than this percentage (0 = report only)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two arguments: old.json new.json")
+		}
+		return runDiff(flag.Arg(0), flag.Arg(1), *threshold)
+	}
 
 	results := make(map[string]Result)
 	sc := bufio.NewScanner(os.Stdin)
@@ -118,4 +137,89 @@ func parseLine(line string) (string, Result, bool) {
 		}
 	}
 	return name, r, seen
+}
+
+// runDiff loads two reports and prints per-benchmark metric deltas. When
+// threshold > 0, a regression beyond it on any metric fails the run.
+func runDiff(oldPath, newPath string, threshold float64) error {
+	oldR, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(newR))
+	for n := range newR {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	for _, n := range names {
+		nw := newR[n]
+		od, ok := oldR[n]
+		if !ok {
+			fmt.Printf("%-60s new benchmark: %12.0f ns/op %12.0f B/op %10.0f allocs/op\n",
+				n, nw.NsPerOp, nw.BytesPerOp, nw.AllocsPerOp)
+			continue
+		}
+		fmt.Printf("%-60s ns/op %s  B/op %s  allocs/op %s\n",
+			n, delta(od.NsPerOp, nw.NsPerOp), delta(od.BytesPerOp, nw.BytesPerOp), delta(od.AllocsPerOp, nw.AllocsPerOp))
+		if threshold > 0 {
+			for _, m := range []struct {
+				metric   string
+				old, new float64
+			}{
+				{"ns/op", od.NsPerOp, nw.NsPerOp},
+				{"B/op", od.BytesPerOp, nw.BytesPerOp},
+				{"allocs/op", od.AllocsPerOp, nw.AllocsPerOp},
+			} {
+				if pct := pctChange(m.old, m.new); pct > threshold {
+					fmt.Printf("  REGRESSION %s %s: %+.1f%% exceeds threshold %.1f%%\n", n, m.metric, pct, threshold)
+					regressed = true
+				}
+			}
+		}
+	}
+	for n := range oldR {
+		if _, ok := newR[n]; !ok {
+			fmt.Printf("%-60s removed (present only in %s)\n", n, oldPath)
+		}
+	}
+	if regressed {
+		return fmt.Errorf("benchmarks regressed beyond %.1f%%", threshold)
+	}
+	return nil
+}
+
+func loadReport(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r map[string]Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// pctChange returns the percentage change from old to new; moving off zero
+// counts as a full regression, staying at zero as no change.
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}
+
+// delta renders "old -> new (+pct%)" for one metric.
+func delta(old, new float64) string {
+	return fmt.Sprintf("%.0f->%.0f (%+.1f%%)", old, new, pctChange(old, new))
 }

@@ -14,6 +14,7 @@
 //	cdctor           CDs built only via the cd package's constructors
 //	errcheckedfaces  wire/transport errors must be handled
 //	obsnames         telemetry metric names are literal and well-formed
+//	sharedpkt        handler-received packets are immutable; mutate via COW copies
 //
 // A finding is waived in place with `//lint:allow <checker> <reason>` on the
 // flagged line or the line above it.
@@ -34,6 +35,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/analysis/nopanic"
 	"github.com/icn-gaming/gcopss/internal/analysis/obsnames"
 	"github.com/icn-gaming/gcopss/internal/analysis/randinject"
+	"github.com/icn-gaming/gcopss/internal/analysis/sharedpkt"
 )
 
 var all = []*analysis.Analyzer{
@@ -43,6 +45,7 @@ var all = []*analysis.Analyzer{
 	cdctor.Analyzer,
 	errcheckedfaces.Analyzer,
 	obsnames.Analyzer,
+	sharedpkt.Analyzer,
 }
 
 func main() {

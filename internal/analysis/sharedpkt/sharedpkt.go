@@ -1,0 +1,144 @@
+// Package sharedpkt guards the immutable-after-send packet discipline.
+//
+// The zero-copy fast path (DESIGN.md "Packet ownership and the zero-copy
+// fast path") shares one *wire.Packet across every out-face of a fan-out and
+// across the ARQ retransmission queue. That is only sound if a packet is
+// never mutated after it has been handed to a handler or emitted: a write
+// through a handler parameter would be observed by every sibling action and
+// by in-flight deliveries.
+//
+// The checker therefore flags any write through a function parameter of type
+// *wire.Packet — field assignment, compound assignment, ++/--, element
+// assignment into a field, or whole-struct overwrite (*pkt = ...). Mutation
+// is done copy-on-write instead: copy the struct into a fresh local and
+// write there, which this checker never flags because the local is not the
+// shared parameter:
+//
+//	cp := *pkt        // fresh object, private to this call
+//	cp.Name = newName // fine
+//	use(&cp)
+//
+// The check is syntactic per identifier, not a points-to analysis: writes
+// through a second alias (q := pkt; q.X = ...) are not caught, and
+// reassigning the parameter itself (pkt = &cp) is legal and ends the
+// parameter's association with the shared packet. Package internal/wire is
+// exempt — it owns the representation (Decode fills packets in place).
+package sharedpkt
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedpkt",
+	Doc:  "handler-received *wire.Packet values are shared and immutable; mutate a copy (cp := *pkt), never the parameter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if analysis.PathIn(pass.Pkg.Path(), "internal/wire") {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, n.X)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkWrite reports lhs if it writes through a *wire.Packet parameter:
+// pkt.Field, pkt.Field[i], or *pkt.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	switch e := lhs.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok && isPacketParam(pass, id) {
+			pass.Reportf(lhs.Pos(), "write to field %s of shared packet parameter %s: packets are immutable after send, copy first (cp := *%s)", e.Sel.Name, id.Name, id.Name)
+		}
+	case *ast.IndexExpr:
+		// pkt.CDs[i] = ... mutates shared backing storage.
+		if sel, ok := e.X.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && isPacketParam(pass, id) {
+				pass.Reportf(lhs.Pos(), "write into field %s of shared packet parameter %s: packets are immutable after send", sel.Sel.Name, id.Name)
+			}
+		}
+	case *ast.StarExpr:
+		if id, ok := e.X.(*ast.Ident); ok && isPacketParam(pass, id) {
+			pass.Reportf(lhs.Pos(), "overwrite through shared packet parameter %s: packets are immutable after send", id.Name)
+		}
+	}
+}
+
+// isPacketParam reports whether id denotes a function (or closure) parameter
+// of type *wire.Packet. Locals — including COW copies and pointers to them —
+// are exempt by construction.
+func isPacketParam(pass *analysis.Pass, id *ast.Ident) bool {
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !isParam(pass, v) {
+		return false
+	}
+	ptr, ok := v.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil && analysis.PathIn(obj.Pkg().Path(), "internal/wire")
+}
+
+// isParam reports whether v appears in some function signature's parameter
+// tuple. The types API does not mark parameter-ness on the Var itself, so the
+// analyzer records every parameter object while walking the file set.
+func isParam(pass *analysis.Pass, v *types.Var) bool {
+	params := paramSet(pass)
+	return params[v]
+}
+
+// paramCache memoizes the parameter set per Pass (the Inspect callback runs
+// per node; rebuilding the set each time would be quadratic).
+var paramCache = map[*analysis.Pass]map[*types.Var]bool{}
+
+func paramSet(pass *analysis.Pass) map[*types.Var]bool {
+	if s, ok := paramCache[pass]; ok {
+		return s
+	}
+	s := map[*types.Var]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					s[v] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				collect(n.Type.Params)
+			case *ast.FuncLit:
+				collect(n.Type.Params)
+			}
+			return true
+		})
+	}
+	paramCache[pass] = s
+	return s
+}

@@ -1,0 +1,13 @@
+package sharedpkt
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestSharedpkt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"node/handler", // field writes, ++, element writes, COW patterns, escape hatch
+	)
+}

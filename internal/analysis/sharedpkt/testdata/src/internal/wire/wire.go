@@ -1,0 +1,21 @@
+// Package wire is a minimal stub of the real internal/wire package, just
+// enough surface for the sharedpkt testdata to type-check. The analyzer
+// matches it by path suffix.
+package wire
+
+type Type uint8
+
+type Packet struct {
+	Type     Type
+	Name     string
+	CDs      []string
+	Payload  []byte
+	HopCount uint32
+	CtlSeq   uint64
+}
+
+func (p *Packet) Forward() *Packet {
+	q := *p
+	q.HopCount++
+	return &q
+}

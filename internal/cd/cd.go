@@ -191,12 +191,17 @@ func (c CD) HasPrefix(p CD) bool {
 // Prefixes returns all prefixes of c from the root up to and including c
 // itself, shortest first.
 func (c CD) Prefixes() []CD {
-	out := []CD{Root()}
-	for i := 0; i < len(c.s); i++ {
+	return c.AppendPrefixes(nil)
+}
+
+// AppendPrefixes appends the prefixes of c (root first, c last) to dst and
+// returns the extended slice. Passing a reused buffer keeps the per-match
+// hot paths allocation-free.
+func (c CD) AppendPrefixes(dst []CD) []CD {
+	out := append(dst, Root())
+	for i := 1; i < len(c.s); i++ {
 		if c.s[i] == '/' {
-			if i > 0 {
-				out = append(out, CD{s: c.s[:i]})
-			}
+			out = append(out, CD{s: c.s[:i]})
 		}
 	}
 	if c.s != "" {

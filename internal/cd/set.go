@@ -61,8 +61,22 @@ func (s *Set) ContainsPrefixOf(c CD) bool {
 	if s == nil || s.m == nil {
 		return false
 	}
-	for _, p := range c.Prefixes() {
-		if _, ok := s.m[p.s]; ok {
+	// Probe each prefix as a substring of the canonical form instead of
+	// materializing c.Prefixes(): string-keyed map lookups on a subslice do
+	// not allocate, and this predicate sits on the per-face multicast match
+	// path.
+	if _, ok := s.m[""]; ok { // the root is a prefix of every CD
+		return true
+	}
+	for i := 1; i < len(c.s); i++ {
+		if c.s[i] == '/' {
+			if _, ok := s.m[c.s[:i]]; ok {
+				return true
+			}
+		}
+	}
+	if c.s != "" {
+		if _, ok := s.m[c.s]; ok {
 			return true
 		}
 	}

@@ -1,0 +1,101 @@
+package copss
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+)
+
+// buildBudgetST populates an ST with a realistic small fan-out: a handful of
+// faces subscribed across a two-level CD hierarchy.
+func buildBudgetST(mode MatchMode) (*ST, cd.CD) {
+	st := NewST(mode)
+	pub := cd.MustParse("/1/2")
+	st.Add(1, cd.MustParse("/1"))
+	st.Add(2, cd.MustParse("/1/2"))
+	st.Add(3, cd.MustParse("/1/3"))
+	st.Add(4, cd.Root())
+	st.Add(5, cd.MustParse("/2"))
+	return st, pub
+}
+
+// TestFacesForHashedAllocFree locks the steady-state forwarding budget at
+// zero: once the pair cache is warm, an ST query must not allocate in any
+// match mode — this is the per-hop hot path of every Multicast.
+func TestFacesForHashedAllocFree(t *testing.T) {
+	for _, mode := range []MatchMode{MatchExact, MatchBloom, MatchBloomVerified} {
+		st, pub := buildBudgetST(mode)
+		pairs := PrefixHashes(pub)
+		flat := FlattenHashes(pairs)
+		// Warm the scratch buffers and the pair cache.
+		st.FacesFor(pub)
+		st.FacesForHashed(pub, pairs)
+		st.FacesForFlat(pub, flat)
+
+		if allocs := testing.AllocsPerRun(100, func() { st.FacesFor(pub) }); allocs != 0 {
+			t.Errorf("mode %d: FacesFor allocs/op = %v, want 0", mode, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { st.FacesForHashed(pub, pairs) }); allocs != 0 {
+			t.Errorf("mode %d: FacesForHashed allocs/op = %v, want 0", mode, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { st.FacesForFlat(pub, flat) }); allocs != 0 {
+			t.Errorf("mode %d: FacesForFlat allocs/op = %v, want 0", mode, allocs)
+		}
+	}
+}
+
+// TestFacesForFlatEquivalence pins FacesForFlat to FacesFor, including the
+// fallback on a malformed hash vector.
+func TestFacesForFlatEquivalence(t *testing.T) {
+	st, pub := buildBudgetST(MatchBloomVerified)
+	want := append([]ndn.FaceID(nil), st.FacesFor(pub)...)
+	got := append([]ndn.FaceID(nil), st.FacesForFlat(pub, FlattenHashes(PrefixHashes(pub)))...)
+	if len(got) != len(want) {
+		t.Fatalf("FacesForFlat = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("FacesForFlat = %v, want %v", got, want)
+		}
+	}
+	// Wrong-length vector: must fall back to hashing, not misroute.
+	bad := append([]ndn.FaceID(nil), st.FacesForFlat(pub, []uint64{1, 2, 3})...)
+	if len(bad) != len(want) {
+		t.Fatalf("FacesForFlat with bad vector = %v, want %v", bad, want)
+	}
+}
+
+// TestHashCache covers the first-hop hash memoization: stable vectors per
+// CD, and a wholesale reset instead of unbounded growth.
+func TestHashCache(t *testing.T) {
+	hc := NewHashCache(2)
+	c1, c2 := cd.MustParse("/1"), cd.MustParse("/2")
+	v1 := hc.FlatFor(c1)
+	if len(v1) != 2*(c1.Len()+1) {
+		t.Fatalf("FlatFor length = %d, want %d", len(v1), 2*(c1.Len()+1))
+	}
+	if &hc.FlatFor(c1)[0] != &v1[0] {
+		t.Error("FlatFor did not memoize")
+	}
+	hc.FlatFor(c2)
+	if hc.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", hc.Len())
+	}
+	// Cap reached: the next distinct CD resets the cache wholesale.
+	hc.FlatFor(cd.MustParse("/3"))
+	if hc.Len() != 1 {
+		t.Fatalf("Len after reset = %d, want 1", hc.Len())
+	}
+}
+
+func BenchmarkFacesForHashed(b *testing.B) {
+	st, pub := buildBudgetST(MatchBloomVerified)
+	flat := FlattenHashes(PrefixHashes(pub))
+	st.FacesForFlat(pub, flat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.FacesForFlat(pub, flat)
+	}
+}

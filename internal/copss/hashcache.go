@@ -1,0 +1,52 @@
+package copss
+
+import (
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+// hashCacheDefaultMax bounds the memoized CD population of a HashCache.
+const hashCacheDefaultMax = 4096
+
+// HashCache memoizes the flattened Bloom prefix-hash vector of hot CDs.
+// The paper's first-hop optimization computes a publication CD's prefix
+// hashes once, at the router closest to the publisher, and ships them in the
+// packet (wire.Packet.CDHashes); a HashCache makes that one-time computation
+// literally one-time per CD instead of one-time per packet, since game
+// clients republish the same area CDs on every update.
+//
+// The returned vectors are shared between the cache and every packet they
+// are stamped into, and must therefore be treated as immutable (the
+// immutable-after-send packet discipline, DESIGN.md §11). A HashCache
+// belongs to one router and is not safe for concurrent use.
+type HashCache struct {
+	flat map[string][]uint64
+	max  int
+}
+
+// NewHashCache creates a cache bounded to max CDs (<=0 selects the default).
+// When the bound is hit the cache resets wholesale — correctness is
+// unaffected, the next lookups just rehash.
+func NewHashCache(max int) *HashCache {
+	if max <= 0 {
+		max = hashCacheDefaultMax
+	}
+	return &HashCache{flat: make(map[string][]uint64, 64), max: max}
+}
+
+// FlatFor returns the flat (H1,H2 per prefix, shortest first) hash vector
+// for c, memoized. The result aliases cache state: callers stamp it into
+// packets but never mutate it.
+func (hc *HashCache) FlatFor(c cd.CD) []uint64 {
+	if flat, ok := hc.flat[c.Key()]; ok {
+		return flat
+	}
+	flat := FlattenHashes(PrefixHashes(c))
+	if len(hc.flat) >= hc.max {
+		hc.flat = make(map[string][]uint64, 64)
+	}
+	hc.flat[c.Key()] = flat
+	return flat
+}
+
+// Len returns the number of memoized CDs.
+func (hc *HashCache) Len() int { return len(hc.flat) }

@@ -62,14 +62,27 @@ func (fs *faceSubs) rebuild() {
 
 // ST is the Subscription Table: for every face, the set of CDs subscribed
 // through that face, stored both exactly and in a Bloom filter. The paper
-// models it as <Face, BloomFilter<CD>>.
+// models it as <Face, BloomFilter<CD>>. An ST belongs to one router and is
+// not safe for concurrent use; queries reuse internal scratch buffers.
 type ST struct {
 	faces map[ndn.FaceID]*faceSubs
 	mode  MatchMode
 
 	bloomProbes       uint64
 	bloomFalseMatches uint64
+
+	// Query scratch state, reused so the steady-state forwarding lookup is
+	// allocation-free. Reuse is safe because the ST is single-goroutine by
+	// contract (see the type comment).
+	scratch     []ndn.FaceID     // backs the slice returned by facesFor
+	pairScratch []bloom.HashPair // backs FacesForFlat's pair view
+	pairCache   map[string][]bloom.HashPair
 }
+
+// stPairCacheMax bounds the per-ST memoized hash vectors; when the cache
+// fills (an adversarial CD churn pattern), it is reset wholesale — correct,
+// just momentarily slower.
+const stPairCacheMax = 4096
 
 // NewST creates an empty subscription table with the given match mode.
 func NewST(mode MatchMode) *ST {
@@ -157,13 +170,16 @@ func UnflattenHashes(flat []uint64) []bloom.HashPair {
 
 // FacesFor returns the faces a Multicast packet for CD c must be forwarded
 // to: every face whose subscription set contains a prefix of c (including c
-// itself). The result is sorted.
+// itself). The result is sorted, is nil when empty, and — like all ST
+// forwarding queries — remains valid only until the next query on this ST;
+// callers that retain it across queries must copy it.
 func (st *ST) FacesFor(c cd.CD) []ndn.FaceID {
 	return st.facesFor(c, nil)
 }
 
 // FacesForHashed is FacesFor with precomputed prefix hash pairs (the
-// first-hop optimization). Invalid pair counts fall back to hashing.
+// first-hop optimization). Invalid pair counts fall back to hashing. The
+// result is valid only until the next query on this ST.
 func (st *ST) FacesForHashed(c cd.CD, pairs []bloom.HashPair) []ndn.FaceID {
 	if len(pairs) != c.Len()+1 {
 		pairs = nil // inconsistent with the prefix count: recompute
@@ -171,17 +187,57 @@ func (st *ST) FacesForHashed(c cd.CD, pairs []bloom.HashPair) []ndn.FaceID {
 	return st.facesFor(c, pairs)
 }
 
+// FacesForFlat is FacesForHashed taking the flat on-the-wire hash vector
+// (wire.Packet.CDHashes: H1,H2 per prefix, shortest first) directly, so the
+// per-hop forwarding path avoids the UnflattenHashes allocation. The result
+// is valid only until the next query on this ST.
+func (st *ST) FacesForFlat(c cd.CD, flat []uint64) []ndn.FaceID {
+	if len(flat) != 2*(c.Len()+1) {
+		return st.facesFor(c, nil)
+	}
+	st.pairScratch = st.pairScratch[:0]
+	for i := 0; i+1 < len(flat); i += 2 {
+		st.pairScratch = append(st.pairScratch, bloom.HashPair{H1: flat[i], H2: flat[i+1]})
+	}
+	return st.facesFor(c, st.pairScratch)
+}
+
+// pairsFor memoizes PrefixHashes per CD so repeated publications to the same
+// CD (the common game pattern: every move republishes the same area CD) hash
+// only once per ST.
+func (st *ST) pairsFor(c cd.CD) []bloom.HashPair {
+	if pairs, ok := st.pairCache[c.Key()]; ok {
+		return pairs
+	}
+	pairs := PrefixHashes(c)
+	if st.pairCache == nil || len(st.pairCache) >= stPairCacheMax {
+		st.pairCache = make(map[string][]bloom.HashPair, 64)
+	}
+	st.pairCache[c.Key()] = pairs
+	return pairs
+}
+
 func (st *ST) facesFor(c cd.CD, pairs []bloom.HashPair) []ndn.FaceID {
 	if pairs == nil && st.mode != MatchExact {
-		pairs = PrefixHashes(c)
+		pairs = st.pairsFor(c)
 	}
-	var out []ndn.FaceID
+	out := st.scratch[:0]
 	for id, fs := range st.faces {
 		if st.matches(fs, c, pairs) {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	st.scratch = out
+	if len(out) == 0 {
+		return nil
+	}
+	// Insertion sort instead of sort.Slice: fan-out lists are short (a few
+	// faces) and sort.Slice's closure allocates.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 

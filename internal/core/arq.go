@@ -98,16 +98,21 @@ func reliableType(t wire.Type) bool {
 // reliableOut stamps every reliable control packet bound for a router face
 // with a fresh CtlSeq and registers it for retransmission. Client-face and
 // unknown-face actions pass through untouched (clients do not ack). Actions
-// are returned unchanged in order.
+// are returned in order; stamping replaces the action's packet with a
+// copy-on-write shallow copy, because flood fan-outs share one packet across
+// sibling actions and the CtlSeq must be unique per face.
 func (r *Router) reliableOut(now time.Time, actions []ndn.Action) []ndn.Action {
-	for _, a := range actions {
+	for i := range actions {
+		a := &actions[i]
 		if !reliableType(a.Packet.Type) || r.faces[a.Face] != FaceRouter {
 			continue
 		}
 		r.arqSeq++
-		a.Packet.CtlSeq = r.arqSeq
+		cp := *a.Packet
+		cp.CtlSeq = r.arqSeq
+		a.Packet = &cp
 		r.arqPending[arqKey{face: a.Face, seq: r.arqSeq}] = &arqEntry{
-			pkt:    a.Packet.Clone(),
+			pkt:    &cp,
 			nextAt: now.Add(r.arqRTO),
 		}
 	}
@@ -177,7 +182,8 @@ func (r *Router) Tick(now time.Time) []ndn.Action {
 		e.nextAt = now.Add(r.arqRTO << uint(e.attempts))
 		r.ctr.retransTotal.Inc()
 		r.record(now, obs.EvRetrans, k.face, e.pkt, "")
-		out = append(out, ndn.Action{Face: k.face, Packet: e.pkt.Clone()})
+		// The stored packet is immutable-after-send; the resend can share it.
+		out = append(out, ndn.Action{Face: k.face, Packet: e.pkt})
 	}
 	return out
 }

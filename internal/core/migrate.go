@@ -293,9 +293,7 @@ func (r *Router) handlePrune(now time.Time, from ndn.FaceID, pkt *wire.Packet) [
 	for _, c := range pkt.CDs {
 		r.st.Remove(face, c)
 	}
-	out := pkt.Clone()
-	out.HopCount++
-	return []ndn.Action{{Face: face, Packet: out}}
+	return []ndn.Action{{Face: face, Packet: pkt.Forward()}}
 }
 
 // applyHandoff updates a router's RP table for a handoff: shrink the old RP,
@@ -408,9 +406,7 @@ func (r *Router) handleHandoffAnnouncement(now time.Time, from ndn.FaceID, pkt *
 	// Release joins that raced ahead of this announcement.
 	out = append(out, r.drainPendingJoins(now, newRP)...)
 
-	fwd := pkt.Clone()
-	fwd.HopCount++
-	out = append(out, r.floodExcept(from, fwd)...)
+	out = append(out, r.floodExcept(from, pkt.Forward())...)
 	return out
 }
 
@@ -572,9 +568,7 @@ func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 		return out
 	}
 	g.joinSent = true
-	fwd := pkt.Clone()
-	fwd.HopCount++
-	out = append(out, ndn.Action{Face: upFace, Packet: fwd})
+	out = append(out, ndn.Action{Face: upFace, Packet: pkt.Forward()})
 	return out
 }
 
@@ -604,8 +598,16 @@ func (r *Router) flushLeaves(now time.Time, from ndn.FaceID, pkt *wire.Packet) [
 	if pkt.Name != flushMarkerName(r.name) {
 		return nil
 	}
+	// Sorted iteration: the emitted Leaves feed host transmit order, and map
+	// order here would make same-seed replays diverge.
+	names := make([]string, 0, len(r.grafts))
+	for name := range r.grafts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []ndn.Action
-	for _, g := range r.grafts {
+	for _, name := range names {
+		g := r.grafts[name]
 		if g.hasOld && g.oldFace == from {
 			g.markerSeen = true
 			r.record(now, obs.EvMigration, from, pkt, "flush marker drained old branch")

@@ -141,6 +141,11 @@ type Router struct {
 
 	windowSize int
 	matchMode  copss.MatchMode
+
+	// hashes memoizes the flat prefix-hash vectors this router stamps into
+	// client publications at the first hop (Section III-C), so republishing
+	// the same area CD costs a map hit, not a rehash.
+	hashes *copss.HashCache
 }
 
 // FlushOrigin marks the epoch-marker multicasts of the migration protocol:
@@ -209,27 +214,28 @@ func WithFlightRecorder(f *obs.Flight) Option {
 // NewRouter creates a router with no faces.
 func NewRouter(name string, opts ...Option) *Router {
 	r := &Router{
-		name:         name,
-		ndnEngine:    ndn.NewEngine(),
-		rpt:          copss.NewRPTable(),
-		faces:        make(map[ndn.FaceID]FaceKind),
-		localRPs:     make(map[string]*LoadMonitor),
-		propagated:   make(map[string]*cd.Set),
-		upstream:     make(map[string]ndn.FaceID),
-		grafts:       make(map[string]*graft),
-		pendingJoins: make(map[string][]pendingJoin),
-		announceSeq:  make(map[string]uint64),
-		arqPending:   make(map[arqKey]*arqEntry),
-		arqSeen:      make(map[ndn.FaceID]*arqSeen),
-		arqRTO:       DefaultARQRTO,
+		name:           name,
+		ndnEngine:      ndn.NewEngine(),
+		rpt:            copss.NewRPTable(),
+		faces:          make(map[ndn.FaceID]FaceKind),
+		localRPs:       make(map[string]*LoadMonitor),
+		propagated:     make(map[string]*cd.Set),
+		upstream:       make(map[string]ndn.FaceID),
+		grafts:         make(map[string]*graft),
+		pendingJoins:   make(map[string][]pendingJoin),
+		announceSeq:    make(map[string]uint64),
+		arqPending:     make(map[arqKey]*arqEntry),
+		arqSeen:        make(map[ndn.FaceID]*arqSeen),
+		arqRTO:         DefaultARQRTO,
 		arqMaxAttempts: DefaultARQMaxAttempts,
-		windowSize:   DefaultLoadWindow,
-		matchMode:    copss.MatchBloomVerified,
+		windowSize:     DefaultLoadWindow,
+		matchMode:      copss.MatchBloomVerified,
 	}
 	for _, o := range opts {
 		o(r)
 	}
 	r.st = copss.NewST(r.matchMode)
+	r.hashes = copss.NewHashCache(0)
 	if r.obsReg == nil {
 		r.obsReg = obs.NewRegistry()
 	}
@@ -466,14 +472,25 @@ func (r *Router) BecomeRPAt(now time.Time, info copss.RPInfo) ([]ndn.Action, err
 }
 
 // floodExcept builds send actions for every router face except the given one
-// (use a negative face to flood everywhere).
+// (use a negative face to flood everywhere). All actions share the one
+// packet under the immutable-after-send discipline; per-face mutation (ARQ
+// CtlSeq stamping) copies on write in reliableOut. Actions are emitted in
+// ascending face order: flood order feeds the transmit order hosts observe,
+// and map-iteration order here would make same-seed replays diverge.
 func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 	var out []ndn.Action
 	for id, kind := range r.faces {
 		if id == except || kind != FaceRouter {
 			continue
 		}
-		out = append(out, ndn.Action{Face: id, Packet: pkt.Clone()})
+		out = append(out, ndn.Action{Face: id, Packet: pkt})
+	}
+	// Insertion sort: flood fan-outs are a handful of faces and sort.Slice's
+	// closure would allocate on this path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Face < out[j-1].Face; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
 	}
 	return out
 }
@@ -564,9 +581,7 @@ func (r *Router) handleInterest(now time.Time, from ndn.FaceID, pkt *wire.Packet
 		r.drop(now, from, pkt, "no route to RP")
 		return nil
 	}
-	out := pkt.Clone()
-	out.HopCount++
-	return []ndn.Action{{Face: faces[0], Packet: out}}
+	return []ndn.Action{{Face: faces[0], Packet: pkt.Forward()}}
 }
 
 // rpBoundName reports whether an Interest name targets a known RP, returning
@@ -654,12 +669,15 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 			r.drop(now, from, pkt, "no RP covers CD")
 			return nil
 		}
-		// First-hop optimization (Section III-C): compute the Bloom hash
-		// pairs of the CD's prefixes once, here, and carry them with the
-		// packet so every downstream ST probe is a bit comparison.
+		// First-hop optimization (Section III-C): attach the memoized Bloom
+		// hash pairs of the CD's prefixes once, here, and carry them with
+		// the packet so every downstream ST probe is a bit comparison. The
+		// arrival packet may be aliased by the sender, so the stamp goes on
+		// a copy-on-write shallow copy.
 		if r.matchMode != copss.MatchExact && len(pkt.CDHashes) == 0 {
-			pkt = pkt.Clone()
-			pkt.CDHashes = copss.FlattenHashes(copss.PrefixHashes(c))
+			cp := *pkt
+			cp.CDHashes = r.hashes.FlatFor(c)
+			pkt = &cp
 		}
 		if r.IsRP(rpName) {
 			// Publisher attached directly to the RP: skip encapsulation.
@@ -717,18 +735,23 @@ func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 	}
 	var faces []ndn.FaceID
 	if len(pkt.CDHashes) > 0 {
-		faces = r.st.FacesForHashed(c, copss.UnflattenHashes(pkt.CDHashes))
+		faces = r.st.FacesForFlat(c, pkt.CDHashes)
 	} else {
 		faces = r.st.FacesFor(c)
 	}
-	var out []ndn.Action
+	if len(faces) == 0 {
+		return nil
+	}
+	// Zero-copy fan-out: every out-face shares one shallow forwarding copy
+	// (the packet is immutable-after-send), so an N-face fan-out costs one
+	// Packet struct and one actions slice, never N payload copies.
+	fwd := pkt.Forward()
+	out := make([]ndn.Action, 0, len(faces))
 	for _, f := range faces {
 		if f == from {
 			continue
 		}
-		cp := pkt.Clone()
-		cp.HopCount++
-		out = append(out, ndn.Action{Face: f, Packet: cp})
+		out = append(out, ndn.Action{Face: f, Packet: fwd})
 		r.ctr.multicastOut.Inc()
 		r.record(now, obs.EvFanOut, f, pkt, "")
 		if pkt.SentAt != 0 && pkt.Origin != FlushOrigin && r.faces[f] == FaceClient {
@@ -902,9 +925,7 @@ func (r *Router) handleAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Pa
 		r.announceSeq[pkt.Name] = pkt.Seq
 		r.ndnEngine.FIB().RemovePrefix(pkt.Name)
 		r.ndnEngine.FIB().Add(pkt.Name, from)
-		fwd := pkt.Clone()
-		fwd.HopCount++
-		return r.floodExcept(from, fwd)
+		return r.floodExcept(from, pkt.Forward())
 	}
 	if err := r.rpt.Set(pkt.Name, pkt.CDs, pkt.Seq); err != nil {
 		r.drop(now, from, pkt, "conflicting RP announcement")
@@ -915,9 +936,7 @@ func (r *Router) handleAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Pa
 	r.ndnEngine.FIB().Add(pkt.Name, from)
 	r.upstream[pkt.Name] = from
 	out := r.drainPendingJoins(now, pkt.Name)
-	fwd := pkt.Clone()
-	fwd.HopCount++
-	return append(out, r.floodExcept(from, fwd)...)
+	return append(out, r.floodExcept(from, pkt.Forward())...)
 }
 
 // deeper returns the more specific of two intersecting CDs.

@@ -67,7 +67,10 @@ func ParseSnippet(pkt *wire.Packet) (contentName string, ok bool) {
 func (r *Router) deliverTwoStep(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
 	name := TwoStepContentName(rpName, inner.Origin, inner.Seq)
 	r.ndnEngine.Store().Put(name, inner.Payload, now)
-	snippet := inner.Clone()
+	// COW shallow copy: the snippet reuses the inner packet's metadata but
+	// replaces name and payload, so no deep clone of the original is needed.
+	cp := *inner
+	snippet := &cp
 	snippet.Name = ""
 	snippet.Payload = []byte(snippetMarker + name)
 	r.ctr.rpDeliveries.Inc()

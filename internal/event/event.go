@@ -4,7 +4,6 @@
 package event
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -12,38 +11,38 @@ import (
 // may schedule further events.
 type Handler func(now time.Time)
 
+// Payload is a pre-bound argument for AtCall events. It exists so that hot
+// schedulers (the testbed transmits one event per packet copy) can enqueue
+// a delivery without allocating a fresh closure per event: the three fields
+// cover a (node, face, packet)-shaped argument, and storing a pointer in Ptr
+// does not allocate.
+type Payload struct {
+	Str string
+	Int int64
+	Ptr any
+}
+
+// CallHandler is an event callback taking its pre-bound Payload.
+type CallHandler func(now time.Time, pl Payload)
+
+// item is one scheduled event. Exactly one of fn and call is set.
 type item struct {
-	at  time.Time
-	seq uint64 // insertion order breaks time ties deterministically
-	fn  Handler
-}
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	at   time.Time
+	seq  uint64 // insertion order breaks time ties deterministically
+	fn   Handler
+	call CallHandler
+	pl   Payload
 }
 
 // Scheduler is a virtual-time discrete-event loop. The zero value is not
-// usable; create with NewScheduler.
+// usable; create with NewScheduler. Events are stored in a hand-rolled
+// value heap: pushing an event costs no allocation beyond amortized slice
+// growth (container/heap over []*item would allocate per event, which
+// dominated the simulator's profile).
 type Scheduler struct {
 	now       time.Time
 	seq       uint64
-	heap      eventHeap
+	heap      []item
 	processed uint64
 }
 
@@ -64,11 +63,14 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 // At schedules fn at an absolute virtual time. Times in the past run at the
 // current time (immediately on the next step), preserving causality.
 func (s *Scheduler) At(at time.Time, fn Handler) {
-	if at.Before(s.now) {
-		at = s.now
-	}
-	s.seq++
-	heap.Push(&s.heap, &item{at: at, seq: s.seq, fn: fn})
+	s.push(item{at: s.clamp(at), fn: fn})
+}
+
+// AtCall schedules fn(now, pl) at an absolute virtual time. Unlike At it
+// needs no closure: callers bind the argument through pl, so the hot path
+// performs zero allocations per event.
+func (s *Scheduler) AtCall(at time.Time, fn CallHandler, pl Payload) {
+	s.push(item{at: s.clamp(at), call: fn, pl: pl})
 }
 
 // After schedules fn after a delay from the current virtual time.
@@ -76,15 +78,79 @@ func (s *Scheduler) After(d time.Duration, fn Handler) {
 	s.At(s.now.Add(d), fn)
 }
 
+func (s *Scheduler) clamp(at time.Time) time.Time {
+	if at.Before(s.now) {
+		return s.now
+	}
+	return at
+}
+
+func (s *Scheduler) push(it item) {
+	s.seq++
+	it.seq = s.seq
+	s.heap = append(s.heap, it)
+	// Sift up.
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (a *item) less(b *item) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
+}
+
+// pop removes and returns the earliest event.
+func (s *Scheduler) pop() item {
+	h := s.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = item{} // release the callback and payload for GC
+	s.heap = h[:last]
+	h = s.heap
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].less(&h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && h[r].less(&h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
 // Step executes the next event; it reports whether one was available.
 func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	it := heap.Pop(&s.heap).(*item)
+	it := s.pop()
 	s.now = it.at
 	s.processed++
-	it.fn(s.now)
+	if it.fn != nil {
+		it.fn(s.now)
+	} else {
+		it.call(s.now, it.pl)
+	}
 	return true
 }
 

@@ -172,14 +172,15 @@ func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []
 		return nil
 	}
 	e.ctr.fibHits.Inc()
+	// One shared shallow forwarding copy for all out-faces (packets are
+	// immutable-after-send; see wire.Packet.Forward).
+	fwd := pkt.Forward()
 	var actions []Action
 	for _, f := range faces {
 		if f == from {
 			continue
 		}
-		out := pkt.Clone()
-		out.HopCount++
-		actions = append(actions, Action{Face: f, Packet: out})
+		actions = append(actions, Action{Face: f, Packet: fwd})
 	}
 	if len(actions) == 0 {
 		e.ctr.interestsDropped.Inc()
@@ -200,14 +201,13 @@ func (e *Engine) HandleData(now time.Time, from FaceID, pkt *wire.Packet) []Acti
 		return nil
 	}
 	e.store.Put(pkt.Name, pkt.Payload, now)
+	fwd := pkt.Forward()
 	actions := make([]Action, 0, len(faces))
 	for _, f := range faces {
 		if f == from {
 			continue
 		}
-		out := pkt.Clone()
-		out.HopCount++
-		actions = append(actions, Action{Face: f, Packet: out})
+		actions = append(actions, Action{Face: f, Packet: fwd})
 		e.ctr.dataForwarded.Inc()
 	}
 	return actions

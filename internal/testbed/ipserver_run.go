@@ -31,6 +31,16 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 	}
 	attach := attachment(len(s.Trace.Players))
 
+	// Precomputed per-player names: the server resolves recipients on every
+	// update, so building "playerN" / "/ip/playerN" there would allocate per
+	// delivered copy.
+	clientNames := make([]string, len(s.Trace.Players))
+	ipNames := make([]string, len(s.Trace.Players))
+	for pi := range s.Trace.Players {
+		clientNames[pi] = clientName(pi)
+		ipNames[pi] = ipAddr(clientNames[pi])
+	}
+
 	// Static routing: next hop per destination node, derived from the
 	// benchmark topology.
 	g, ids := topo.Benchmark()
@@ -65,9 +75,7 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 			if !ok {
 				return nil
 			}
-			out := pkt.Clone()
-			out.HopCount++
-			return []ndn.Action{{Face: face, Packet: out}}
+			return []ndn.Action{{Face: face, Packet: pkt.Forward()}}
 		}, func(*wire.Packet) time.Duration { return s.Costs.IPForward }, 0)
 	}
 	type edge struct{ a, b string }
@@ -92,15 +100,17 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 		if len(pkt.CDs) != 1 {
 			return nil
 		}
-		var out []ndn.Action
-		for _, pi := range vis[pkt.CDs[0].Key()] {
-			dest := clientName(pi)
-			if dest == pkt.Origin {
+		recipients := vis[pkt.CDs[0].Key()]
+		out := make([]ndn.Action, 0, len(recipients))
+		for _, pi := range recipients {
+			if clientNames[pi] == pkt.Origin {
 				continue
 			}
-			cp := pkt.Clone()
-			cp.Name = ipAddr(dest)
-			out = append(out, ndn.Action{Face: 0, Packet: cp})
+			// COW shallow copy: each unicast copy readdresses the shared
+			// payload without duplicating it.
+			cp := *pkt
+			cp.Name = ipNames[pi]
+			out = append(out, ndn.Action{Face: 0, Packet: &cp})
 		}
 		return out
 	}, func(*wire.Packet) time.Duration { return s.Costs.ServerBase }, s.Costs.ServerPerRecipient)
@@ -153,11 +163,11 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 		seq := uint64(i + 1)
 		tb.Schedule(start.Add(u.At), func(now time.Time) {
 			res.Published++
-			tb.Emit(now, clientName(u.Player), []ndn.Action{{Face: 0, Packet: &wire.Packet{
+			tb.Emit(now, clientNames[u.Player], []ndn.Action{{Face: 0, Packet: &wire.Packet{
 				Type:    wire.TypeData,
 				Name:    ipAddr(serverName),
 				CDs:     []cd.CD{u.CD},
-				Origin:  clientName(u.Player),
+				Origin:  clientNames[u.Player],
 				Seq:     seq,
 				Payload: make([]byte, u.Size),
 				SentAt:  now.UnixNano(),

@@ -3,6 +3,8 @@ package testbed
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/core"
@@ -11,13 +13,43 @@ import (
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
-// ndnName builds the content name for producer pi's batch number seq.
+// ndnName builds the content name for producer pi's batch number seq. It is
+// called per Interest, so it assembles the name in one allocation instead of
+// going through Sprintf.
 func ndnName(pi int, seq uint64) string {
-	return fmt.Sprintf("/ndn/%s/u%d", clientName(pi), seq)
+	var buf [48]byte
+	b := append(buf[:0], "/ndn/player"...)
+	b = strconv.AppendInt(b, int64(pi), 10)
+	b = append(b, "/u"...)
+	b = strconv.AppendUint(b, seq, 10)
+	return string(b)
 }
 
 // ndnPrefix is the routable prefix of producer pi.
 func ndnPrefix(pi int) string { return "/ndn/" + clientName(pi) }
+
+// parseNDNName splits "/ndn/player<peer>/u<seq>" without allocating; ok is
+// false for any other shape.
+func parseNDNName(name string) (peer int, seq uint64, ok bool) {
+	const pfx = "/ndn/player"
+	if !strings.HasPrefix(name, pfx) {
+		return 0, 0, false
+	}
+	rest := name[len(pfx):]
+	slash := strings.IndexByte(rest, '/')
+	if slash <= 0 || !strings.HasPrefix(rest[slash:], "/u") {
+		return 0, 0, false
+	}
+	peer, err := strconv.Atoi(rest[:slash])
+	if err != nil {
+		return 0, 0, false
+	}
+	seq, err = strconv.ParseUint(rest[slash+2:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return peer, seq, true
+}
 
 // batchRecord is one update inside a producer's Data batch.
 type batchRecord struct {
@@ -128,12 +160,16 @@ func RunNDN(s *Setup) (*MicroResult, error) {
 		}
 	}
 
-	// express emits an Interest from player pi for (peer, seq).
+	// express emits an Interest from player pi for (peer, seq). Emit iterates
+	// the action slice synchronously without retaining it, so one scratch
+	// slice serves every Interest; only the packet itself is allocated.
+	exprScratch := make([]ndn.Action, 1)
 	express := func(now time.Time, pi int, peer int, seq uint64) {
-		tb.Emit(now, clientName(pi), []ndn.Action{{Face: 0, Packet: &wire.Packet{
+		exprScratch[0] = ndn.Action{Face: 0, Packet: &wire.Packet{
 			Type: wire.TypeInterest,
 			Name: ndnName(peer, seq),
-		}}})
+		}}
+		tb.Emit(now, players[pi].name, exprScratch)
 	}
 
 	// Player endpoints: handle incoming Interests (producer) and Data
@@ -143,8 +179,8 @@ func RunNDN(s *Setup) (*MicroResult, error) {
 		handler := func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
 			switch pkt.Type {
 			case wire.TypeInterest:
-				var seq uint64
-				if _, err := fmt.Sscanf(pkt.Name, ndnPrefix(p.idx)+"/u%d", &seq); err != nil {
+				peer, seq, ok := parseNDNName(pkt.Name)
+				if !ok || peer != p.idx {
 					return nil
 				}
 				if seq < p.nextAnswer {
@@ -159,13 +195,8 @@ func RunNDN(s *Setup) (*MicroResult, error) {
 				p.pending[seq] = true
 				return nil
 			case wire.TypeData:
-				var peer, seqInt int
-				var seq uint64
-				if _, err := fmt.Sscanf(pkt.Name, "/ndn/player%d/u%d", &peer, &seqInt); err != nil {
-					return nil
-				}
-				seq = uint64(seqInt)
-				if peer < 0 || peer >= nPlayers || seq <= p.answered[peer] {
+				peer, seq, ok := parseNDNName(pkt.Name)
+				if !ok || peer < 0 || peer >= nPlayers || seq <= p.answered[peer] {
 					return nil
 				}
 				for _, rec := range decodeBatch(pkt.Payload) {

@@ -91,16 +91,25 @@ type Testbed struct {
 	nodes  map[string]*nodeState
 	faults *faultnet.Injector
 
+	// deliver is the pre-bound receive callback for AtCall events: binding
+	// the method value once here means transmit schedules deliveries without
+	// allocating a closure per packet.
+	deliver event.CallHandler
+
 	packetEvents uint64
 	bytes        float64
 }
 
 // New creates an empty testbed starting at virtual time zero.
 func New() *Testbed {
-	return &Testbed{
+	tb := &Testbed{
 		sched: event.NewScheduler(time.Unix(0, 0)),
 		nodes: make(map[string]*nodeState),
 	}
+	tb.deliver = func(now time.Time, pl event.Payload) {
+		tb.receive(now, pl.Str, ndn.FaceID(pl.Int), pl.Ptr.(*wire.Packet))
+	}
+	return tb
 }
 
 // Now returns the current virtual time.
@@ -142,11 +151,9 @@ func (tb *Testbed) transmit(n *nodeState, l link, at time.Time, pkt *wire.Packet
 		at = at.Add(v.Delay)
 	}
 	tb.bytes += float64(wire.Size(pkt))
-	to, toFace := l.to, l.face
+	pl := event.Payload{Str: l.to, Int: int64(l.face), Ptr: pkt}
 	for i := 0; i < copies; i++ {
-		tb.sched.At(at.Add(l.delay), func(t time.Time) {
-			tb.receive(t, to, toFace, pkt)
-		})
+		tb.sched.AtCall(at.Add(l.delay), tb.deliver, pl)
 	}
 }
 

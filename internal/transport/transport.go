@@ -73,24 +73,28 @@ func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 // SetDeadline bounds the next read/write.
 func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
 
-// WritePacket frames and sends one packet.
+// WritePacket frames and sends one packet. The frame (4-byte length prefix
+// plus body) is assembled in a pooled buffer and flushed with a single
+// Write, so the steady-state send path neither allocates nor risks a torn
+// frame between two syscalls.
 func (c *Conn) WritePacket(pkt *wire.Packet) error {
-	body, err := wire.Encode(pkt)
+	buf := wire.GetEncodeBuffer()
+	defer wire.PutEncodeBuffer(buf)
+	frame := append(buf.B, 0, 0, 0, 0) // length prefix, patched below
+	frame, err := wire.AppendEncode(frame, pkt)
 	if err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("transport: frame too large: %d", len(body))
+	buf.B = frame[:0] // let the pool keep any growth
+	body := len(frame) - 4
+	if body > MaxFrame {
+		return fmt.Errorf("transport: frame too large: %d", body)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[:4], uint32(body))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
-	}
-	if _, err := c.c.Write(body); err != nil {
-		return fmt.Errorf("transport: write body: %w", err)
+	if _, err := c.c.Write(frame); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 )
@@ -222,66 +223,136 @@ var (
 // required.
 var ErrNoCD = errors.New("wire: packet has no CD")
 
-// Encode serializes the packet. The layout is:
+// uvarintLen returns the number of bytes binary.PutUvarint would use for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// fieldLen returns the encoded size of one (tag, len, value) field whose
+// value occupies valLen bytes. All field tags fit one uvarint byte.
+func fieldLen(valLen int) int {
+	return 1 + uvarintLen(uint64(valLen)) + valLen
+}
+
+// bodyLen computes the TLV body length arithmetically, mirroring the field
+// omission rules of AppendEncode exactly.
+func bodyLen(p *Packet) int {
+	n := 0
+	if p.Name != "" {
+		n += fieldLen(len(p.Name))
+	}
+	for _, c := range p.CDs {
+		n += fieldLen(len(c.Key()))
+	}
+	if len(p.Payload) > 0 {
+		n += fieldLen(len(p.Payload))
+	}
+	if p.Origin != "" {
+		n += fieldLen(len(p.Origin))
+	}
+	if p.Seq != 0 {
+		n += fieldLen(uvarintLen(p.Seq))
+	}
+	if p.SentAt != 0 {
+		n += fieldLen(8)
+	}
+	if p.HopCount != 0 {
+		n += fieldLen(4)
+	}
+	if len(p.CDHashes) > 0 {
+		n += fieldLen(8 * len(p.CDHashes))
+	}
+	if p.CtlSeq != 0 {
+		n += fieldLen(uvarintLen(p.CtlSeq))
+	}
+	return n
+}
+
+// AppendEncode serializes the packet onto dst and returns the extended slice,
+// allocating only if dst lacks capacity. The layout is:
 //
 //	magic(2) version(1) type(1) bodyLen(uvarint) body
 //
-// where body is a sequence of (tag uvarint, len uvarint, value) fields.
-func Encode(p *Packet) ([]byte, error) {
+// where body is a sequence of (tag uvarint, len uvarint, value) fields. This
+// is the zero-allocation entry point for callers that reuse buffers (the TCP
+// transport frames through a pooled EncodeBuffer); Encode wraps it for
+// one-shot use.
+func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return dst, err
 	}
-	body := make([]byte, 0, 64+len(p.Payload))
-	appendField := func(tag uint64, val []byte) {
-		body = binary.AppendUvarint(body, tag)
-		body = binary.AppendUvarint(body, uint64(len(val)))
-		body = append(body, val...)
+	body := bodyLen(p)
+	if need := 4 + uvarintLen(uint64(body)) + body; cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
 	}
+	out := append(dst, magic0, magic1, version, byte(p.Type))
+	out = binary.AppendUvarint(out, uint64(body))
 	if p.Name != "" {
-		appendField(fieldName, []byte(p.Name))
+		out = appendStringField(out, fieldName, p.Name)
 	}
 	for _, c := range p.CDs {
-		appendField(fieldCD, []byte(c.Key()))
+		out = appendStringField(out, fieldCD, c.Key())
 	}
 	if len(p.Payload) > 0 {
-		appendField(fieldPayload, p.Payload)
+		out = appendBytesField(out, fieldPayload, p.Payload)
 	}
 	if p.Origin != "" {
-		appendField(fieldOrigin, []byte(p.Origin))
+		out = appendStringField(out, fieldOrigin, p.Origin)
 	}
 	if p.Seq != 0 {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], p.Seq)
-		appendField(fieldSeq, buf[:n])
+		out = appendBytesField(out, fieldSeq, buf[:n])
 	}
 	if p.SentAt != 0 {
 		var buf [8]byte
 		binary.BigEndian.PutUint64(buf[:], uint64(p.SentAt))
-		appendField(fieldSentAt, buf[:])
+		out = appendBytesField(out, fieldSentAt, buf[:])
 	}
 	if p.HopCount != 0 {
 		var buf [4]byte
 		binary.BigEndian.PutUint32(buf[:], p.HopCount)
-		appendField(fieldHops, buf[:])
+		out = appendBytesField(out, fieldHops, buf[:])
 	}
 	if len(p.CDHashes) > 0 {
-		buf := make([]byte, 8*len(p.CDHashes))
-		for i, h := range p.CDHashes {
-			binary.BigEndian.PutUint64(buf[i*8:], h)
+		var buf [8]byte
+		out = binary.AppendUvarint(out, fieldCDHashes)
+		out = binary.AppendUvarint(out, uint64(8*len(p.CDHashes)))
+		for _, h := range p.CDHashes {
+			binary.BigEndian.PutUint64(buf[:], h)
+			out = append(out, buf[:]...)
 		}
-		appendField(fieldCDHashes, buf)
 	}
 	if p.CtlSeq != 0 {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], p.CtlSeq)
-		appendField(fieldCtlSeq, buf[:n])
+		out = appendBytesField(out, fieldCtlSeq, buf[:n])
 	}
-
-	out := make([]byte, 0, 4+binary.MaxVarintLen64+len(body))
-	out = append(out, magic0, magic1, version, byte(p.Type))
-	out = binary.AppendUvarint(out, uint64(len(body)))
-	out = append(out, body...)
 	return out, nil
+}
+
+func appendBytesField(out []byte, tag uint64, val []byte) []byte {
+	out = binary.AppendUvarint(out, tag)
+	out = binary.AppendUvarint(out, uint64(len(val)))
+	return append(out, val...)
+}
+
+func appendStringField(out []byte, tag uint64, val string) []byte {
+	out = binary.AppendUvarint(out, tag)
+	out = binary.AppendUvarint(out, uint64(len(val)))
+	return append(out, val...)
+}
+
+// Encode serializes the packet into a fresh buffer sized exactly by Size.
+func Encode(p *Packet) ([]byte, error) {
+	return AppendEncode(nil, p)
 }
 
 // Decode parses one packet from buf and returns it together with the number
@@ -373,24 +444,73 @@ func Decode(buf []byte) (*Packet, int, error) {
 	return p, consumed, nil
 }
 
-// Size returns the encoded size of the packet in bytes without materializing
-// the encoding twice; used by the simulators for byte accounting.
+// Size returns the encoded size of the packet in bytes, computed
+// arithmetically without encoding (the simulators charge it per transmitted
+// packet, so it must not allocate). Invalid packets report 0, matching what
+// Encode would produce.
 func Size(p *Packet) int {
-	b, err := Encode(p)
-	if err != nil {
+	if err := p.Validate(); err != nil {
 		return 0
 	}
-	return len(b)
+	body := bodyLen(p)
+	return 4 + uvarintLen(uint64(body)) + body
 }
 
 // Clone returns a deep copy of the packet, so routers can mutate per-branch
-// copies (e.g. HopCount) without aliasing.
+// copies (e.g. HopCount) without aliasing. The forwarding fast path does not
+// use it: see Forward and the ownership discipline it documents.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.CDs = append([]cd.CD(nil), p.CDs...)
 	q.Payload = append([]byte(nil), p.Payload...)
 	q.CDHashes = append([]uint64(nil), p.CDHashes...)
 	return &q
+}
+
+// Forward returns a shallow forwarding copy: a fresh Packet struct with
+// HopCount incremented that shares the CDs, Payload and CDHashes slices of
+// the original. It is the zero-copy fan-out primitive and relies on the
+// packet ownership discipline (DESIGN.md §11): a packet handed to the
+// forwarding plane is immutable-after-send, so sharing the backing arrays
+// across every out-face is safe. A handler that needs to change any field
+// must copy-on-write first (cp := *pkt; cp.Field = ...), never write through
+// a received pointer — the sharedpkt linter enforces this.
+func (p *Packet) Forward() *Packet {
+	q := *p
+	q.HopCount++
+	return &q
+}
+
+// EncodeBuffer is a reusable encode scratch buffer vended by
+// GetEncodeBuffer. B always has length 0 and retains capacity across uses.
+type EncodeBuffer struct {
+	B []byte
+}
+
+// maxPooledEncode caps the capacity of buffers returned to the pool so one
+// jumbo packet cannot pin a large allocation forever.
+const maxPooledEncode = 1 << 16
+
+var encodePool = sync.Pool{
+	New: func() any { return &EncodeBuffer{B: make([]byte, 0, 512)} },
+}
+
+// GetEncodeBuffer returns a pooled encode buffer. Callers append an encoding
+// via AppendEncode(buf.B, ...), store the grown slice back into buf.B, and
+// return the buffer with PutEncodeBuffer once the bytes have been fully
+// consumed (e.g. written to a socket) — the buffer must not be reachable
+// afterwards.
+func GetEncodeBuffer() *EncodeBuffer {
+	return encodePool.Get().(*EncodeBuffer)
+}
+
+// PutEncodeBuffer recycles a buffer obtained from GetEncodeBuffer.
+func PutEncodeBuffer(buf *EncodeBuffer) {
+	if buf == nil || cap(buf.B) > maxPooledEncode {
+		return
+	}
+	buf.B = buf.B[:0]
+	encodePool.Put(buf)
 }
 
 // MaxPayload bounds payload sizes accepted by Encapsulate, preventing

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+)
+
+// TestSizeMatchesEncode pins the arithmetic Size to the encoder: for every
+// valid packet the predicted length must equal the encoded length exactly,
+// or the byte-budget accounting in hosts drifts from the wire.
+func TestSizeMatchesEncode(t *testing.T) {
+	f := func(q quickPacket) bool {
+		b, err := Encode(&q.p)
+		if err != nil {
+			return false
+		}
+		return Size(&q.p) == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendEncodeMatchesEncode pins the appending encoder to the allocating
+// one, including when dst already holds a prefix that must be preserved.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	f := func(q quickPacket) bool {
+		want, err := Encode(&q.p)
+		if err != nil {
+			return false
+		}
+		prefix := []byte{0xde, 0xad}
+		got, err := AppendEncode(append([]byte(nil), prefix...), &q.p)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:2], prefix) && bytes.Equal(got[2:], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendEncodeInvalid(t *testing.T) {
+	if _, err := AppendEncode(nil, &Packet{}); err == nil {
+		t.Fatal("AppendEncode of invalid packet: want error")
+	}
+}
+
+// TestAppendEncodeReuseAllocFree locks the serialization budget: encoding
+// into a buffer with sufficient capacity must not allocate at all.
+func TestAppendEncodeReuseAllocFree(t *testing.T) {
+	p := &Packet{
+		Type: TypeMulticast, CDs: []cd.CD{cd.MustParse("/1/2")},
+		Payload: make([]byte, 200), Origin: "player-1", Seq: 7, SentAt: 99,
+		CDHashes: []uint64{1, 2, 3, 4, 5, 6},
+	}
+	buf := make([]byte, 0, Size(p))
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := AppendEncode(buf[:0], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("AppendEncode into pre-sized buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestForwardShares pins the zero-copy forwarding contract: Forward bumps
+// HopCount on a fresh header but shares the CD, payload and hash storage
+// with the original — sharing is the point, Clone is the deep copy.
+func TestForwardShares(t *testing.T) {
+	p := &Packet{
+		Type: TypeMulticast, CDs: []cd.CD{cd.MustParse("/1/2")},
+		Payload: []byte("move"), CDHashes: []uint64{1, 2}, HopCount: 3,
+	}
+	q := p.Forward()
+	if q == p {
+		t.Fatal("Forward returned the same header")
+	}
+	if q.HopCount != 4 || p.HopCount != 3 {
+		t.Errorf("HopCount: got fwd=%d orig=%d, want 4 and 3", q.HopCount, p.HopCount)
+	}
+	if &q.Payload[0] != &p.Payload[0] {
+		t.Error("Forward copied the payload; it must share it")
+	}
+	if &q.CDs[0] != &p.CDs[0] {
+		t.Error("Forward copied the CD slice; it must share it")
+	}
+	if &q.CDHashes[0] != &p.CDHashes[0] {
+		t.Error("Forward copied the CD hash vector; it must share it")
+	}
+}
+
+func TestEncodeBufferPoolRoundTrip(t *testing.T) {
+	buf := GetEncodeBuffer()
+	if buf == nil || buf.B == nil || len(buf.B) != 0 {
+		t.Fatalf("GetEncodeBuffer: got %+v, want empty non-nil buffer", buf)
+	}
+	buf.B = append(buf.B, 1, 2, 3)
+	PutEncodeBuffer(buf)
+	// Oversized buffers are dropped rather than pinned in the pool.
+	big := &EncodeBuffer{B: make([]byte, 0, maxPooledEncode+1)}
+	PutEncodeBuffer(big) // must not panic; the buffer is discarded
+}
