@@ -20,26 +20,29 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency: the TCP daemon, the
-# router/migration machinery, and the end-to-end tests in the module root.
+# router/migration machinery, the end-to-end tests in the module root, and
+# the sharded-scheduler determinism suite (stage-A/B/C handoff under 4
+# workers plus the window/tie-break invariants).
 race:
 	$(GO) test -race -count=1 ./internal/transport ./internal/core .
+	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering' ./internal/testbed
 
 # bench runs the paper-experiment benchmarks (module root) and the telemetry
-# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_4.json
+# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_5.json
 # (name -> ns/op, B/op, allocs/op). One iteration per experiment benchmark:
-# the artifact records magnitudes, not statistics. BENCH_2.json is the
-# committed pre-zero-copy baseline; compare with bench-diff.
+# the artifact records magnitudes, not statistics. BENCH_4.json is the
+# committed pre-sharding baseline; compare with bench-diff.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_4.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_5.json
 
-# bench-diff compares the fresh BENCH_4.json against the committed baseline.
+# bench-diff compares the fresh BENCH_5.json against the committed baseline.
 # Report-only by default; pass THRESHOLD=<pct> to fail on regressions beyond
 # that percentage.
-BENCH_BASELINE = BENCH_2.json
+BENCH_BASELINE = BENCH_4.json
 bench-diff: bench
-	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_4.json
+	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_5.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:

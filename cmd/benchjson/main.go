@@ -28,12 +28,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's measurements.
+// Result is one benchmark's measurements. Metrics holds custom units
+// reported via testing.B.ReportMetric (e.g. "speedup", "gcopss-ms") keyed
+// by unit name; they are recorded verbatim and excluded from -diff gating.
 type Result struct {
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -127,13 +130,18 @@ func parseLine(line string) (string, Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp, seen = v, true
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	return name, r, seen

@@ -29,11 +29,12 @@ func main() {
 
 func run() error {
 	var (
-		scale = flag.Float64("scale", 0.05, "workload scale in (0,1]; 1 = paper scale")
-		seed  = flag.Int64("seed", 42, "random seed")
+		scale   = flag.Float64("scale", 0.05, "workload scale in (0,1]; 1 = paper scale")
+		seed    = flag.Int64("seed", 42, "random seed")
+		workers = flag.Int("workers", 1, "scheduler shards for the testbed experiments; results are identical at every count")
 	)
 	flag.Parse()
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 
 	names := flag.Args()
 	if len(names) == 0 {

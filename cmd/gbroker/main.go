@@ -86,7 +86,7 @@ func run() error {
 		}
 	}
 
-	b := broker.New(*name, leaves, *decay)
+	b := broker.New(*name, leaves, broker.WithDecay(*decay))
 	// The broker state machine is not goroutine-safe; the cyclic ticker, the
 	// receive loop and the debug scraper all go through this mutex.
 	var mu sync.Mutex

@@ -40,13 +40,13 @@ func main() {
 	updates := sim.CompressRamp(tr.Updates, 3.2, 1.6)
 	costs := sim.PaperCosts()
 
-	fixed, err := sim.RunGCOPSS(env, updates, sim.GCOPSSConfig{
+	fixed, err := sim.Replay(env, updates, sim.GCOPSSConfig{
 		RPs:   sim.DefaultRPPlacement(env, 1),
 		Costs: costs,
 	})
 	check(err)
 
-	auto, err := sim.RunGCOPSS(env, updates, sim.GCOPSSConfig{
+	auto, err := sim.Replay(env, updates, sim.GCOPSSConfig{
 		RPs:   sim.DefaultRPPlacement(env, 1),
 		Costs: costs,
 		Balance: &sim.AutoBalance{

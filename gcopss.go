@@ -284,7 +284,7 @@ func (n *Network) AttachBroker(router, name string, areaPaths ...string) error {
 			leaves = append(leaves, area.LeafCD())
 		}
 	}
-	b := broker.New(name, leaves, 0)
+	b := broker.New(name, leaves)
 	face := n.allocFace(router)
 	r.AddFace(face, core.FaceClient)
 	n.wires[wireKey{router, face}] = wireDest{endpoint: name, kind: endpointBroker}

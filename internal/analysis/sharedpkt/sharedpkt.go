@@ -18,6 +18,16 @@
 //	cp.Name = newName // fine
 //	use(&cp)
 //
+// The checker also enforces the sink-aliasing rule of the ActionSink API
+// (DESIGN.md §12): once an ndn.Action has been passed to Emit, the sink owns
+// the packet it carries. A sink is free to forward the action immediately —
+// the per-shard mailbox sinks do — so mutating the packet afterwards races
+// with delivery. Within a function body, any write through a local that was
+// emitted (either the *wire.Packet named in the Action literal, or the
+// .Packet field of an emitted ndn.Action variable) is flagged. Rebinding the
+// local (pkt = pkt.Forward(), a.Packet = &cp) ends its association with the
+// emitted packet, exactly like the parameter rule above.
+//
 // The check is syntactic per identifier, not a points-to analysis: writes
 // through a second alias (q := pkt; q.X = ...) are not caught, and
 // reassigning the parameter itself (pkt = &cp) is legal and ends the
@@ -27,6 +37,7 @@ package sharedpkt
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"github.com/icn-gaming/gcopss/internal/analysis"
@@ -54,7 +65,178 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 		return true
 	})
+	// The sink-aliasing rule is flow-ordered, so it walks whole function
+	// bodies rather than single nodes: declared functions directly, plus
+	// function literals bound at package level (nested literals are reached
+	// by checkEmitAliasing's own recursion).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkEmitAliasing(pass, d.Body)
+			case *ast.GenDecl:
+				ast.Inspect(d, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						checkEmitAliasing(pass, fl.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
 	return nil, nil
+}
+
+// checkEmitAliasing walks one function body in source order and flags writes
+// through locals whose packet has already been handed to an Emit call — the
+// sink-aliasing rule. Nested closures are checked with their own fresh state:
+// an emit in the outer body does not condemn writes inside a closure (the
+// closure may run before the emit), and vice versa.
+func checkEmitAliasing(pass *analysis.Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	emittedPkt := map[*types.Var]bool{} // *wire.Packet locals named in an emitted Action
+	emittedAct := map[*types.Var]bool{} // ndn.Action locals passed to Emit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkEmitAliasing(pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			if isEmitCall(pass, n) {
+				markEmitted(pass, n.Args[0], emittedPkt, emittedAct)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkEmittedWrite(pass, lhs, emittedPkt, emittedAct)
+			}
+		case *ast.IncDecStmt:
+			checkEmittedWrite(pass, n.X, emittedPkt, emittedAct)
+		}
+		return true
+	})
+}
+
+// isEmitCall reports whether call is a single-argument method call named Emit
+// whose argument is an ndn.Action — the ActionSink contract. Matching by
+// method name and argument type covers the interface, every concrete sink,
+// and test doubles alike.
+func isEmitCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" || len(call.Args) != 1 {
+		return false
+	}
+	return isActionType(pass.TypesInfo.Types[call.Args[0]].Type)
+}
+
+// isActionType reports whether t is the named type Action from internal/ndn.
+func isActionType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Action" && obj.Pkg() != nil && analysis.PathIn(obj.Pkg().Path(), "internal/ndn")
+}
+
+// markEmitted records which locals the Emit argument hands to the sink: the
+// packet ident of an Action literal (Packet: pkt or Packet: &cp, keyed or
+// positional), or the Action variable itself when passed by name.
+func markEmitted(pass *analysis.Pass, arg ast.Expr, emittedPkt, emittedAct map[*types.Var]bool) {
+	switch a := arg.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[a].(*types.Var); ok {
+			emittedAct[v] = true
+		}
+	case *ast.CompositeLit:
+		for _, elt := range a.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Packet" {
+					continue
+				}
+				val = kv.Value
+			}
+			if u, ok := val.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				val = u.X
+			}
+			id, ok := val.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := v.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if isPacketNamed(t) {
+				emittedPkt[v] = true
+			}
+		}
+	}
+}
+
+// checkEmittedWrite reports lhs if it mutates a packet the sink already owns.
+// A plain rebinding of the tracked ident — or of an action's Packet field —
+// ends the tracking instead: the local now names a fresh object.
+func checkEmittedWrite(pass *analysis.Pass, lhs ast.Expr, emittedPkt, emittedAct map[*types.Var]bool) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			delete(emittedPkt, v)
+			delete(emittedAct, v)
+		}
+		return
+	}
+	root, sels, deref := writeRoot(lhs)
+	if root == nil {
+		return
+	}
+	v, ok := pass.TypesInfo.Uses[root].(*types.Var)
+	if !ok {
+		return
+	}
+	if emittedPkt[v] {
+		pass.Reportf(lhs.Pos(), "mutation of packet %s after Emit: the sink owns it and may have forwarded it already; copy before emitting (cp := *%s)", root.Name, root.Name)
+		return
+	}
+	if !emittedAct[v] || len(sels) == 0 || sels[0] != "Packet" {
+		return
+	}
+	if len(sels) == 1 && !deref {
+		// a.Packet = &fresh rebinds the local action's field; the sink's
+		// copy is unaffected, and subsequent writes go to the new packet.
+		delete(emittedAct, v)
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write through %s.Packet after %s was emitted: the action aliases the sink's packet; mutate a copy before Emit", root.Name, root.Name)
+}
+
+// writeRoot unwraps a write target to its base identifier, collecting the
+// selector chain from the root outward and whether a dereference occurred.
+func writeRoot(e ast.Expr) (root *ast.Ident, sels []string, deref bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			deref = true
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			sels = append([]string{x.Sel.Name}, sels...)
+			e = x.X
+		case *ast.Ident:
+			return x, sels, deref
+		default:
+			return nil, nil, false
+		}
+	}
 }
 
 // checkWrite reports lhs if it writes through a *wire.Packet parameter:
@@ -91,7 +273,12 @@ func isPacketParam(pass *analysis.Pass, id *ast.Ident) bool {
 	if !ok {
 		return false
 	}
-	named, ok := ptr.Elem().(*types.Named)
+	return isPacketNamed(ptr.Elem())
+}
+
+// isPacketNamed reports whether t is the named type Packet from internal/wire.
+func isPacketNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
 	if !ok {
 		return false
 	}

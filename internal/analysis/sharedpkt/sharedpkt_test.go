@@ -9,5 +9,6 @@ import (
 func TestSharedpkt(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), Analyzer,
 		"node/handler", // field writes, ++, element writes, COW patterns, escape hatch
+		"node/sink",    // sink-aliasing: mutation after Emit, rebinding, closures
 	)
 }

@@ -129,15 +129,36 @@ type Broker struct {
 	queryLatency   *obs.Histogram
 }
 
-// New creates a broker serving the given leaf CDs. decay is the λ of the
-// snapshot-size model (0 selects gamemap.DefaultDecay).
-func New(name string, serving []cd.CD, decay float64) *Broker {
-	if decay <= 0 || decay >= 1 {
-		decay = gamemap.DefaultDecay
+// Option configures a Broker at construction. Brokers are configured
+// exclusively through options — the struct fields are unexported on purpose.
+type Option func(*Broker)
+
+// WithDecay sets the λ of the snapshot-size model. Values outside (0, 1)
+// select gamemap.DefaultDecay, matching the zero-value behavior.
+func WithDecay(decay float64) Option {
+	return func(b *Broker) {
+		if decay > 0 && decay < 1 {
+			b.decay = decay
+		}
 	}
+}
+
+// WithRegistry binds the broker's metrics to reg at construction, instead of
+// the private registry New otherwise creates. Equivalent to calling
+// Instrument(reg) immediately after New.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(b *Broker) {
+		if reg != nil {
+			b.reg = reg
+		}
+	}
+}
+
+// New creates a broker serving the given leaf CDs.
+func New(name string, serving []cd.CD, opts ...Option) *Broker {
 	b := &Broker{
 		name:     name,
-		decay:    decay,
+		decay:    gamemap.DefaultDecay,
 		serving:  make(map[string]struct{}, len(serving)),
 		objects:  make(map[string]map[string]*objState, len(serving)),
 		area:     make(map[string]string),
@@ -148,7 +169,11 @@ func New(name string, serving []cd.CD, decay float64) *Broker {
 		b.serving[leaf.Key()] = struct{}{}
 		b.objects[leaf.Key()] = make(map[string]*objState)
 	}
-	b.Instrument(obs.NewRegistry())
+	b.reg = obs.NewRegistry()
+	for _, opt := range opts {
+		opt(b)
+	}
+	b.Instrument(b.reg)
 	return b
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -17,7 +18,7 @@ func update(leaf string, objID string, size int) *wire.Packet {
 }
 
 func newTestBroker() *Broker {
-	return New("b1", []cd.CD{cd.MustParse("/1/1"), cd.MustParse("/1/")}, 0.95)
+	return New("b1", []cd.CD{cd.MustParse("/1/1"), cd.MustParse("/1/")}, WithDecay(0.95))
 }
 
 func TestNamespaceHelpers(t *testing.T) {
@@ -311,5 +312,24 @@ func TestSessionCtlIgnoresUnserved(t *testing.T) {
 		Origin: "m", Payload: []byte("stop"),
 	}); out != nil {
 		t.Error("phantom stop produced packets")
+	}
+}
+
+func TestBrokerOptions(t *testing.T) {
+	// Out-of-range decay falls back to the default, same as no option.
+	def := New("b1", []cd.CD{cd.MustParse("/1/1")})
+	bad := New("b2", []cd.CD{cd.MustParse("/1/1")}, WithDecay(1.5))
+	if def.decay != bad.decay {
+		t.Errorf("out-of-range decay %v != default %v", bad.decay, def.decay)
+	}
+	set := New("b3", []cd.CD{cd.MustParse("/1/1")}, WithDecay(0.5))
+	if set.decay != 0.5 {
+		t.Errorf("decay = %v, want 0.5", set.decay)
+	}
+	reg := obs.NewRegistry()
+	b := New("b4", []cd.CD{cd.MustParse("/1/1")}, WithRegistry(reg))
+	b.HandlePacket(update("/1/1", "obj1", 10))
+	if got := reg.Counter("broker.updates_applied").Value(); got != 1 {
+		t.Errorf("updates_applied on injected registry = %d, want 1", got)
 	}
 }

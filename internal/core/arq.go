@@ -95,45 +95,53 @@ func reliableType(t wire.Type) bool {
 	return false
 }
 
-// reliableOut stamps every reliable control packet bound for a router face
-// with a fresh CtlSeq and registers it for retransmission. Client-face and
-// unknown-face actions pass through untouched (clients do not ack). Actions
-// are returned in order; stamping replaces the action's packet with a
-// copy-on-write shallow copy, because flood fan-outs share one packet across
-// sibling actions and the CtlSeq must be unique per face.
-func (r *Router) reliableOut(now time.Time, actions []ndn.Action) []ndn.Action {
-	for i := range actions {
-		a := &actions[i]
-		if !reliableType(a.Packet.Type) || r.faces[a.Face] != FaceRouter {
-			continue
-		}
+// relSink is the ARQ-stamping ActionSink: every reliable control packet
+// bound for a router face is stamped with a fresh CtlSeq and registered for
+// retransmission as it is emitted, then forwarded to the destination sink.
+// Client-face and unknown-face actions pass through untouched (clients do
+// not ack). Stamping replaces the action's packet with a copy-on-write
+// shallow copy, because flood fan-outs share one packet across sibling
+// actions and the CtlSeq must be unique per face. Emission order through
+// the sink is exactly the order the old slice-walking reliableOut stamped
+// in, so CtlSeq assignment — and with it every deterministic replay — is
+// unchanged by the sink redesign.
+type relSink struct {
+	r   *Router
+	now time.Time
+	dst ndn.ActionSink
+}
+
+// Emit implements ndn.ActionSink.
+func (s *relSink) Emit(a ndn.Action) {
+	r := s.r
+	if reliableType(a.Packet.Type) && r.faces[a.Face] == FaceRouter {
 		r.arqSeq++
 		cp := *a.Packet
 		cp.CtlSeq = r.arqSeq
 		a.Packet = &cp
 		r.arqPending[arqKey{face: a.Face, seq: r.arqSeq}] = &arqEntry{
 			pkt:    &cp,
-			nextAt: now.Add(r.arqRTO),
+			nextAt: s.now.Add(r.arqRTO),
 		}
 	}
-	return actions
+	s.dst.Emit(a)
 }
 
 // arqReceive runs on every arriving reliable packet that carries a CtlSeq:
-// it always acks on the arrival face, and reports whether the packet is a
-// retransmission this router already processed.
-func (r *Router) arqReceive(from ndn.FaceID, pkt *wire.Packet) (ack []ndn.Action, dup bool) {
-	ack = []ndn.Action{{Face: from, Packet: &wire.Packet{Type: wire.TypeAck, CtlSeq: pkt.CtlSeq}}}
+// it always acks on the arrival face (emitting into sink), and reports
+// whether the packet is a retransmission this router already processed.
+func (r *Router) arqReceive(from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) (dup bool) {
+	sink.Emit(ndn.Action{Face: from, Packet: &wire.Packet{Type: wire.TypeAck, CtlSeq: pkt.CtlSeq}})
 	seen := r.arqSeen[from]
 	if seen == nil {
 		seen = &arqSeen{}
 		r.arqSeen[from] = seen
 	}
 	if seen.has(pkt.CtlSeq) {
-		return ack, true
+		return true
 	}
 	seen.add(pkt.CtlSeq)
-	return ack, false
+	return false
 }
 
 // handleAck clears the pending entry the ack covers.
@@ -142,15 +150,26 @@ func (r *Router) handleAck(now time.Time, from ndn.FaceID, pkt *wire.Packet) {
 	delete(r.arqPending, arqKey{face: from, seq: pkt.CtlSeq})
 }
 
-// Tick drives the retransmission timers: every pending reliable packet whose
-// timeout expired is resent with doubled backoff, until DefaultARQMaxAttempts
-// (or the WithARQ override) is exhausted and the packet is abandoned. Hosts
-// call it periodically — the testbed from a scheduled recurring event, the
-// TCP daemon from its event-loop ticker. Iteration is sorted so equal clocks
-// produce equal retransmission orders (deterministic replays).
+// Tick is the slice-returning wrapper over TickTo.
 func (r *Router) Tick(now time.Time) []ndn.Action {
 	if len(r.arqPending) == 0 {
 		return nil
+	}
+	var sink ndn.SliceSink
+	r.TickTo(now, &sink)
+	return sink.Actions
+}
+
+// TickTo drives the retransmission timers: every pending reliable packet
+// whose timeout expired is resent with doubled backoff, until
+// DefaultARQMaxAttempts (or the WithARQ override) is exhausted and the
+// packet is abandoned. Hosts call it periodically — the testbed from a
+// scheduled recurring event, the TCP daemon from its event-loop ticker.
+// Iteration is sorted so equal clocks produce equal retransmission orders
+// (deterministic replays).
+func (r *Router) TickTo(now time.Time, sink ndn.ActionSink) {
+	if len(r.arqPending) == 0 {
+		return
 	}
 	keys := make([]arqKey, 0, len(r.arqPending))
 	for k := range r.arqPending {
@@ -162,7 +181,6 @@ func (r *Router) Tick(now time.Time) []ndn.Action {
 		}
 		return keys[i].seq < keys[j].seq
 	})
-	var out []ndn.Action
 	for _, k := range keys {
 		e := r.arqPending[k]
 		if e.nextAt.After(now) {
@@ -183,9 +201,8 @@ func (r *Router) Tick(now time.Time) []ndn.Action {
 		r.ctr.retransTotal.Inc()
 		r.record(now, obs.EvRetrans, k.face, e.pkt, "")
 		// The stored packet is immutable-after-send; the resend can share it.
-		out = append(out, ndn.Action{Face: k.face, Packet: e.pkt})
+		sink.Emit(ndn.Action{Face: k.face, Packet: e.pkt})
 	}
-	return out
 }
 
 // ARQPending returns the number of unacknowledged reliable control packets,

@@ -50,12 +50,22 @@ func TestPurePrefixAnnouncementFloods(t *testing.T) {
 	}
 }
 
+// emitted collects the actions a sink-based handler pushes, for tests that
+// exercise internal handlers directly.
+func emitted(fn func(sink ndn.ActionSink)) []ndn.Action {
+	var sink ndn.SliceSink
+	fn(&sink)
+	return sink.Actions
+}
+
 func TestPruneEdgeCases(t *testing.T) {
 	r := NewRouter("X")
 	r.AddFace(1, FaceRouter)
 	// Prune for an unknown RP is dropped.
-	acts := r.handlePrune(time.Unix(0, 0), 1, &wire.Packet{
-		Type: wire.TypePrune, Name: "/ghost", CDs: []cd.CD{cd.MustParse("/1")},
+	acts := emitted(func(s ndn.ActionSink) {
+		r.handlePrune(time.Unix(0, 0), 1, &wire.Packet{
+			Type: wire.TypePrune, Name: "/ghost", CDs: []cd.CD{cd.MustParse("/1")},
+		}, s)
 	})
 	if acts != nil || r.Stats().Dropped != 1 {
 		t.Errorf("unknown-RP prune: acts=%v stats=%+v", acts, r.Stats())
@@ -64,8 +74,10 @@ func TestPruneEdgeCases(t *testing.T) {
 	if _, err := r.BecomeRP(copss.RPInfo{Name: "/rp", Prefixes: []cd.CD{cd.MustParse("/1")}, Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	acts = r.handlePrune(time.Unix(0, 0), 1, &wire.Packet{
-		Type: wire.TypePrune, Name: "/rp", CDs: []cd.CD{cd.MustParse("/1")},
+	acts = emitted(func(s ndn.ActionSink) {
+		r.handlePrune(time.Unix(0, 0), 1, &wire.Packet{
+			Type: wire.TypePrune, Name: "/rp", CDs: []cd.CD{cd.MustParse("/1")},
+		}, s)
 	})
 	if acts != nil {
 		t.Errorf("RP-host prune forwarded: %v", acts)
@@ -87,7 +99,7 @@ func TestFlushLeavesIgnoresForeignMarkers(t *testing.T) {
 		Type: wire.TypeMulticast, CDs: []cd.CD{cd.MustParse("/1")},
 		Origin: FlushOrigin, Name: flushMarkerName("Y"),
 	}
-	if acts := r.flushLeaves(time.Unix(0, 0), 1, foreign); acts != nil {
+	if acts := emitted(func(s ndn.ActionSink) { r.flushLeaves(time.Unix(0, 0), 1, foreign, s) }); acts != nil {
 		t.Errorf("foreign marker triggered leave: %v", acts)
 	}
 	// Our marker on the WRONG face must not either.
@@ -95,15 +107,15 @@ func TestFlushLeavesIgnoresForeignMarkers(t *testing.T) {
 		Type: wire.TypeMulticast, CDs: []cd.CD{cd.MustParse("/1")},
 		Origin: FlushOrigin, Name: flushMarkerName("X"),
 	}
-	if acts := r.flushLeaves(time.Unix(0, 0), 2, ours); acts != nil {
+	if acts := emitted(func(s ndn.ActionSink) { r.flushLeaves(time.Unix(0, 0), 2, ours, s) }); acts != nil {
 		t.Errorf("wrong-face marker triggered leave: %v", acts)
 	}
 	// Our marker on the old face releases the leave exactly once.
-	acts := r.flushLeaves(time.Unix(0, 0), 1, ours)
+	acts := emitted(func(s ndn.ActionSink) { r.flushLeaves(time.Unix(0, 0), 1, ours, s) })
 	if len(acts) != 1 || acts[0].Packet.Type != wire.TypeLeave || acts[0].Face != 1 {
 		t.Fatalf("leave = %v", acts)
 	}
-	if acts := r.flushLeaves(time.Unix(0, 0), 1, ours); acts != nil {
+	if acts := emitted(func(s ndn.ActionSink) { r.flushLeaves(time.Unix(0, 0), 1, ours, s) }); acts != nil {
 		t.Errorf("leave emitted twice: %v", acts)
 	}
 }
@@ -116,15 +128,15 @@ func TestMaybeLeaveRequiresConfirmAndMarker(t *testing.T) {
 		oldRP:        "/old",
 		pendingLeave: cd.NewSet(cd.MustParse("/1")),
 	}
-	if acts := r.maybeLeaveOldBranch(time.Unix(0, 0), g); acts != nil {
+	if acts := emitted(func(s ndn.ActionSink) { r.maybeLeaveOldBranch(time.Unix(0, 0), g, s) }); acts != nil {
 		t.Error("leave without confirm or marker")
 	}
 	g.confirmed = true
-	if acts := r.maybeLeaveOldBranch(time.Unix(0, 0), g); acts != nil {
+	if acts := emitted(func(s ndn.ActionSink) { r.maybeLeaveOldBranch(time.Unix(0, 0), g, s) }); acts != nil {
 		t.Error("leave without marker")
 	}
 	g.markerSeen = true
-	if acts := r.maybeLeaveOldBranch(time.Unix(0, 0), g); len(acts) != 1 {
+	if acts := emitted(func(s ndn.ActionSink) { r.maybeLeaveOldBranch(time.Unix(0, 0), g, s) }); len(acts) != 1 {
 		t.Error("leave not released")
 	}
 }

@@ -176,7 +176,7 @@ func PrepareHandoff(now time.Time, oldRP, newRP string, move []cd.CD, seq uint64
 	newHost.ndnEngine.FIB().Add(newRP, InternalFace)
 	delete(newHost.upstream, newRP)
 	newHost.announceSeq[newRP] = seq
-	newHost.confirmGraft(newRP)
+	newHost.confirmGraft(newRP, discard)
 
 	// Reverse ST entries: every router except the old host gets entries on
 	// its face toward the previous hop, so multicasts flow back to the old
@@ -200,7 +200,7 @@ func PrepareHandoff(now time.Time, oldRP, newRP string, move []cd.CD, seq uint64
 			for _, d := range needs.Members() {
 				prop.Add(d)
 			}
-			r.confirmGraft(newRP)
+			r.confirmGraft(newRP, discard)
 		}
 	}
 
@@ -238,13 +238,14 @@ func PrepareHandoff(now time.Time, oldRP, newRP string, move []cd.CD, seq uint64
 	// flushed through the old host's serialized RP path — on its next
 	// publication service — which orders it behind every old-tree copy on
 	// the wire.
-	var fromOld []ndn.Action
+	var fromOld ndn.SliceSink
+	oldRel := &relSink{r: oldHost, now: now, dst: &fromOld}
 	if needs.Len() > 0 {
 		for _, d := range needs.Members() {
 			oldHost.st.Remove(path[0].FaceUp, d)
 			// With the branch gone the old host may no longer need the CD
 			// at all; fold any withdrawal into the cut-over actions.
-			fromOld = append(fromOld, oldHost.withdrawIfUnneeded(newRP, d)...)
+			oldHost.withdrawIfUnneeded(newRP, d, oldRel)
 		}
 		oldHost.pendingPrunes = append(oldHost.pendingPrunes, ndn.Action{
 			Face: path[0].FaceUp,
@@ -257,17 +258,19 @@ func PrepareHandoff(now time.Time, oldRP, newRP string, move []cd.CD, seq uint64
 	}
 
 	// Stage C: the new host floods the combined announcement. Both emission
-	// sets are ARQ-registered on their host so lost copies are retransmitted.
-	fromNew := newHost.floodExcept(-1, &wire.Packet{
+	// sets are ARQ-registered on their host (via the relSinks) so lost
+	// copies are retransmitted.
+	var fromNew ndn.SliceSink
+	newHost.floodExcept(-1, &wire.Packet{
 		Type:   wire.TypeHandoff,
 		Name:   newRP,
 		Origin: oldRP,
 		CDs:    move,
 		Seq:    seq,
-	})
+	}, &relSink{r: newHost, now: now, dst: &fromNew})
 	return &HandoffActions{
-		FromNew: newHost.reliableOut(now, fromNew),
-		FromOld: oldHost.reliableOut(now, fromOld),
+		FromNew: fromNew.Actions,
+		FromOld: fromOld.Actions,
 	}, nil
 }
 
@@ -281,19 +284,19 @@ type HandoffActions struct {
 // handlePrune dissolves the old-tree branch toward a migrated RP: remove
 // the down-entries on the face leading to the new host and forward the
 // Prune one hop closer. The new host consumes it.
-func (r *Router) handlePrune(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handlePrune(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	if r.IsRP(pkt.Name) {
-		return nil // reached the new host: the branch is gone
+		return // reached the new host: the branch is gone
 	}
 	face, ok := r.upstream[pkt.Name]
 	if !ok {
 		r.drop(now, from, pkt, "prune for unknown upstream")
-		return nil
+		return
 	}
 	for _, c := range pkt.CDs {
 		r.st.Remove(face, c)
 	}
-	return []ndn.Action{{Face: face, Packet: pkt.Forward()}}
+	sink.Emit(ndn.Action{Face: face, Packet: pkt.Forward()})
 }
 
 // applyHandoff updates a router's RP table for a handoff: shrink the old RP,
@@ -346,25 +349,38 @@ func narrowedNeeds(r *Router, prefixes []cd.CD) *cd.Set {
 	return needs
 }
 
+// discard swallows emissions; used where the legacy code discarded returned
+// actions (statically bootstrapped grafts have no waiting joiners).
+var discard ndn.ActionSink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Emit(ndn.Action) {}
+
 // confirmGraft marks this router's graft toward rpName as confirmed (on the
-// tree), releasing any downstream joiners.
-func (r *Router) confirmGraft(rpName string) []ndn.Action {
+// tree), releasing any downstream joiners into sink.
+func (r *Router) confirmGraft(rpName string, sink ndn.ActionSink) {
 	g := r.grafts[rpName]
 	if g == nil {
 		r.grafts[rpName] = &graft{confirmed: true}
-		return nil
+		return
 	}
 	g.confirmed = true
-	var out []ndn.Action
-	for face, cds := range g.waiting {
-		out = append(out, ndn.Action{Face: face, Packet: &wire.Packet{
+	// Sorted faces: Confirm emission feeds host transmit order, and map
+	// iteration here would make same-seed replays diverge.
+	faces := make([]ndn.FaceID, 0, len(g.waiting))
+	for face := range g.waiting {
+		faces = append(faces, face)
+	}
+	sort.Slice(faces, func(i, j int) bool { return faces[i] < faces[j] })
+	for _, face := range faces {
+		sink.Emit(ndn.Action{Face: face, Packet: &wire.Packet{
 			Type: wire.TypeConfirm,
 			Name: rpName,
-			CDs:  cds.Members(),
+			CDs:  g.waiting[face].Members(),
 		}})
 	}
 	g.waiting = nil
-	return out
 }
 
 // graftConfirmed reports whether this router is on rpName's tree.
@@ -380,20 +396,19 @@ func (r *Router) graftConfirmed(rpName string) bool {
 // atomically shrinks the old RP and installs the new one, learns the route
 // toward the new RP from the arrival face, re-grafts this router's
 // subscription tree onto the new RP (make-before-break), and re-floods.
-func (r *Router) handleHandoffAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleHandoffAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.announcementsIn.Inc()
 	newRP, oldRP := pkt.Name, pkt.Origin
 	if pkt.Seq <= r.announceSeq[newRP] {
-		return nil // duplicate flood
+		return // duplicate flood
 	}
 	r.announceSeq[newRP] = pkt.Seq
 	if err := applyHandoff(r, oldRP, newRP, pkt.CDs, pkt.Seq); err != nil {
 		r.drop(now, from, pkt, "conflicting handoff")
-		return nil
+		return
 	}
 	r.record(now, obs.EvMigration, from, pkt, "handoff announced")
 
-	var out []ndn.Action
 	// Learn the route unless stage B already pinned one (path routers).
 	if _, pinned := r.upstream[newRP]; !pinned && !r.IsRP(newRP) {
 		r.ndnEngine.FIB().RemovePrefix(newRP)
@@ -401,13 +416,12 @@ func (r *Router) handleHandoffAnnouncement(now time.Time, from ndn.FaceID, pkt *
 		r.upstream[newRP] = from
 	}
 
-	out = append(out, r.regraft(now, oldRP, newRP, pkt.CDs)...)
+	r.regraft(now, oldRP, newRP, pkt.CDs, sink)
 
 	// Release joins that raced ahead of this announcement.
-	out = append(out, r.drainPendingJoins(now, newRP)...)
+	r.drainPendingJoins(now, newRP, sink)
 
-	out = append(out, r.floodExcept(from, pkt.Forward())...)
-	return out
+	r.floodExcept(from, pkt.Forward(), sink)
 }
 
 // regraft moves this router's tree membership for the moved prefixes from
@@ -417,10 +431,10 @@ func (r *Router) handleHandoffAnnouncement(now time.Time, from ndn.FaceID, pkt *
 // branch until it is added to a new ST branch"). Routers already grafted by
 // stage B — including the new RP host itself — prune the old branch
 // immediately.
-func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD) []ndn.Action {
+func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD, sink ndn.ActionSink) {
 	needs := narrowedNeeds(r, move)
 	if needs.Len() == 0 {
-		return nil
+		return
 	}
 	// Transfer propagation bookkeeping from the old RP to the new one.
 	oldProp := r.propagated[oldRP]
@@ -430,7 +444,7 @@ func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD) []ndn
 		}
 	}
 	if r.IsRP(newRP) {
-		return nil // the new host was wired by PrepareHandoff
+		return // the new host was wired by PrepareHandoff
 	}
 	oldFace, hadOld := r.upstream[oldRP]
 	newProp := r.propagated[newRP]
@@ -446,23 +460,23 @@ func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD) []ndn
 		newProp.Add(d)
 	}
 	if !hadOld && r.graftConfirmed(newRP) {
-		return nil // the old RP host itself: nothing to leave, already rooted
+		return // the old RP host itself: nothing to leave, already rooted
 	}
 	if already && r.graftConfirmed(newRP) {
 		// Stage-B preseeded path routers: their old-branch entry lives at
 		// the old RP host, which pruned it at cut-over; the seed chain
 		// dissolves through the normal unsubscribe cascade. No re-wiring.
-		return nil
+		return
 	}
 	newFace, ok := r.upstreamFaceFor(newRP)
 	if !ok {
-		return nil
+		return
 	}
 	if hadOld && oldFace == newFace {
 		// Same physical direction: the existing ST chain keeps serving; the
 		// upstream router performs its own migration. Nothing to re-wire.
-		r.confirmGraft(newRP)
-		return nil
+		r.confirmGraft(newRP, sink)
+		return
 	}
 	g := r.grafts[newRP]
 	if g == nil {
@@ -483,7 +497,7 @@ func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD) []ndn
 		Origin: r.name,
 	}
 	r.record(now, obs.EvMigration, newFace, join, "join sent (make-before-break)")
-	return []ndn.Action{{Face: newFace, Packet: join}}
+	sink.Emit(ndn.Action{Face: newFace, Packet: join})
 }
 
 // handleJoin grafts a downstream branch onto rpName's multicast tree. The
@@ -491,7 +505,7 @@ func (r *Router) regraft(now time.Time, oldRP, newRP string, move []cd.CD) []ndn
 // possible during migration, loss is not). A Confirm is returned as soon as
 // this router is itself on the tree; otherwise the Join is aggregated
 // upstream and the Confirm deferred.
-func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.joinsIn.Inc()
 	rpName := pkt.Name
 	for _, c := range pkt.CDs {
@@ -502,11 +516,11 @@ func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 		// the tree. The marker follows every publication multicast before
 		// this instant, so when it reaches the joiner through its OLD
 		// branch, that branch is provably drained.
-		out := []ndn.Action{{Face: from, Packet: &wire.Packet{
+		sink.Emit(ndn.Action{Face: from, Packet: &wire.Packet{
 			Type: wire.TypeConfirm,
 			Name: rpName,
 			CDs:  pkt.CDs,
-		}}}
+		}})
 		if pkt.Origin != "" {
 			for _, c := range pkt.CDs {
 				r.pubSeq++
@@ -517,17 +531,16 @@ func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 					Name:   flushMarkerName(pkt.Origin),
 					Seq:    r.pubSeq,
 				}
-				out = append(out, r.distribute(now, -1, marker)...)
+				r.distribute(now, -1, marker, sink)
 			}
 		}
-		return out
+		return
 	}
 	if _, known := r.rpt.Get(rpName); !known {
 		// The Join raced ahead of the announcement flood; park it.
 		r.pendingJoins[rpName] = append(r.pendingJoins[rpName], pendingJoin{from: from, cds: pkt.CDs, origin: pkt.Origin})
-		return nil
+		return
 	}
-	var out []ndn.Action
 	g := r.grafts[rpName]
 	if g == nil {
 		g = &graft{waiting: make(map[ndn.FaceID]*cd.Set)}
@@ -537,7 +550,7 @@ func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 		// Already on the tree: confirm immediately so the joiner's new
 		// branch goes live; the Join still travels on toward the RP so the
 		// joiner's flush marker gets emitted.
-		out = append(out, ndn.Action{Face: from, Packet: &wire.Packet{
+		sink.Emit(ndn.Action{Face: from, Packet: &wire.Packet{
 			Type: wire.TypeConfirm,
 			Name: rpName,
 			CDs:  pkt.CDs,
@@ -565,38 +578,35 @@ func (r *Router) handleJoin(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 	}
 	upFace, ok := r.upstreamFaceFor(rpName)
 	if !ok || upFace == from {
-		return out
+		return
 	}
 	g.joinSent = true
-	out = append(out, ndn.Action{Face: upFace, Packet: pkt.Forward()})
-	return out
+	sink.Emit(ndn.Action{Face: upFace, Packet: pkt.Forward()})
 }
 
 // handleConfirm completes this router's graft: it releases downstream
 // joiners and prunes the old tree (the deferred Leave of make-before-break).
-func (r *Router) handleConfirm(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleConfirm(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.confirmsIn.Inc()
 	rpName := pkt.Name
 	g := r.grafts[rpName]
 	if g == nil {
-		return nil
+		return
 	}
-	var out []ndn.Action
 	if !g.confirmed {
-		out = append(out, r.confirmGraft(rpName)...)
+		r.confirmGraft(rpName, sink)
 		r.record(now, obs.EvMigration, from, pkt, "graft confirmed")
 	}
 	// The break of make-before-break happens only when BOTH the new branch
 	// is confirmed live AND our flush marker has drained the old one.
-	out = append(out, r.maybeLeaveOldBranch(now, g)...)
-	return out
+	r.maybeLeaveOldBranch(now, g, sink)
 }
 
 // flushLeaves reacts to a migration flush marker arriving on a face: grafts
 // whose old upstream is that face and whose marker this is may now leave.
-func (r *Router) flushLeaves(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) flushLeaves(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	if pkt.Name != flushMarkerName(r.name) {
-		return nil
+		return
 	}
 	// Sorted iteration: the emitted Leaves feed host transmit order, and map
 	// order here would make same-seed replays diverge.
@@ -605,24 +615,22 @@ func (r *Router) flushLeaves(now time.Time, from ndn.FaceID, pkt *wire.Packet) [
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var out []ndn.Action
 	for _, name := range names {
 		g := r.grafts[name]
 		if g.hasOld && g.oldFace == from {
 			g.markerSeen = true
 			r.record(now, obs.EvMigration, from, pkt, "flush marker drained old branch")
-			out = append(out, r.maybeLeaveOldBranch(now, g)...)
+			r.maybeLeaveOldBranch(now, g, sink)
 		}
 	}
-	return out
 }
 
 // maybeLeaveOldBranch sends the deferred Leave once the graft is confirmed
 // and its old branch has been flushed.
-func (r *Router) maybeLeaveOldBranch(now time.Time, g *graft) []ndn.Action {
+func (r *Router) maybeLeaveOldBranch(now time.Time, g *graft, sink ndn.ActionSink) {
 	if !g.confirmed || !g.markerSeen || !g.hasOld ||
 		g.pendingLeave == nil || g.pendingLeave.Len() == 0 {
-		return nil
+		return
 	}
 	leave := &wire.Packet{
 		Type: wire.TypeLeave,
@@ -630,36 +638,33 @@ func (r *Router) maybeLeaveOldBranch(now time.Time, g *graft) []ndn.Action {
 		CDs:  g.pendingLeave.Members(),
 	}
 	r.record(now, obs.EvMigration, g.oldFace, leave, "old branch released")
-	out := []ndn.Action{{Face: g.oldFace, Packet: leave}}
+	sink.Emit(ndn.Action{Face: g.oldFace, Packet: leave})
 	g.pendingLeave = nil
 	g.hasOld = false
-	return out
 }
 
 // handleLeave prunes a downstream branch: identical to an Unsubscribe of the
 // carried CDs, with upstream withdrawal when the last subscriber is gone.
-func (r *Router) handleLeave(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleLeave(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.leavesIn.Inc()
-	return r.handleUnsubscribe(now, from, &wire.Packet{Type: wire.TypeUnsubscribe, CDs: pkt.CDs})
+	r.handleUnsubscribe(now, from, &wire.Packet{Type: wire.TypeUnsubscribe, CDs: pkt.CDs}, sink)
 }
 
 // drainPendingJoins replays joins that arrived before the announcement.
-func (r *Router) drainPendingJoins(now time.Time, rpName string) []ndn.Action {
+func (r *Router) drainPendingJoins(now time.Time, rpName string, sink ndn.ActionSink) {
 	pend := r.pendingJoins[rpName]
 	if len(pend) == 0 {
-		return nil
+		return
 	}
 	delete(r.pendingJoins, rpName)
-	var out []ndn.Action
 	for _, pj := range pend {
-		out = append(out, r.handleJoin(now, pj.from, &wire.Packet{
+		r.handleJoin(now, pj.from, &wire.Packet{
 			Type:   wire.TypeJoin,
 			Name:   rpName,
 			CDs:    pj.cds,
 			Origin: pj.origin,
-		})...)
+		}, sink)
 	}
-	return out
 }
 
 // AutoBalanceDecision is returned by CheckOverload when an RP should split.

@@ -8,6 +8,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -437,7 +438,7 @@ func TestJoinRacesAnnouncement(t *testing.T) {
 	r.AddFace(1, FaceRouter)
 	r.AddFace(2, FaceRouter)
 	joinPkt := &wire.Packet{Type: wire.TypeJoin, Name: "/rpZ", CDs: []cd.CD{cd.MustParse("/7")}}
-	acts := r.handleJoin(time.Unix(0, 0), 1, joinPkt)
+	acts := emitted(func(s ndn.ActionSink) { r.handleJoin(time.Unix(0, 0), 1, joinPkt, s) })
 	if acts != nil {
 		t.Fatalf("join for unknown RP produced actions: %v", acts)
 	}
@@ -447,7 +448,7 @@ func TestJoinRacesAnnouncement(t *testing.T) {
 	// Announcement arrives on face 2; the parked join must now produce a
 	// Join forwarded upstream (X is not on the tree yet).
 	annPkt := &wire.Packet{Type: wire.TypeFIBAdd, Name: "/rpZ", CDs: []cd.CD{cd.MustParse("/7")}, Seq: 5}
-	acts = r.handleAnnouncement(time.Unix(0, 0), 2, annPkt)
+	acts = emitted(func(s ndn.ActionSink) { r.handleAnnouncement(time.Unix(0, 0), 2, annPkt, s) })
 	foundJoin := false
 	for _, a := range acts {
 		if a.Packet.Type == wire.TypeJoin && a.Face == 2 {

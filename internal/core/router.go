@@ -4,10 +4,11 @@
 // with a loss-free migration protocol).
 //
 // A Router is pure with respect to I/O: every handler takes the current time
-// and an arriving packet and returns the set of (face, packet) send actions.
-// Hosts — the packet-level testbed, the TCP daemon, and the trace-driven
-// simulator — own queues, links and clocks, which is also what makes the
-// queueing behaviour measurable.
+// and an arriving packet and emits the resulting (face, packet) send actions
+// into an ndn.ActionSink. Hosts — the packet-level testbed, the TCP daemon,
+// and the trace-driven simulator — own queues, links and clocks, which is
+// also what makes the queueing behaviour measurable. Thin slice-returning
+// wrappers (HandlePacket, Tick, BecomeRP) remain at the public seam.
 package core
 
 import (
@@ -146,6 +147,11 @@ type Router struct {
 	// client publications at the first hop (Section III-C), so republishing
 	// the same area CD costs a map hit, not a rehash.
 	hashes *copss.HashCache
+
+	// rel is the reusable ARQ-stamping sink HandlePacketTo threads through
+	// dispatch; keeping it on the router avoids an allocation per packet.
+	// Routers are single-threaded packet processors, so reuse is safe.
+	rel relSink
 }
 
 // FlushOrigin marks the epoch-marker multicasts of the migration protocol:
@@ -432,16 +438,26 @@ func (r *Router) InstallRP(info copss.RPInfo, via ndn.FaceID) error {
 	r.ndnEngine.FIB().RemovePrefix(info.Name)
 	r.ndnEngine.FIB().Add(info.Name, via)
 	r.upstream[info.Name] = via
-	r.confirmGraft(info.Name) // statically bootstrapped routers are on-tree
+	r.confirmGraft(info.Name, discard) // statically bootstrapped routers are on-tree
 	return nil
 }
 
 // BecomeRP makes this router host the named RP serving the given prefix-free
-// CD prefixes. The returned actions flood the announcement to all router
-// faces.
+// CD prefixes. Slice-returning wrapper over BecomeRPTo; the actions flood
+// the announcement to all router faces.
 func (r *Router) BecomeRP(info copss.RPInfo) ([]ndn.Action, error) {
+	var sink ndn.SliceSink
+	if err := r.BecomeRPTo(info, &sink); err != nil {
+		return nil, err
+	}
+	return sink.Actions, nil
+}
+
+// BecomeRPTo makes this router host the named RP, emitting the announcement
+// flood into sink.
+func (r *Router) BecomeRPTo(info copss.RPInfo, sink ndn.ActionSink) error {
 	if err := r.rpt.Set(info.Name, info.Prefixes, info.Seq); err != nil {
-		return nil, fmt.Errorf("core: become RP: %w", err)
+		return fmt.Errorf("core: become RP: %w", err)
 	}
 	if seq := r.announceSeq[info.Name]; info.Seq > seq {
 		r.announceSeq[info.Name] = info.Seq
@@ -450,13 +466,14 @@ func (r *Router) BecomeRP(info copss.RPInfo) ([]ndn.Action, error) {
 	r.ndnEngine.FIB().RemovePrefix(info.Name)
 	r.ndnEngine.FIB().Add(info.Name, InternalFace)
 	delete(r.upstream, info.Name)
-	return r.floodExcept(-1, &wire.Packet{
+	r.floodExcept(-1, &wire.Packet{
 		Type:   wire.TypeFIBAdd,
 		Name:   info.Name,
 		CDs:    info.Prefixes,
 		Seq:    info.Seq,
 		Origin: r.name,
-	}), nil
+	}, sink)
+	return nil
 }
 
 // BecomeRPAt is BecomeRP with ARQ registration stamped at now: the returned
@@ -464,92 +481,103 @@ func (r *Router) BecomeRP(info copss.RPInfo) ([]ndn.Action, error) {
 // bootstrap survives lossy links. Plain BecomeRP keeps the unregistered
 // (fire-and-forget) behavior for hosts that do not drive Tick.
 func (r *Router) BecomeRPAt(now time.Time, info copss.RPInfo) ([]ndn.Action, error) {
-	actions, err := r.BecomeRP(info)
-	if err != nil {
+	var sink ndn.SliceSink
+	if err := r.BecomeRPTo(info, &relSink{r: r, now: now, dst: &sink}); err != nil {
 		return nil, err
 	}
-	return r.reliableOut(now, actions), nil
+	return sink.Actions, nil
 }
 
-// floodExcept builds send actions for every router face except the given one
+// floodExcept emits send actions for every router face except the given one
 // (use a negative face to flood everywhere). All actions share the one
 // packet under the immutable-after-send discipline; per-face mutation (ARQ
-// CtlSeq stamping) copies on write in reliableOut. Actions are emitted in
+// CtlSeq stamping) copies on write in the relSink. Actions are emitted in
 // ascending face order: flood order feeds the transmit order hosts observe,
 // and map-iteration order here would make same-seed replays diverge.
-func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-	var out []ndn.Action
+func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
+	// Flood fan-outs are a handful of faces; collect them on the stack and
+	// insertion-sort (sort.Slice's closure would allocate on this path).
+	var buf [16]ndn.FaceID
+	out := buf[:0]
 	for id, kind := range r.faces {
 		if id == except || kind != FaceRouter {
 			continue
 		}
-		out = append(out, ndn.Action{Face: id, Packet: pkt})
+		out = append(out, id)
 	}
-	// Insertion sort: flood fan-outs are a handful of faces and sort.Slice's
-	// closure would allocate on this path.
 	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Face < out[j-1].Face; j-- {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
+	for _, id := range out {
+		sink.Emit(ndn.Action{Face: id, Packet: pkt})
+	}
 }
 
-// HandlePacket is the router's single entry point: it dispatches by packet
-// type exactly as the "is a NDN pkt?" demultiplexer of Fig. 2 does. Around
-// the dispatch sits the control-plane ARQ (arq.go): acks are consumed,
-// reliable arrivals are acked and deduplicated, and reliable departures to
-// router faces are stamped and registered for retransmission.
+// HandlePacket is the slice-returning wrapper over HandlePacketTo, kept at
+// the public seam for hosts that collect actions (the TCP daemon, tests).
 func (r *Router) HandlePacket(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	var sink ndn.SliceSink
+	r.HandlePacketTo(now, from, pkt, &sink)
+	return sink.Actions
+}
+
+// HandlePacketTo is the router's single entry point: it dispatches by packet
+// type exactly as the "is a NDN pkt?" demultiplexer of Fig. 2 does, emitting
+// every send action into sink. Around the dispatch sits the control-plane
+// ARQ (arq.go): acks are consumed, reliable arrivals are acked and
+// deduplicated, and reliable departures to router faces are stamped and
+// registered for retransmission by the relSink wrapper.
+func (r *Router) HandlePacketTo(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	if kind := arrivalKind(pkt.Type); kind != 0 {
 		r.record(now, kind, from, pkt, "")
 	}
 	if pkt.Type == wire.TypeAck {
 		r.handleAck(now, from, pkt)
-		return nil
+		return
 	}
-	var acks []ndn.Action
 	if reliableType(pkt.Type) && pkt.CtlSeq != 0 {
-		ack, dup := r.arqReceive(from, pkt)
-		acks = ack
+		dup := r.arqReceive(from, pkt, sink)
 		if dup {
 			r.ctr.ctlDupsIn.Inc()
 			r.record(now, obs.EvDrop, from, pkt, "arq duplicate")
-			return acks
+			return
 		}
 	}
-	actions := r.dispatch(now, from, pkt)
-	return r.reliableOut(now, append(acks, actions...))
+	rs := &r.rel
+	rs.r, rs.now, rs.dst = r, now, sink
+	r.dispatch(now, from, pkt, rs)
+	rs.dst = nil
 }
 
 // dispatch is the Fig. 2 demultiplexer proper.
-func (r *Router) dispatch(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) dispatch(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	switch pkt.Type {
 	case wire.TypeInterest:
-		return r.handleInterest(now, from, pkt)
+		r.handleInterest(now, from, pkt, sink)
 	case wire.TypeData:
-		return r.ndnEngine.HandleData(now, from, pkt)
+		r.ndnEngine.HandleDataTo(now, from, pkt, sink)
 	case wire.TypeSubscribe:
-		return r.handleSubscribe(now, from, pkt)
+		r.handleSubscribe(now, from, pkt, sink)
 	case wire.TypeUnsubscribe:
-		return r.handleUnsubscribe(now, from, pkt)
+		r.handleUnsubscribe(now, from, pkt, sink)
 	case wire.TypeMulticast:
-		return r.handleMulticast(now, from, pkt)
+		r.handleMulticast(now, from, pkt, sink)
 	case wire.TypeFIBAdd:
-		return r.handleAnnouncement(now, from, pkt)
+		r.handleAnnouncement(now, from, pkt, sink)
 	case wire.TypeHandoff:
-		return r.handleHandoffAnnouncement(now, from, pkt)
+		r.handleHandoffAnnouncement(now, from, pkt, sink)
 	case wire.TypeJoin:
-		return r.handleJoin(now, from, pkt)
+		r.handleJoin(now, from, pkt, sink)
 	case wire.TypeConfirm:
-		return r.handleConfirm(now, from, pkt)
+		r.handleConfirm(now, from, pkt, sink)
 	case wire.TypeLeave:
-		return r.handleLeave(now, from, pkt)
+		r.handleLeave(now, from, pkt, sink)
 	case wire.TypePrune:
-		return r.handlePrune(now, from, pkt)
+		r.handlePrune(now, from, pkt, sink)
 	default:
 		r.drop(now, from, pkt, "unknown packet type")
-		return nil
 	}
 }
 
@@ -557,31 +585,34 @@ func (r *Router) dispatch(now time.Time, from ndn.FaceID, pkt *wire.Packet) []nd
 // NDN Interests. RP-bound Interests are routed by FIB only (push semantics:
 // they are never answered by Data, so PIT state would only rot); everything
 // else goes through the full NDN engine.
-func (r *Router) handleInterest(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleInterest(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	rpName, isRPBound := r.rpBoundName(pkt.Name)
 	if !isRPBound {
-		return r.ndnEngine.HandleInterest(now, from, pkt)
+		r.ndnEngine.HandleInterestTo(now, from, pkt, sink)
+		return
 	}
 	if isTwoStepContentName(pkt.Name, rpName) {
 		// A two-step content pull: full NDN semantics (PIT bread crumbs,
 		// aggregation, caching) at every hop; the RP answers from its
 		// Content Store via the FIB's internal face.
-		return r.ndnEngine.HandleInterest(now, from, pkt)
+		r.ndnEngine.HandleInterestTo(now, from, pkt, sink)
+		return
 	}
 	if r.IsRP(rpName) {
 		inner, err := wire.Decapsulate(pkt)
 		if err != nil {
 			r.drop(now, from, pkt, "malformed encapsulation")
-			return nil
+			return
 		}
-		return r.deliverAsRP(now, rpName, inner)
+		r.deliverAsRP(now, rpName, inner, sink)
+		return
 	}
 	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
 	if !ok {
 		r.drop(now, from, pkt, "no route to RP")
-		return nil
+		return
 	}
-	return []ndn.Action{{Face: faces[0], Packet: pkt.Forward()}}
+	sink.Emit(ndn.Action{Face: faces[0], Packet: pkt.Forward()})
 }
 
 // rpBoundName reports whether an Interest name targets a known RP, returning
@@ -606,68 +637,84 @@ func (r *Router) rpBoundName(name string) (string, bool) {
 // tree and records its CD for the load balancer. Stage-B redirection: if the
 // CD is no longer served here (it was handed off), the publication is
 // re-encapsulated toward the now-covering RP.
-func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
+func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet, sink ndn.ActionSink) {
 	c, err := inner.CD()
 	if err != nil {
 		r.drop(now, InternalFace, inner, "publication without CD")
-		return nil
+		return
 	}
 	mon := r.localRPs[rpName]
 	info, _ := r.rpt.Get(rpName)
 	// Any service through the RP path happens after every earlier emission,
-	// so queued handoff Prunes can be flushed safely here.
-	prunes := r.pendingPrunes
-	r.pendingPrunes = nil
+	// so queued handoff Prunes can be flushed safely here. They go first so
+	// they stay FIFO-behind every old-tree copy already on the wire.
+	r.drainPendingPrunes(sink)
 	if _, covered := cd.Cover(info.Prefixes, c); !covered {
 		// The CD moved to another RP; redirect (half-RTT loss-freedom rule).
 		newRP, _, ok := r.rpt.CoverOf(c)
 		if !ok || newRP == rpName {
 			r.drop(now, InternalFace, inner, "no RP covers CD")
-			return prunes
+			return
 		}
 		r.ctr.redirected.Inc()
 		r.record(now, obs.EvRedirect, InternalFace, inner, newRP)
-		return append(prunes, r.publishToward(now, newRP, inner)...)
+		r.publishToward(now, newRP, inner, sink)
+		return
 	}
 	if mon != nil {
 		mon.Record(c)
 	}
 	if inner.Name == TwoStepRequest {
-		return append(prunes, r.deliverTwoStep(now, rpName, inner)...)
+		r.deliverTwoStep(now, rpName, inner, sink)
+		return
 	}
 	r.ctr.rpDeliveries.Inc()
 	r.record(now, obs.EvRPDeliver, InternalFace, inner, rpName)
-	return append(prunes, r.distribute(now, -1, inner)...) // -1: no arrival face to exclude
+	r.distribute(now, -1, inner, sink) // -1: no arrival face to exclude
+}
+
+// drainPendingPrunes emits and clears the handoff Prunes queued at this
+// (former) RP host.
+func (r *Router) drainPendingPrunes(sink ndn.ActionSink) {
+	if len(r.pendingPrunes) == 0 {
+		return
+	}
+	prunes := r.pendingPrunes
+	r.pendingPrunes = nil
+	for _, a := range prunes {
+		sink.Emit(a)
+	}
 }
 
 // handleMulticast implements the paper's two Multicast cases: from an end
 // host, encapsulate toward the covering RP; from another router, forward
 // straight from the ST.
-func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.multicastIn.Inc()
 	kind, ok := r.faces[from]
 	if !ok {
 		r.drop(now, from, pkt, "unregistered face")
-		return nil
+		return
 	}
 	if kind == FaceRouter && pkt.Origin == FlushOrigin {
 		// A migration flush marker: if it is ours and arrived on the old
 		// upstream face, the old branch has drained — the deferred Leave of
 		// make-before-break can finally be sent. Either way the marker
 		// continues down the tree for joiners below us.
-		out := r.flushLeaves(now, from, pkt)
-		return append(out, r.distribute(now, from, pkt)...)
+		r.flushLeaves(now, from, pkt, sink)
+		r.distribute(now, from, pkt, sink)
+		return
 	}
 	if kind == FaceClient {
 		c, err := pkt.CD()
 		if err != nil {
 			r.drop(now, from, pkt, "publication without CD")
-			return nil
+			return
 		}
 		rpName, _, found := r.rpt.CoverOf(c)
 		if !found {
 			r.drop(now, from, pkt, "no RP covers CD")
-			return nil
+			return
 		}
 		// First-hop optimization (Section III-C): attach the memoized Bloom
 		// hash pairs of the CD's prefixes once, here, and carry them with
@@ -686,52 +733,54 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 			if mon := r.localRPs[rpName]; mon != nil {
 				mon.Record(c)
 			}
-			prunes := r.pendingPrunes
-			r.pendingPrunes = nil
+			r.drainPendingPrunes(sink)
 			if pkt.Name == TwoStepRequest {
-				return append(prunes, r.deliverTwoStep(now, rpName, pkt)...)
+				r.deliverTwoStep(now, rpName, pkt, sink)
+				return
 			}
 			r.ctr.rpDeliveries.Inc()
 			r.record(now, obs.EvRPDeliver, InternalFace, pkt, rpName)
-			return append(prunes, r.distribute(now, -1, pkt)...)
+			r.distribute(now, -1, pkt, sink)
+			return
 		}
 		r.ctr.publishEncapsulated.Inc()
-		return r.publishToward(now, rpName, pkt)
+		r.publishToward(now, rpName, pkt, sink)
+		return
 	}
-	return r.distribute(now, from, pkt)
+	r.distribute(now, from, pkt, sink)
 }
 
 // publishToward encapsulates a Multicast into an Interest addressed to the
 // given RP and forwards it along the FIB. The encapsulation name gets a
 // unique (origin, seq) suffix so that distinct publications to the same CD
 // are never aggregated by PIT-style state anywhere.
-func (r *Router) publishToward(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
+func (r *Router) publishToward(now time.Time, rpName string, inner *wire.Packet, sink ndn.ActionSink) {
 	outer, err := wire.Encapsulate(rpName, inner)
 	if err != nil {
 		r.drop(now, InternalFace, inner, "encapsulation failed")
-		return nil
+		return
 	}
 	r.pubSeq++
 	outer.Name = outer.Name + "/" + inner.Origin + "/" + strconv.FormatUint(r.pubSeq, 36)
 	faces, _, ok := r.ndnEngine.FIB().Lookup(rpName)
 	if !ok {
 		r.drop(now, InternalFace, inner, "no route to RP")
-		return nil
+		return
 	}
 	outer.HopCount = inner.HopCount + 1
 	r.record(now, obs.EvEncapsulate, faces[0], inner, rpName)
-	return []ndn.Action{{Face: faces[0], Packet: outer}}
+	sink.Emit(ndn.Action{Face: faces[0], Packet: outer})
 }
 
 // distribute forwards a Multicast to every face whose subscriptions match a
 // prefix of the packet's CD, excluding the arrival face. Precomputed hash
 // pairs from the first hop are used when present. Deliveries to client faces
 // carrying a send timestamp feed the delivery-latency histogram.
-func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	c, err := pkt.CD()
 	if err != nil {
 		r.drop(now, from, pkt, "multicast without CD")
-		return nil
+		return
 	}
 	var faces []ndn.FaceID
 	if len(pkt.CDHashes) > 0 {
@@ -740,18 +789,18 @@ func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 		faces = r.st.FacesFor(c)
 	}
 	if len(faces) == 0 {
-		return nil
+		return
 	}
 	// Zero-copy fan-out: every out-face shares one shallow forwarding copy
 	// (the packet is immutable-after-send), so an N-face fan-out costs one
-	// Packet struct and one actions slice, never N payload copies.
+	// Packet struct, never N payload copies — and with the sink there is no
+	// intermediate actions slice either.
 	fwd := pkt.Forward()
-	out := make([]ndn.Action, 0, len(faces))
 	for _, f := range faces {
 		if f == from {
 			continue
 		}
-		out = append(out, ndn.Action{Face: f, Packet: fwd})
+		sink.Emit(ndn.Action{Face: f, Packet: fwd})
 		r.ctr.multicastOut.Inc()
 		r.record(now, obs.EvFanOut, f, pkt, "")
 		if pkt.SentAt != 0 && pkt.Origin != FlushOrigin && r.faces[f] == FaceClient {
@@ -760,7 +809,6 @@ func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 			}
 		}
 	}
-	return out
 }
 
 // handleSubscribe records subscriptions in the ST and propagates narrowed
@@ -770,19 +818,16 @@ func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet) []
 // as deeper(p, c) — the more specific of the two. Because the served prefix
 // population is prefix-free, every narrowed CD belongs to exactly one RP,
 // which is what makes per-RP tree maintenance (migration) unambiguous.
-func (r *Router) handleSubscribe(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleSubscribe(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.subscribesIn.Inc()
-	var out []ndn.Action
 	for _, c := range pkt.CDs {
 		r.st.Add(from, c)
-		out = append(out, r.propagateSubscription(from, c)...)
+		r.propagateSubscription(from, c, sink)
 	}
-	return out
 }
 
 // propagateSubscription sends narrowed Subscribe packets upstream for c.
-func (r *Router) propagateSubscription(from ndn.FaceID, c cd.CD) []ndn.Action {
-	var out []ndn.Action
+func (r *Router) propagateSubscription(from ndn.FaceID, c cd.CD, sink ndn.ActionSink) {
 	for _, rpName := range r.rpt.IntersectingRPs(c) {
 		if r.IsRP(rpName) {
 			continue // the tree roots here
@@ -806,20 +851,18 @@ func (r *Router) propagateSubscription(from ndn.FaceID, c cd.CD) []ndn.Action {
 				r.propagated[rpName] = prop
 			}
 			prop.Add(d)
-			out = append(out, ndn.Action{Face: upFace, Packet: &wire.Packet{
+			sink.Emit(ndn.Action{Face: upFace, Packet: &wire.Packet{
 				Type: wire.TypeSubscribe,
 				CDs:  []cd.CD{d},
 			}})
 		}
 	}
-	return out
 }
 
 // handleUnsubscribe removes subscriptions and withdraws upstream state that
 // no remaining subscriber needs.
-func (r *Router) handleUnsubscribe(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleUnsubscribe(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.unsubscribesIn.Inc()
-	var out []ndn.Action
 	for _, c := range pkt.CDs {
 		if !r.st.Remove(from, c) {
 			continue
@@ -834,33 +877,32 @@ func (r *Router) handleUnsubscribe(now time.Time, from ndn.FaceID, pkt *wire.Pac
 					continue
 				}
 				d := deeper(p, c)
-				out = append(out, r.withdrawIfUnneeded(rpName, d)...)
+				r.withdrawIfUnneeded(rpName, d, sink)
 			}
 		}
 	}
-	return out
 }
 
 // withdrawIfUnneeded sends an Unsubscribe for narrowed CD d toward rpName if
 // no face still needs it, and re-propagates any finer subscriptions that the
 // withdrawn one was covering.
-func (r *Router) withdrawIfUnneeded(rpName string, d cd.CD) []ndn.Action {
+func (r *Router) withdrawIfUnneeded(rpName string, d cd.CD, sink ndn.ActionSink) {
 	prop := r.propagated[rpName]
 	if prop == nil || !prop.Contains(d) {
-		return nil
+		return
 	}
 	if r.anySubscriberNeeds(d) {
-		return nil
+		return
 	}
 	prop.Remove(d)
 	upFace, ok := r.upstreamFaceFor(rpName)
 	if !ok {
-		return nil
+		return
 	}
-	out := []ndn.Action{{Face: upFace, Packet: &wire.Packet{
+	sink.Emit(ndn.Action{Face: upFace, Packet: &wire.Packet{
 		Type: wire.TypeUnsubscribe,
 		CDs:  []cd.CD{d},
-	}}}
+	}})
 	// Finer subscriptions previously covered by d must be re-propagated.
 	for _, remaining := range r.st.AllCDs() {
 		info, _ := r.rpt.Get(rpName)
@@ -876,13 +918,12 @@ func (r *Router) withdrawIfUnneeded(rpName string, d cd.CD) []ndn.Action {
 				continue
 			}
 			prop.Add(finer)
-			out = append(out, ndn.Action{Face: upFace, Packet: &wire.Packet{
+			sink.Emit(ndn.Action{Face: upFace, Packet: &wire.Packet{
 				Type: wire.TypeSubscribe,
 				CDs:  []cd.CD{finer},
 			}})
 		}
 	}
-	return out
 }
 
 // anySubscriberNeeds reports whether any ST entry still requires delivery of
@@ -915,28 +956,29 @@ func (r *Router) upstreamFaceFor(rpName string) (ndn.FaceID, bool) {
 // add/remove packets to directly deal with maintaining the FIB"). Either
 // way the route toward the origin is learned from the arrival face (first
 // arrival approximates the shortest path) and the flood continues.
-func (r *Router) handleAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+func (r *Router) handleAnnouncement(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	r.ctr.announcementsIn.Inc()
 	if pkt.Seq <= r.announceSeq[pkt.Name] {
-		return nil // duplicate or stale flood
+		return // duplicate or stale flood
 	}
 	if len(pkt.CDs) == 0 {
 		// Pure prefix announcement: FIB only, no RP state.
 		r.announceSeq[pkt.Name] = pkt.Seq
 		r.ndnEngine.FIB().RemovePrefix(pkt.Name)
 		r.ndnEngine.FIB().Add(pkt.Name, from)
-		return r.floodExcept(from, pkt.Forward())
+		r.floodExcept(from, pkt.Forward(), sink)
+		return
 	}
 	if err := r.rpt.Set(pkt.Name, pkt.CDs, pkt.Seq); err != nil {
 		r.drop(now, from, pkt, "conflicting RP announcement")
-		return nil
+		return
 	}
 	r.announceSeq[pkt.Name] = pkt.Seq
 	r.ndnEngine.FIB().RemovePrefix(pkt.Name)
 	r.ndnEngine.FIB().Add(pkt.Name, from)
 	r.upstream[pkt.Name] = from
-	out := r.drainPendingJoins(now, pkt.Name)
-	return append(out, r.floodExcept(from, pkt.Forward())...)
+	r.drainPendingJoins(now, pkt.Name, sink)
+	r.floodExcept(from, pkt.Forward(), sink)
 }
 
 // deeper returns the more specific of two intersecting CDs.

@@ -64,7 +64,7 @@ func ParseSnippet(pkt *wire.Packet) (contentName string, ok bool) {
 // deliverTwoStep is the RP-side second half of two-step delivery: stash the
 // full payload in the Content Store under a unique name and multicast only
 // the snippet.
-func (r *Router) deliverTwoStep(now time.Time, rpName string, inner *wire.Packet) []ndn.Action {
+func (r *Router) deliverTwoStep(now time.Time, rpName string, inner *wire.Packet, sink ndn.ActionSink) {
 	name := TwoStepContentName(rpName, inner.Origin, inner.Seq)
 	r.ndnEngine.Store().Put(name, inner.Payload, now)
 	// COW shallow copy: the snippet reuses the inner packet's metadata but
@@ -74,7 +74,7 @@ func (r *Router) deliverTwoStep(now time.Time, rpName string, inner *wire.Packet
 	snippet.Name = ""
 	snippet.Payload = []byte(snippetMarker + name)
 	r.ctr.rpDeliveries.Inc()
-	return r.distribute(now, -1, snippet)
+	r.distribute(now, -1, snippet, sink)
 }
 
 // PublishMode selects the COPSS delivery model for a publication.

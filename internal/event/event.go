@@ -57,6 +57,15 @@ func (s *Scheduler) Now() time.Time { return s.now }
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
+// NextAt peeks at the earliest queued event time; ok is false when the queue
+// is empty. The sharded scheduler uses it to bound conservative windows.
+func (s *Scheduler) NextAt() (at time.Time, ok bool) {
+	if len(s.heap) == 0 {
+		return time.Time{}, false
+	}
+	return s.heap[0].at, true
+}
+
 // Processed returns the number of events executed so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
 

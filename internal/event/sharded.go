@@ -1,0 +1,429 @@
+package event
+
+import (
+	"sync"
+	"time"
+)
+
+// ShardedScheduler is a conservative parallel discrete-event executor in the
+// classic lookahead style: hosts partition their stations (testbed nodes)
+// across shards, and the scheduler alternates between
+//
+//   - global phases — ordinary Handler events (timers, injections, recurring
+//     ticks) run single-threaded, exactly like the sequential Scheduler, and
+//   - node windows — every shard executes its queued node events with
+//     at < E concurrently, where the window end E = min(tn+W, tg) is bounded
+//     by the earliest pending node event tn plus the lookahead W (the minimum
+//     link latency) and the earliest pending global event tg.
+//
+// The lookahead invariant makes this safe: a node event executing at time t
+// may only post node events at t+W or later, so nothing posted during a
+// window can land inside it, and the set of events a window executes is fixed
+// at its barrier. Cross-shard posts are staged in per-(src,dst) mailboxes
+// owned by the posting shard (no locks) and drained at the next barrier.
+//
+// Determinism does not depend on the worker count: node events are totally
+// ordered by (at, key) with caller-chosen canonical keys (the testbed uses
+// linkID<<32|perLinkSeq), window boundaries are computed from heap minima
+// that do not depend on the partition, and at a timestamp tie between a
+// global event and a node event the global event runs first. Workers ∈
+// {1,2,...} therefore execute the same events in the same per-station order
+// and produce identical traces; workers==1 runs the same windowed loop
+// inline without goroutines.
+//
+// With a non-positive lookahead there is no safe window and RunUntil falls
+// back to a strictly sequential merge of the global and shard queues.
+type ShardedScheduler struct {
+	global    *Scheduler
+	shards    []*shard
+	lookahead time.Duration
+	now       time.Time
+
+	parallel bool // true only while a node window is executing
+
+	nodeProcessed uint64
+	windows       uint64
+	windowStalls  uint64
+}
+
+// shard is one worker's event queue plus its outbound mailboxes.
+type shard struct {
+	heap []nodeEvent // value min-heap ordered by (at, key)
+	mail [][]nodeEvent
+
+	processed  uint64
+	crossPosts uint64
+	maxDepth   int
+}
+
+// nodeEvent is one station-local event. key is a caller-chosen canonical
+// tie-breaker: it must be unique per (at, key) pair and must not depend on
+// the worker count (the testbed derives it from per-link sequence numbers).
+type nodeEvent struct {
+	at   time.Time
+	key  uint64
+	call CallHandler
+	pl   Payload
+}
+
+func (a *nodeEvent) less(b *nodeEvent) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.key < b.key
+}
+
+// NewSharded creates a sharded scheduler with the given worker (= shard)
+// count, starting virtual time at origin. workers < 1 is clamped to 1.
+func NewSharded(origin time.Time, workers int) *ShardedScheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &ShardedScheduler{
+		global: NewScheduler(origin),
+		shards: make([]*shard, workers),
+		now:    origin,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{mail: make([][]nodeEvent, workers)}
+	}
+	return s
+}
+
+// SetLookahead sets the conservative window width W: the minimum delay
+// between a node event executing and any node event it may post. Hosts set
+// it to their minimum link latency before running. W <= 0 disables node
+// windows entirely (sequential fallback).
+func (s *ShardedScheduler) SetLookahead(w time.Duration) { s.lookahead = w }
+
+// Lookahead returns the configured window width.
+func (s *ShardedScheduler) Lookahead() time.Duration { return s.lookahead }
+
+// Workers returns the shard count.
+func (s *ShardedScheduler) Workers() int { return len(s.shards) }
+
+// Now returns the current virtual time.
+func (s *ShardedScheduler) Now() time.Time {
+	if g := s.global.Now(); g.After(s.now) {
+		return g
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events across the global queue, the
+// shard heaps and the mailboxes.
+func (s *ShardedScheduler) Pending() int {
+	n := s.global.Pending()
+	for _, sh := range s.shards {
+		n += len(sh.heap)
+		for _, box := range sh.mail {
+			n += len(box)
+		}
+	}
+	return n
+}
+
+// Processed returns the number of events executed so far.
+func (s *ShardedScheduler) Processed() uint64 {
+	return s.global.Processed() + s.nodeProcessed
+}
+
+// Windows returns the number of node windows executed.
+func (s *ShardedScheduler) Windows() uint64 { return s.windows }
+
+// WindowStalls returns the number of windows in which at least one shard had
+// no work — the load-imbalance gauge.
+func (s *ShardedScheduler) WindowStalls() uint64 { return s.windowStalls }
+
+// CrossShardPosts returns the total number of node events routed through
+// mailboxes (posted by one shard for another during a window).
+func (s *ShardedScheduler) CrossShardPosts() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.crossPosts
+	}
+	return n
+}
+
+// QueueHighWater returns the deepest queue shard i reached.
+func (s *ShardedScheduler) QueueHighWater(i int) int { return s.shards[i].maxDepth }
+
+// At schedules a global event. Global events run single-threaded between
+// node windows; they must only be scheduled before Run or from other global
+// events, never from node events executing inside a window.
+func (s *ShardedScheduler) At(at time.Time, fn Handler) { s.global.At(at, fn) }
+
+// AtCall schedules a global pre-bound event (see Scheduler.AtCall).
+func (s *ShardedScheduler) AtCall(at time.Time, fn CallHandler, pl Payload) {
+	s.global.AtCall(at, fn, pl)
+}
+
+// After schedules a global event after a delay from the current time.
+func (s *ShardedScheduler) After(d time.Duration, fn Handler) { s.At(s.Now().Add(d), fn) }
+
+// PostNode schedules a node event on shard dst with canonical tie-break key.
+// src is the posting shard (the shard whose event is executing); use src ==
+// dst or any value outside a window. During a window a cross-shard post is
+// staged in the src shard's mailbox and becomes visible at the next barrier —
+// the lookahead invariant guarantees it cannot be due before then.
+func (s *ShardedScheduler) PostNode(src, dst int, at time.Time, key uint64, call CallHandler, pl Payload) {
+	ev := nodeEvent{at: at, key: key, call: call, pl: pl}
+	if s.parallel && src != dst {
+		sh := s.shards[src]
+		sh.mail[dst] = append(sh.mail[dst], ev)
+		sh.crossPosts++
+		return
+	}
+	if ev.at.Before(s.now) {
+		ev.at = s.now
+	}
+	s.shards[dst].push(ev)
+}
+
+func (sh *shard) push(ev nodeEvent) {
+	sh.heap = append(sh.heap, ev)
+	if len(sh.heap) > sh.maxDepth {
+		sh.maxDepth = len(sh.heap)
+	}
+	h := sh.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (sh *shard) pop() nodeEvent {
+	h := sh.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nodeEvent{}
+	sh.heap = h[:last]
+	h = sh.heap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].less(&h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && h[r].less(&h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// runShard executes shard i's events with at < end, in (at, key) order.
+// Events the shard posts to itself inside the window are picked up by the
+// same loop; cross-shard posts go to mailboxes.
+func (s *ShardedScheduler) runShard(i int, end time.Time) int {
+	sh := s.shards[i]
+	n := 0
+	for len(sh.heap) > 0 && sh.heap[0].at.Before(end) {
+		ev := sh.pop()
+		ev.call(ev.at, ev.pl)
+		n++
+	}
+	sh.processed += uint64(n)
+	return n
+}
+
+// drainMail moves every staged cross-shard event into its destination heap.
+// Called at barriers only (single-threaded).
+func (s *ShardedScheduler) drainMail() {
+	for _, sh := range s.shards {
+		for d, box := range sh.mail {
+			for _, ev := range box {
+				s.shards[d].push(ev)
+			}
+			sh.mail[d] = box[:0]
+		}
+	}
+}
+
+// minNodeAt returns the earliest node event time across all shards.
+func (s *ShardedScheduler) minNodeAt() (time.Time, bool) {
+	var best time.Time
+	ok := false
+	for _, sh := range s.shards {
+		if len(sh.heap) == 0 {
+			continue
+		}
+		if !ok || sh.heap[0].at.Before(best) {
+			best = sh.heap[0].at
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// minNodeShard returns the shard holding the globally earliest (at, key)
+// node event, for the sequential fallback.
+func (s *ShardedScheduler) minNodeShard() (int, bool) {
+	best := -1
+	for i, sh := range s.shards {
+		if len(sh.heap) == 0 {
+			continue
+		}
+		if best < 0 || sh.heap[0].less(&s.shards[best].heap[0]) {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// RunUntil executes events with time ≤ deadline; later events stay queued.
+// It returns the number executed.
+//
+// A single shard takes the sequential merge even when a lookahead is set:
+// window bookkeeping buys nothing without parallelism, and both loops
+// execute the same canonical (time, global-first, key) order — the
+// determinism suite compares one against the other directly.
+func (s *ShardedScheduler) RunUntil(deadline time.Time) uint64 {
+	var n uint64
+	if s.lookahead <= 0 || len(s.shards) == 1 {
+		n = s.runSequential(deadline)
+	} else {
+		n = s.runWindowed(deadline)
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return n
+}
+
+// runWindowed is the conservative parallel loop. Workers are spawned per
+// call and torn down on return; with a single shard the window body runs
+// inline on the calling goroutine.
+func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
+	var (
+		n      uint64
+		starts []chan time.Time
+		done   chan int
+		wg     sync.WaitGroup
+	)
+	nw := len(s.shards)
+	if nw > 1 {
+		starts = make([]chan time.Time, nw)
+		done = make(chan int, nw)
+		for i := range starts {
+			starts[i] = make(chan time.Time)
+			wg.Add(1)
+			go func(i int, c chan time.Time) {
+				defer wg.Done()
+				for end := range c {
+					done <- s.runShard(i, end)
+				}
+			}(i, starts[i])
+		}
+		defer func() {
+			for _, c := range starts {
+				close(c)
+			}
+			wg.Wait()
+		}()
+	}
+	for {
+		tg, okg := s.global.NextAt()
+		tn, okn := s.minNodeAt()
+		// Global events run first at ties, single-threaded.
+		if okg && (!okn || !tg.After(tn)) {
+			if tg.After(deadline) {
+				return n
+			}
+			n += s.global.RunUntil(tg)
+			if g := s.global.Now(); g.After(s.now) {
+				s.now = g
+			}
+			continue
+		}
+		if !okn || tn.After(deadline) {
+			return n
+		}
+		end := tn.Add(s.lookahead)
+		if okg && tg.Before(end) {
+			end = tg
+		}
+		if dl := deadline.Add(time.Nanosecond); dl.Before(end) {
+			end = dl
+		}
+		s.windows++
+		stalled := false
+		if nw == 1 {
+			k := s.runShard(0, end)
+			s.nodeProcessed += uint64(k)
+			n += uint64(k)
+		} else {
+			s.parallel = true
+			for _, c := range starts {
+				c <- end
+			}
+			for i := 0; i < nw; i++ {
+				k := <-done
+				if k == 0 {
+					stalled = true
+				}
+				s.nodeProcessed += uint64(k)
+				n += uint64(k)
+			}
+			s.parallel = false
+			s.drainMail()
+		}
+		if stalled {
+			s.windowStalls++
+		}
+		if end.After(s.now) {
+			s.now = end
+		}
+		if s.now.After(deadline) {
+			s.now = deadline
+		}
+	}
+}
+
+// runSequential merges the global queue and every shard heap into one
+// strictly ordered execution — the W <= 0 fallback. Global events win
+// timestamp ties, matching the windowed loop.
+func (s *ShardedScheduler) runSequential(deadline time.Time) uint64 {
+	var n uint64
+	for {
+		tg, okg := s.global.NextAt()
+		i, okn := s.minNodeShard()
+		if okg && (!okn || !tg.After(s.shards[i].heap[0].at)) {
+			if tg.After(deadline) {
+				return n
+			}
+			n += s.global.RunUntil(tg)
+			if g := s.global.Now(); g.After(s.now) {
+				s.now = g
+			}
+			continue
+		}
+		if !okn {
+			return n
+		}
+		sh := s.shards[i]
+		if sh.heap[0].at.After(deadline) {
+			return n
+		}
+		ev := sh.pop()
+		sh.processed++
+		s.nodeProcessed++
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		ev.call(ev.at, ev.pl)
+		n++
+	}
+}

@@ -25,6 +25,11 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the number of scheduler shards the testbed experiments
+	// (Fig. 4) run on. 0 or 1 selects sequential execution; any value
+	// produces bit-identical results, so Workers is intentionally not part
+	// of the Provenance replay line.
+	Workers int
 }
 
 // DefaultOptions runs at 5% scale — large enough for every effect in the

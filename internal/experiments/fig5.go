@@ -39,7 +39,7 @@ func Fig5(w *Workbench) (*Fig5Result, error) {
 	costs := sim.PaperCosts()
 
 	run := func(name string, cfg sim.GCOPSSConfig) (*Fig5Series, error) {
-		r, err := sim.RunGCOPSS(w.Env, updates, cfg)
+		r, err := sim.Replay(w.Env, updates, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig5 %s: %w", name, err)
 		}

@@ -41,14 +41,14 @@ func Fig6(w *Workbench) (*Fig6Result, error) {
 		if err := w.Env.RestrictPlayers(mask); err != nil {
 			return nil, err
 		}
-		gc, err := sim.RunGCOPSS(w.Env, ups, sim.GCOPSSConfig{
+		gc, err := sim.Replay(w.Env, ups, sim.GCOPSSConfig{
 			RPs:   sim.DefaultRPPlacement(w.Env, 3),
 			Costs: costs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig6 gcopss %d players: %w", players, err)
 		}
-		srv, err := sim.RunIPServer(w.Env, ups, sim.ServerConfig{
+		srv, err := sim.Replay(w.Env, ups, sim.ServerConfig{
 			Servers: sim.DefaultServerPlacement(w.Env, 3),
 			Costs:   costs,
 		})

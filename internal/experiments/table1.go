@@ -34,7 +34,7 @@ func Table1(w *Workbench) (*Table1Result, error) {
 	costs := sim.PaperCosts()
 
 	for _, n := range []int{1, 2, 3, 4, 5} {
-		r, err := sim.RunGCOPSS(w.Env, updates, sim.GCOPSSConfig{
+		r, err := sim.Replay(w.Env, updates, sim.GCOPSSConfig{
 			RPs:   sim.DefaultRPPlacement(w.Env, n),
 			Costs: costs,
 		})
@@ -47,7 +47,7 @@ func Table1(w *Workbench) (*Table1Result, error) {
 		})
 		if n == 2 {
 			// The Auto row starts from 1 RP and lets the balancer split.
-			auto, err := sim.RunGCOPSS(w.Env, updates, sim.GCOPSSConfig{
+			auto, err := sim.Replay(w.Env, updates, sim.GCOPSSConfig{
 				RPs:   sim.DefaultRPPlacement(w.Env, 1),
 				Costs: costs,
 				Balance: &sim.AutoBalance{
@@ -70,7 +70,7 @@ func Table1(w *Workbench) (*Table1Result, error) {
 		}
 	}
 	for _, n := range []int{1, 2, 3, 4, 5} {
-		r, err := sim.RunIPServer(w.Env, updates, sim.ServerConfig{
+		r, err := sim.Replay(w.Env, updates, sim.ServerConfig{
 			Servers: sim.DefaultServerPlacement(w.Env, n),
 			Costs:   costs,
 		})

@@ -31,29 +31,23 @@ func Table2(w *Workbench) (*Table2Result, error) {
 	costs := sim.PaperCosts()
 	res := &Table2Result{Provenance: w.Opts.provenance(), Updates: len(updates)}
 
-	srv, err := sim.RunIPServer(w.Env, updates, sim.ServerConfig{
-		Servers: sim.DefaultServerPlacement(w.Env, 6),
-		Costs:   costs,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table2 server: %w", err)
+	// One heterogeneous runner list — the sim.Runner interface is what lets
+	// the three architectures share a single replay loop here.
+	systems := []struct {
+		kind   string
+		runner sim.Runner
+	}{
+		{"IP Server", sim.ServerConfig{Servers: sim.DefaultServerPlacement(w.Env, 6), Costs: costs}},
+		{"G-COPSS", sim.GCOPSSConfig{RPs: sim.DefaultRPPlacement(w.Env, 6), Costs: costs}},
+		{"hybrid-G-COPSS", sim.HybridConfig{Groups: 6, Costs: costs}},
 	}
-	res.Rows = append(res.Rows, Table2Row{Kind: "IP Server", LatencyMs: srv.Latency.Mean(), LoadGB: srv.Bytes / 1e9})
-
-	gc, err := sim.RunGCOPSS(w.Env, updates, sim.GCOPSSConfig{
-		RPs:   sim.DefaultRPPlacement(w.Env, 6),
-		Costs: costs,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table2 gcopss: %w", err)
+	for _, s := range systems {
+		r, err := sim.Replay(w.Env, updates, s.runner)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s: %w", s.runner.Name(), err)
+		}
+		res.Rows = append(res.Rows, Table2Row{Kind: s.kind, LatencyMs: r.Latency.Mean(), LoadGB: r.Bytes / 1e9})
 	}
-	res.Rows = append(res.Rows, Table2Row{Kind: "G-COPSS", LatencyMs: gc.Latency.Mean(), LoadGB: gc.Bytes / 1e9})
-
-	hy, err := sim.RunHybrid(w.Env, updates, sim.HybridConfig{Groups: 6, Costs: costs})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table2 hybrid: %w", err)
-	}
-	res.Rows = append(res.Rows, Table2Row{Kind: "hybrid-G-COPSS", LatencyMs: hy.Latency.Mean(), LoadGB: hy.Bytes / 1e9})
 	return res, nil
 }
 

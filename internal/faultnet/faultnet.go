@@ -32,21 +32,32 @@ type Stats struct {
 }
 
 // Injector applies a fault Spec to packets crossing links. It is safe for
-// concurrent use (the TCP daemon calls it from its event loop and timers);
-// determinism across runs comes from per-link rand streams, so decisions on
-// one link do not depend on traffic interleaving across links.
+// concurrent use (the TCP daemon calls it from its event loop and timers,
+// and the sharded testbed from its worker shards); determinism across runs
+// comes from per-link rand streams, so decisions on one link do not depend
+// on traffic interleaving across links.
 type Injector struct {
 	mu    sync.Mutex
 	spec  *Spec
 	seed  int64
 	epoch time.Time
-	links map[string]*rand.Rand
+	links map[string]*linkState
 
 	stats Stats
-	trace uint64 // running FNV-1a over (link, type, verdict)
 
 	dropped, dupped, delayed, reordered *obs.Counter
 	flight                              *obs.Flight
+}
+
+// linkState carries one directed link's independent decision stream: its
+// seeded rand source and a running FNV-1a digest of its verdicts. Keeping
+// the digest per link (combined commutatively in TraceHash) makes the trace
+// hash a function of each link's own decision sequence, not of the global
+// interleaving of calls across links — so a sharded run that decides links
+// in a different cross-link order still hashes identically.
+type linkState struct {
+	rnd  *rand.Rand
+	hash uint64
 }
 
 // New creates an injector for the spec. The same (spec, seed) pair always
@@ -58,8 +69,7 @@ func New(spec *Spec, seed int64) *Injector {
 	in := &Injector{
 		spec:  spec,
 		seed:  seed,
-		links: make(map[string]*rand.Rand),
-		trace: 14695981039346656037, // FNV-1a offset basis
+		links: make(map[string]*linkState),
 	}
 	// Counters are always live; Instrument rebinds them to a host registry.
 	in.Instrument(obs.NewRegistry())
@@ -102,25 +112,38 @@ func (in *Injector) Stats() Stats {
 
 // TraceHash digests every (link, packet type, verdict) decision made so far;
 // two runs with the same seed and workload must produce equal hashes — the
-// chaos suite's "same seed, same packet trace" check.
+// chaos suite's "same seed, same packet trace" check. Per-link digests are
+// combined with XOR, which is commutative: the hash depends only on each
+// link's own decision sequence, never on the order links were touched
+// relative to each other, so sequential and sharded executions of the same
+// workload agree.
 func (in *Injector) TraceHash() uint64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.trace
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, s := range in.links {
+		h ^= s.hash
+	}
+	return h
 }
 
-// linkRand returns the (locked) per-link rand stream. Seeding each link from
+// link returns the (locked) per-link state. Seeding each link's rand from
 // seed^hash(link) keeps one link's stream independent of every other link's
-// traffic volume.
-func (in *Injector) linkRand(link string) *rand.Rand {
-	if r, ok := in.links[link]; ok {
-		return r
+// traffic volume; the same name hash salts the link's trace digest so two
+// links with identical verdict sequences contribute distinct digests.
+func (in *Injector) link(name string) *linkState {
+	if s, ok := in.links[name]; ok {
+		return s
 	}
 	h := fnv.New64a()
-	h.Write([]byte(link)) //nolint:errcheck // fnv never fails
-	r := rand.New(rand.NewSource(in.seed ^ int64(h.Sum64())))
-	in.links[link] = r
-	return r
+	h.Write([]byte(name)) //nolint:errcheck // fnv never fails
+	lh := h.Sum64()
+	s := &linkState{
+		rnd:  rand.New(rand.NewSource(in.seed ^ int64(lh))),
+		hash: 14695981039346656037 ^ lh,
+	}
+	in.links[name] = s
+	return s
 }
 
 // Decide inspects one packet about to cross the directed link and returns
@@ -153,7 +176,7 @@ func (in *Injector) Decide(now time.Time, link string, pkt *wire.Packet) Verdict
 			return v
 		}
 	}
-	r := in.linkRand(link)
+	r := in.link(link).rnd
 	if rule.Loss > 0 && r.Float64() < rule.Loss {
 		v = Verdict{Drop: true, Reason: "loss"}
 		in.note(now, link, pkt, "loss")
@@ -204,13 +227,13 @@ func (in *Injector) note(now time.Time, link string, pkt *wire.Packet, reason st
 	})
 }
 
-// mix folds one decision into the trace hash. Caller holds the lock.
+// mix folds one decision into the link's own trace digest. Caller holds the
+// lock. The link name itself is baked into the digest's initial value (see
+// link), so only the per-decision fields are folded here.
 func (in *Injector) mix(link string, t wire.Type, v Verdict) {
 	const prime = 1099511628211
-	h := in.trace
-	for i := 0; i < len(link); i++ {
-		h = (h ^ uint64(link[i])) * prime
-	}
+	s := in.link(link)
+	h := s.hash
 	h = (h ^ uint64(t)) * prime
 	var bits uint64
 	if v.Drop {
@@ -221,5 +244,5 @@ func (in *Injector) mix(link string, t wire.Type, v Verdict) {
 	}
 	h = (h ^ bits) * prime
 	h = (h ^ uint64(v.Delay)) * prime
-	in.trace = h
+	s.hash = h
 }

@@ -148,81 +148,103 @@ func (e *Engine) Stats() Stats {
 }
 
 // HandleInterest processes an Interest arriving on face from at time now.
+// It is the slice-returning wrapper over HandleInterestTo, kept at the
+// public seam for hosts that still collect actions.
+func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+	var sink SliceSink
+	e.HandleInterestTo(now, from, pkt, &sink)
+	return sink.Actions
+}
+
+// HandleInterestTo processes an Interest arriving on face from at time now,
+// emitting forwarding decisions into sink.
 //
 //   - Content-store hit: return the Data to the requesting face.
 //   - PIT aggregation: a pending Interest for the same name suppresses
 //     forwarding.
 //   - Otherwise: forward along the FIB's longest-prefix match, excluding the
 //     arrival face.
-func (e *Engine) HandleInterest(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+func (e *Engine) HandleInterestTo(now time.Time, from FaceID, pkt *wire.Packet, sink ActionSink) {
 	e.ctr.interestsReceived.Inc()
 	if payload, ok := e.store.Get(pkt.Name, now); ok {
 		e.ctr.cacheHits.Inc()
 		data := &wire.Packet{Type: wire.TypeData, Name: pkt.Name, Payload: payload, SentAt: pkt.SentAt}
-		return []Action{{Face: from, Packet: data}}
+		sink.Emit(Action{Face: from, Packet: data})
+		return
 	}
 	if !e.pit.Insert(pkt.Name, from, now, e.interestLifetime) {
 		e.ctr.interestsAggregated.Inc()
-		return nil
+		return
 	}
 	faces, _, ok := e.fib.Lookup(pkt.Name)
 	if !ok {
 		e.ctr.fibMisses.Inc()
 		e.ctr.interestsDropped.Inc()
-		return nil
+		return
 	}
 	e.ctr.fibHits.Inc()
 	// One shared shallow forwarding copy for all out-faces (packets are
 	// immutable-after-send; see wire.Packet.Forward).
 	fwd := pkt.Forward()
-	var actions []Action
+	sent := 0
 	for _, f := range faces {
 		if f == from {
 			continue
 		}
-		actions = append(actions, Action{Face: f, Packet: fwd})
+		sink.Emit(Action{Face: f, Packet: fwd})
+		sent++
 	}
-	if len(actions) == 0 {
+	if sent == 0 {
 		e.ctr.interestsDropped.Inc()
 	} else {
 		e.ctr.interestsForwarded.Inc()
 	}
-	return actions
 }
 
-// HandleData processes a Data packet: it caches the content and follows the
-// PIT bread crumbs back toward all requesters. Unsolicited Data (no PIT
-// entry) is dropped per NDN semantics.
+// HandleData is the slice-returning wrapper over HandleDataTo.
 func (e *Engine) HandleData(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+	var sink SliceSink
+	e.HandleDataTo(now, from, pkt, &sink)
+	return sink.Actions
+}
+
+// HandleDataTo processes a Data packet: it caches the content and follows
+// the PIT bread crumbs back toward all requesters. Unsolicited Data (no PIT
+// entry) is dropped per NDN semantics.
+func (e *Engine) HandleDataTo(now time.Time, from FaceID, pkt *wire.Packet, sink ActionSink) {
 	e.ctr.dataReceived.Inc()
 	faces := e.pit.Consume(pkt.Name, now)
 	if len(faces) == 0 {
 		e.ctr.dataUnsolicited.Inc()
-		return nil
+		return
 	}
 	e.store.Put(pkt.Name, pkt.Payload, now)
 	fwd := pkt.Forward()
-	actions := make([]Action, 0, len(faces))
 	for _, f := range faces {
 		if f == from {
 			continue
 		}
-		actions = append(actions, Action{Face: f, Packet: fwd})
+		sink.Emit(Action{Face: f, Packet: fwd})
 		e.ctr.dataForwarded.Inc()
 	}
-	return actions
 }
 
 // Handle dispatches an NDN packet by type; non-NDN packets are ignored with
-// a nil action list (the caller's COPSS layer owns them).
+// a nil action list (the caller's COPSS layer owns them). Slice-returning
+// wrapper over HandleTo.
 func (e *Engine) Handle(now time.Time, from FaceID, pkt *wire.Packet) []Action {
+	var sink SliceSink
+	e.HandleTo(now, from, pkt, &sink)
+	return sink.Actions
+}
+
+// HandleTo dispatches an NDN packet by type into sink.
+func (e *Engine) HandleTo(now time.Time, from FaceID, pkt *wire.Packet, sink ActionSink) {
 	switch pkt.Type {
 	case wire.TypeInterest:
-		return e.HandleInterest(now, from, pkt)
+		e.HandleInterestTo(now, from, pkt, sink)
 	case wire.TypeData:
-		return e.HandleData(now, from, pkt)
-	default:
-		return nil
+		e.HandleDataTo(now, from, pkt, sink)
 	}
 }
 

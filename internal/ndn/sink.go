@@ -1,0 +1,54 @@
+package ndn
+
+// ActionSink receives forwarding decisions as they are made. The emission
+// API of the stack is push-based: packet handlers emit each (face, packet)
+// action into a sink instead of building and returning a slice, which frees
+// hosts to stream actions straight onto the wire (or into a per-shard
+// mailbox) without an intermediate allocation per hop.
+//
+// Ownership rules (see DESIGN.md §12):
+//
+//   - An Action passed to Emit is transferred to the sink. The emitter must
+//     not retain the Action value, nor mutate the packet it points to,
+//     afterwards — sinks may buffer the action and apply it at any later
+//     time. This is the sink-aliasing corollary of the immutable-after-send
+//     packet discipline, and the gcopsslint sharedpkt analyzer enforces it.
+//   - Emit is synchronous and non-blocking from the emitter's point of view;
+//     a sink must not call back into the emitter.
+//   - Sinks are not safe for concurrent use unless documented otherwise;
+//     each shard of a parallel host owns its own sink.
+type ActionSink interface {
+	Emit(a Action)
+}
+
+// SliceSink is the slice-backed ActionSink: it simply collects emitted
+// actions in order. It is the bridge between the push-based handlers and
+// the legacy []Action seam — the thin slice-returning wrappers on Router
+// and Engine drain one of these.
+type SliceSink struct {
+	Actions []Action
+}
+
+// Emit appends the action.
+func (s *SliceSink) Emit(a Action) { s.Actions = append(s.Actions, a) }
+
+// Reset empties the sink, keeping the backing array for reuse.
+func (s *SliceSink) Reset() { s.Actions = s.Actions[:0] }
+
+// Len returns the number of collected actions.
+func (s *SliceSink) Len() int { return len(s.Actions) }
+
+// Take returns the collected actions and detaches them from the sink, so
+// the caller owns the slice and the sink can be reused.
+func (s *SliceSink) Take() []Action {
+	out := s.Actions
+	s.Actions = nil
+	return out
+}
+
+// FuncSink adapts a function to the ActionSink interface, for hosts that
+// apply each action immediately (e.g. writing to a socket per emission).
+type FuncSink func(a Action)
+
+// Emit calls the function.
+func (f FuncSink) Emit(a Action) { f(a) }

@@ -107,14 +107,39 @@ type rpState struct {
 	updates  uint64
 }
 
-// RunGCOPSS replays updates through the G-COPSS data path: publisher → edge
-// → covering RP (FIFO queue, 3.3 ms service) → core-based multicast tree →
-// subscribers.
-func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, error) {
+// Name implements Runner.
+func (cfg GCOPSSConfig) Name() string { return "gcopss" }
+
+// Validate implements Runner: the RP set must be non-empty, every RP must
+// serve at least one prefix, the union of serving sets must be prefix-free,
+// and the RP service time must be positive (it divides queue-depth math).
+func (cfg GCOPSSConfig) Validate() error {
 	if len(cfg.RPs) == 0 {
-		return nil, fmt.Errorf("sim: no RPs configured")
+		return fmt.Errorf("no RPs configured")
 	}
 	var all []cd.CD
+	for i, p := range cfg.RPs {
+		if len(p.Prefixes) == 0 {
+			return fmt.Errorf("RP %d serves no prefixes", i)
+		}
+		all = append(all, p.Prefixes...)
+	}
+	if err := cd.PrefixFree(all); err != nil {
+		return fmt.Errorf("RP serving sets: %w", err)
+	}
+	if cfg.Costs.RPServiceMs <= 0 {
+		return fmt.Errorf("RP service time %v ms must be positive", cfg.Costs.RPServiceMs)
+	}
+	return nil
+}
+
+// Run implements Runner: replay updates through the G-COPSS data path —
+// publisher → edge → covering RP (FIFO queue, 3.3 ms service) → core-based
+// multicast tree → subscribers.
+func (cfg GCOPSSConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
+	if err := precheck(env, cfg); err != nil {
+		return nil, err
+	}
 	rps := make([]*rpState, len(cfg.RPs))
 	window := core.DefaultLoadWindow
 	if cfg.Balance != nil && cfg.Balance.Window > 0 {
@@ -127,10 +152,6 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 			monitor:  core.NewLoadMonitor(window),
 			name:     fmt.Sprintf("/rp%d", i+1),
 		}
-		all = append(all, p.Prefixes...)
-	}
-	if err := cd.PrefixFree(all); err != nil {
-		return nil, fmt.Errorf("sim: RP serving sets: %w", err)
 	}
 
 	var rnd *rand.Rand
@@ -287,6 +308,12 @@ func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, err
 		res.RPQueues = append(res.RPQueues, st)
 	}
 	return res, nil
+}
+
+// RunGCOPSS is a convenience wrapper over GCOPSSConfig.Run kept for
+// call-site readability; prefer the Runner interface in new drivers.
+func RunGCOPSS(env *Env, updates []trace.Update, cfg GCOPSSConfig) (*Result, error) {
+	return cfg.Run(env, updates)
 }
 
 // subtract removes the moved prefixes from a serving set.

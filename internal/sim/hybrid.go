@@ -22,15 +22,26 @@ type HybridConfig struct {
 	Costs  Costs
 }
 
-// RunHybrid replays updates through hybrid-G-COPSS. Publications travel a
-// source-rooted IP multicast tree spanning every edge router with group
-// members — no RP detour and no RP queue, which is why hybrid achieves the
-// best update latency — but the group carries a superset of the CD's
+// Name implements Runner.
+func (cfg HybridConfig) Name() string { return "hybrid" }
+
+// Validate implements Runner: at least one IP multicast group is required.
+func (cfg HybridConfig) Validate() error {
+	if cfg.Groups < 1 {
+		return fmt.Errorf("needs at least 1 multicast group")
+	}
+	return nil
+}
+
+// Run implements Runner: replay updates through hybrid-G-COPSS. Publications
+// travel a source-rooted IP multicast tree spanning every edge router with
+// group members — no RP detour and no RP queue, which is why hybrid achieves
+// the best update latency — but the group carries a superset of the CD's
 // subscribers, so unwanted packets consume extra network load that edge
 // routers filter out.
-func RunHybrid(env *Env, updates []trace.Update, cfg HybridConfig) (*Result, error) {
-	if cfg.Groups < 1 {
-		return nil, fmt.Errorf("sim: hybrid needs at least 1 group")
+func (cfg HybridConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
+	if err := precheck(env, cfg); err != nil {
+		return nil, err
 	}
 
 	// Map every leaf CD to a group via its high-level (level-1) prefix.
@@ -148,4 +159,10 @@ func RunHybrid(env *Env, updates []trace.Update, cfg HybridConfig) (*Result, err
 		}
 	}
 	return res, nil
+}
+
+// RunHybrid is a convenience wrapper over HybridConfig.Run kept for
+// call-site readability; prefer the Runner interface in new drivers.
+func RunHybrid(env *Env, updates []trace.Update, cfg HybridConfig) (*Result, error) {
+	return cfg.Run(env, updates)
 }

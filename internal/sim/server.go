@@ -18,10 +18,25 @@ type ServerConfig struct {
 	Costs   Costs
 }
 
-// RunIPServer replays updates through the server baseline.
-func RunIPServer(env *Env, updates []trace.Update, cfg ServerConfig) (*Result, error) {
+// Name implements Runner.
+func (cfg ServerConfig) Name() string { return "ipserver" }
+
+// Validate implements Runner: the server set must be non-empty and the base
+// service time positive (it divides queue-depth math).
+func (cfg ServerConfig) Validate() error {
 	if len(cfg.Servers) == 0 {
-		return nil, fmt.Errorf("sim: no servers configured")
+		return fmt.Errorf("no servers configured")
+	}
+	if cfg.Costs.ServerServiceMs <= 0 {
+		return fmt.Errorf("server service time %v ms must be positive", cfg.Costs.ServerServiceMs)
+	}
+	return nil
+}
+
+// Run implements Runner: replay updates through the server baseline.
+func (cfg ServerConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
+	if err := precheck(env, cfg); err != nil {
+		return nil, err
 	}
 	lastDepart := make([]float64, len(cfg.Servers))
 	pl := newPlanner(env, cfg.Costs)
@@ -116,6 +131,12 @@ func RunIPServer(env *Env, updates []trace.Update, cfg ServerConfig) (*Result, e
 	}
 	res.FinalRPs = len(cfg.Servers)
 	return res, nil
+}
+
+// RunIPServer is a convenience wrapper over ServerConfig.Run kept for
+// call-site readability; prefer the Runner interface in new drivers.
+func RunIPServer(env *Env, updates []trace.Update, cfg ServerConfig) (*Result, error) {
+	return cfg.Run(env, updates)
 }
 
 // DefaultServerPlacement puts n servers on the first n core routers, the

@@ -43,13 +43,11 @@ func newBrokerScenario(t *testing.T) *brokerScenario {
 	tb.Schedule(tb.Now().Add(time.Millisecond), func(now time.Time) { tb.Emit(now, "R1", actions) })
 
 	// Broker serving zone /1/1 and region airspace /1/, attached to R4.
-	b := broker.New("broker1", []cd.CD{cd.MustParse("/1/1"), cd.MustParse("/1/")}, 0.95)
-	tb.AddNode("broker1", func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-		var out []ndn.Action
+	b := broker.New("broker1", []cd.CD{cd.MustParse("/1/1"), cd.MustParse("/1/")}, broker.WithDecay(0.95))
+	tb.AddNode("broker1", func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 		for _, p := range b.HandlePacket(pkt) {
-			out = append(out, ndn.Action{Face: 0, Packet: p})
+			sink.Emit(ndn.Action{Face: 0, Packet: p})
 		}
-		return out
 	}, func(*wire.Packet) time.Duration { return 200 * time.Microsecond }, 50*time.Microsecond)
 	bFace, err := rn.attachClient("R4", "broker1", core.FaceClient, s.LinkDelay)
 	if err != nil {
@@ -97,12 +95,10 @@ func newBrokerScenario(t *testing.T) *brokerScenario {
 func (sc *brokerScenario) addEndpoint(t *testing.T, name, router string,
 	handler func(now time.Time, pkt *wire.Packet) []*wire.Packet) func(now time.Time, pkts ...*wire.Packet) {
 	t.Helper()
-	sc.tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-		var out []ndn.Action
+	sc.tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 		for _, p := range handler(now, pkt) {
-			out = append(out, ndn.Action{Face: 0, Packet: p})
+			sink.Emit(ndn.Action{Face: 0, Packet: p})
 		}
-		return out
 	}, func(*wire.Packet) time.Duration { return 20 * time.Microsecond }, 0)
 	if _, err := sc.rn.attachClient(router, name, core.FaceClient, sc.setup.LinkDelay); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 	"time"
@@ -23,6 +24,11 @@ import (
 // so the assertions are exact: the reliability layer must make migration
 // loss-free and fetches terminating no matter what happens to control
 // packets.
+
+// chaosWorkers selects the scheduler shard count the chaos suite runs under
+// (go test ./internal/testbed -workers 4). Every worker count must reproduce
+// the identical fault trace and outcomes.
+var chaosWorkers = flag.Int("workers", 1, "scheduler worker shards for the chaos suite")
 
 // chaosStage names when the R3-R6 partition window opens relative to the
 // handoff instant (t=250ms of virtual time).
@@ -59,13 +65,17 @@ func chaosSpec(loss float64, reorder bool, stage string) string {
 }
 
 func runChaosCell(t *testing.T, loss float64, reorder bool, stage string, seed int64) chaosResult {
+	return runChaosCellWorkers(t, loss, reorder, stage, seed, *chaosWorkers)
+}
+
+func runChaosCellWorkers(t *testing.T, loss float64, reorder bool, stage string, seed int64, workers int) chaosResult {
 	t.Helper()
 	s, err := PaperSetup()
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.LinkDelay = 100 * time.Microsecond
-	tb := New()
+	tb := New(WithWorkers(workers))
 	// A short PIT lifetime lets retried Interests re-forward instead of
 	// aggregating onto a pending entry whose downstream copy was lost.
 	rn, err := buildRouterNet(tb, s,
@@ -115,11 +125,10 @@ func runChaosCell(t *testing.T, loss float64, reorder bool, stage string, seed i
 		name := fmt.Sprintf("s%d", i)
 		state := &rx{seqs: map[uint64]int{}}
 		subs[name] = state
-		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, _ ndn.ActionSink) {
 			if pkt.Type == wire.TypeMulticast && pkt.Origin != core.FlushOrigin {
 				state.seqs[pkt.Seq]++
 			}
-			return nil
 		}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 		if _, err := rn.attachClient(router, name, core.FaceClient, s.LinkDelay); err != nil {
 			t.Fatal(err)
@@ -130,7 +139,7 @@ func runChaosCell(t *testing.T, loss float64, reorder bool, stage string, seed i
 			}}})
 		})
 	}
-	tb.AddNode("p", func(time.Time, ndn.FaceID, *wire.Packet) []ndn.Action { return nil },
+	tb.AddNode("p", func(time.Time, ndn.FaceID, *wire.Packet, ndn.ActionSink) {},
 		func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 	if _, err := rn.attachClient("R5", "p", core.FaceClient, s.LinkDelay); err != nil {
 		t.Fatal(err)
@@ -140,28 +149,29 @@ func runChaosCell(t *testing.T, loss float64, reorder bool, stage string, seed i
 	// same faulted network while the migration churns.
 	leaf := cd.MustParse("/3/1")
 	objects := []string{"o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7"}
-	tb.AddNode("bk", func(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	tb.AddNode("bk", func(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 		if pkt.Type != wire.TypeInterest {
-			return nil
+			return
 		}
 		if pkt.Name == broker.ManifestName(leaf) {
 			var manifest []byte
 			for _, id := range objects {
 				manifest = append(manifest, []byte(id+":10\n")...)
 			}
-			return []ndn.Action{{Face: from, Packet: &wire.Packet{
+			sink.Emit(ndn.Action{Face: from, Packet: &wire.Packet{
 				Type: wire.TypeData, Name: pkt.Name, Payload: manifest,
-			}}}
+			}})
+			return
 		}
 		for _, id := range objects {
 			if pkt.Name == broker.ObjectName(leaf, id) {
-				return []ndn.Action{{Face: from, Packet: &wire.Packet{
+				sink.Emit(ndn.Action{Face: from, Packet: &wire.Packet{
 					Type: wire.TypeData, Name: pkt.Name,
 					Payload: []byte(fmt.Sprintf("obj:%s:1:", id)),
-				}}}
+				}})
+				return
 			}
 		}
-		return nil
 	}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 	if _, err := rn.attachClient("R4", "bk", core.FaceClient, s.LinkDelay); err != nil {
 		t.Fatal(err)
@@ -180,13 +190,11 @@ func runChaosCell(t *testing.T, loss float64, reorder bool, stage string, seed i
 		}
 		tb.Emit(now, "fx", out)
 	}
-	tb.AddNode("fx", func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	tb.AddNode("fx", func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 		out, _ := fetch.HandleDataAt(now, pkt)
-		var actions []ndn.Action
 		for _, p := range out {
-			actions = append(actions, ndn.Action{Face: 0, Packet: p})
+			sink.Emit(ndn.Action{Face: 0, Packet: p})
 		}
-		return actions
 	}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 	if _, err := rn.attachClient("R2", "fx", core.FaceClient, s.LinkDelay); err != nil {
 		t.Fatal(err)

@@ -17,7 +17,7 @@ import (
 // position, and the trace's publish events flow through encapsulation, RP
 // multicast and the subscription tree.
 func RunGCOPSS(s *Setup) (*MicroResult, error) {
-	tb := New()
+	tb := New(WithWorkers(s.Workers))
 	res := &MicroResult{Latency: &stats.Sample{}}
 
 	rn, err := buildRouterNet(tb, s)
@@ -26,16 +26,18 @@ func RunGCOPSS(s *Setup) (*MicroResult, error) {
 	}
 
 	// Clients: record every received Multicast (excluding self-origin).
+	// Latencies accumulate per client — client nodes on different shards run
+	// concurrently — and merge in player order after the run.
 	attach := attachment(len(s.Trace.Players))
+	accs := make([]clientAcc, len(s.Trace.Players))
 	for pi := range s.Trace.Players {
-		pi := pi
 		name := clientName(pi)
-		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+		acc := &accs[pi]
+		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, _ ndn.ActionSink) {
 			if pkt.Type == wire.TypeMulticast && pkt.Origin != name && pkt.Origin != core.FlushOrigin {
-				res.Latency.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
-				res.Deliveries++
+				acc.lat.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
+				acc.deliveries++
 			}
-			return nil
 		}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 		if _, err := rn.attachClient(attach[pi], name, core.FaceClient, s.LinkDelay); err != nil {
 			return nil, err
@@ -93,6 +95,7 @@ func RunGCOPSS(s *Setup) (*MicroResult, error) {
 	if err := tb.Run(deadline, 0); err != nil {
 		return nil, err
 	}
+	mergeAccs(res, accs)
 	res.PacketEvents, res.Bytes = tb.Stats()
 	return res, nil
 }

@@ -22,7 +22,7 @@ func ipAddr(dest string) string { return "/ip/" + dest }
 // R1, players unicasting updates to the server, and the server unicasting a
 // copy to every interested player.
 func RunIPServer(s *Setup) (*MicroResult, error) {
-	tb := New()
+	tb := New(WithWorkers(s.Workers))
 	res := &MicroResult{Latency: &stats.Sample{}}
 
 	vis, err := visibilityIndex(s)
@@ -66,16 +66,17 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 		routes[n] = make(map[string]ndn.FaceID)
 	}
 
-	// Router handler: forward by destination address.
+	// Router handler: forward by destination address. routes is read-only
+	// once Run starts, so concurrent shards may share it.
 	for _, n := range names {
 		n := n
-		tb.AddNode(n, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+		tb.AddNode(n, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 			dest := strings.TrimPrefix(pkt.Name, "/ip/")
 			face, ok := routes[n][dest]
 			if !ok {
-				return nil
+				return
 			}
-			return []ndn.Action{{Face: face, Packet: pkt.Forward()}}
+			sink.Emit(ndn.Action{Face: face, Packet: pkt.Forward()})
 		}, func(*wire.Packet) time.Duration { return s.Costs.IPForward }, 0)
 	}
 	type edge struct{ a, b string }
@@ -96,13 +97,11 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 	// Server endpoint on R1: resolves recipients and unicasts copies. The
 	// per-recipient serialization cost is the node's per-copy surcharge.
 	const serverName = "server"
-	tb.AddNode(serverName, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+	tb.AddNode(serverName, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 		if len(pkt.CDs) != 1 {
-			return nil
+			return
 		}
-		recipients := vis[pkt.CDs[0].Key()]
-		out := make([]ndn.Action, 0, len(recipients))
-		for _, pi := range recipients {
+		for _, pi := range vis[pkt.CDs[0].Key()] {
 			if clientNames[pi] == pkt.Origin {
 				continue
 			}
@@ -110,9 +109,8 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 			// payload without duplicating it.
 			cp := *pkt
 			cp.Name = ipNames[pi]
-			out = append(out, ndn.Action{Face: 0, Packet: &cp})
+			sink.Emit(ndn.Action{Face: 0, Packet: &cp})
 		}
-		return out
 	}, func(*wire.Packet) time.Duration { return s.Costs.ServerBase }, s.Costs.ServerPerRecipient)
 	sf := alloc("R1")
 	if err := tb.Connect(serverName, 0, "R1", sf, s.LinkDelay); err != nil {
@@ -120,13 +118,15 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 	}
 	hosts[serverName] = hostPort{router: "R1", face: sf}
 
-	// Player endpoints.
+	// Player endpoints, accumulating deliveries per client (merged in player
+	// order after the run).
+	accs := make([]clientAcc, len(s.Trace.Players))
 	for pi := range s.Trace.Players {
 		name := clientName(pi)
-		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-			res.Latency.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
-			res.Deliveries++
-			return nil
+		acc := &accs[pi]
+		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, _ ndn.ActionSink) {
+			acc.lat.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
+			acc.deliveries++
 		}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 		rf := alloc(attach[pi])
 		if err := tb.Connect(name, 0, attach[pi], rf, s.LinkDelay); err != nil {
@@ -179,6 +179,7 @@ func RunIPServer(s *Setup) (*MicroResult, error) {
 	if err := tb.Run(deadline, 0); err != nil {
 		return nil, err
 	}
+	mergeAccs(res, accs)
 	res.PacketEvents, res.Bytes = tb.Stats()
 	return res, nil
 }

@@ -102,6 +102,10 @@ type ndnPlayer struct {
 	answered  map[int]uint64
 	expressed map[int]uint64
 	peers     []int
+
+	// Per-player delivery accumulation (merged in player order after the
+	// run; player nodes on different shards run concurrently).
+	acc clientAcc
 }
 
 // RunNDN executes the microbenchmark on the NDN query/response baseline:
@@ -109,7 +113,7 @@ type ndnPlayer struct {
 // refresh on PIT lifetime, and in-network caching/aggregation via the real
 // NDN engines in the routers.
 func RunNDN(s *Setup) (*MicroResult, error) {
-	tb := New()
+	tb := New(WithWorkers(s.Workers))
 	res := &MicroResult{Latency: &stats.Sample{}}
 
 	rn, err := buildRouterNet(tb, s)
@@ -176,46 +180,42 @@ func RunNDN(s *Setup) (*MicroResult, error) {
 	// (consumer).
 	for pi := 0; pi < nPlayers; pi++ {
 		p := players[pi]
-		handler := func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+		handler := func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 			switch pkt.Type {
 			case wire.TypeInterest:
 				peer, seq, ok := parseNDNName(pkt.Name)
 				if !ok || peer != p.idx {
-					return nil
+					return
 				}
 				if seq < p.nextAnswer {
 					// Stale query (the consumer lost our batch and caches
 					// have aged out): answer with an empty batch so the
 					// consumer advances.
-					return []ndn.Action{{Face: 0, Packet: &wire.Packet{
+					sink.Emit(ndn.Action{Face: 0, Packet: &wire.Packet{
 						Type: wire.TypeData,
 						Name: pkt.Name,
-					}}}
+					}})
+					return
 				}
 				p.pending[seq] = true
-				return nil
 			case wire.TypeData:
 				peer, seq, ok := parseNDNName(pkt.Name)
 				if !ok || peer < 0 || peer >= nPlayers || seq <= p.answered[peer] {
-					return nil
+					return
 				}
 				for _, rec := range decodeBatch(pkt.Payload) {
-					res.Latency.Add(float64(now.UnixNano()-rec.sentAt) / 1e6)
-					res.Deliveries++
+					p.acc.lat.Add(float64(now.UnixNano()-rec.sentAt) / 1e6)
+					p.acc.deliveries++
 				}
 				p.answered[peer] = seq
 				// Refill the pipeline.
-				var out []ndn.Action
 				for p.expressed[peer] < seq+uint64(s.NDN.PipelineWindow) {
 					p.expressed[peer]++
-					out = append(out, ndn.Action{Face: 0, Packet: &wire.Packet{
+					sink.Emit(ndn.Action{Face: 0, Packet: &wire.Packet{
 						Type: wire.TypeInterest,
 						Name: ndnName(peer, p.expressed[peer]),
 					}})
 				}
-				return out
-			default:
-				return nil
 			}
 		}
 		tb.AddNode(p.name, handler, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
@@ -322,6 +322,10 @@ func RunNDN(s *Setup) (*MicroResult, error) {
 
 	if err := tb.Run(end.Add(s.Drain), 0); err != nil {
 		return nil, err
+	}
+	for _, p := range players {
+		res.Latency.Merge(&p.acc.lat)
+		res.Deliveries += p.acc.deliveries
 	}
 	res.PacketEvents, res.Bytes = tb.Stats()
 	return res, nil

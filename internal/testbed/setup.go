@@ -29,6 +29,11 @@ type Setup struct {
 	// Drain is how long after the last publish the run keeps delivering.
 	Drain time.Duration
 
+	// Workers is the number of scheduler shards packet processing is
+	// partitioned across (0 or 1 = single-threaded). Results are identical
+	// at every worker count.
+	Workers int
+
 	// NDN configures the query/response baseline.
 	NDN NDNOptions
 }
@@ -114,6 +119,23 @@ type MicroResult struct {
 	Bytes        float64
 }
 
+// clientAcc accumulates one client's delivery observations. Client nodes on
+// different shards run concurrently, so each records into its own sample;
+// runs merge them in player order afterwards (mergeAccs), which keeps the
+// aggregate bit-identical at every worker count.
+type clientAcc struct {
+	lat        stats.Sample
+	deliveries int
+}
+
+// mergeAccs folds per-client accumulators into the result in player order.
+func mergeAccs(res *MicroResult, accs []clientAcc) {
+	for i := range accs {
+		res.Latency.Merge(&accs[i].lat)
+		res.Deliveries += accs[i].deliveries
+	}
+}
+
 // attachment maps players onto routers uniformly ("players are uniformly
 // distributed across the routers in the network").
 func attachment(playerCount int) []string {
@@ -172,7 +194,7 @@ func buildRouterNet(tb *Testbed, s *Setup, opts ...core.Option) (*routerNet, err
 		rn.routers[name] = r
 		rn.faceToward[name] = make(map[string]ndn.FaceID)
 		router := r
-		tb.AddNode(name, router.HandlePacket,
+		tb.AddNode(name, router.HandlePacketTo,
 			func(*wire.Packet) time.Duration { return s.Costs.RouterProc },
 			s.Costs.PerCopy)
 	}

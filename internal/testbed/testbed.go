@@ -11,15 +11,24 @@
 // exactly. Processing costs default to the CCNx-derived values the paper
 // measures (content-router processing ≈ 3.3 ms, IP forwarding two orders of
 // magnitude cheaper, server game-loop processing ≈ 6 ms).
+//
+// The testbed executes on event.ShardedScheduler: nodes are partitioned
+// round-robin across worker shards (WithWorkers), packet deliveries run in
+// conservative time windows bounded by the minimum link delay, and timers
+// (Schedule/Every/Inject/Emit) run single-threaded between windows. Node
+// event ordering is canonical — deliveries tie-break on (linkID, per-link
+// sequence) — so every worker count executes the identical packet trace.
 package testbed
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/event"
 	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -58,54 +67,106 @@ func PaperCosts() Costs {
 }
 
 // Handler is a node's packet handler: it runs at the packet's service-start
-// time and returns the packets to emit when service completes.
-type Handler func(now time.Time, from ndn.FaceID, pkt *wire.Packet) []ndn.Action
+// time and emits the packets to send into the sink; they leave the node when
+// service completes. The sink is only valid for the duration of the call
+// (see ndn.ActionSink for the ownership rules).
+type Handler func(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink)
 
 // ProcFunc returns the base service time for a packet at a node; the
 // per-copy surcharge is added by the testbed.
 type ProcFunc func(pkt *wire.Packet) time.Duration
 
+// link is one direction of a wire. id is assigned in Connect program order
+// and, with the per-link transmit sequence seq, forms the canonical delivery
+// tie-break key linkID<<32|seq — stable across worker counts because each
+// directed link is transmitted on only by its sender node's shard.
 type link struct {
-	to    string
-	face  ndn.FaceID
-	delay time.Duration
+	to      string
+	toShard int
+	face    ndn.FaceID
+	delay   time.Duration
+	id      uint32
+	seq     uint32
 }
 
 // nodeState is one single-threaded network element.
 type nodeState struct {
-	name      string
-	handle    Handler
-	proc      ProcFunc
-	perCopy   time.Duration
-	links     map[ndn.FaceID]link
+	name    string
+	shard   int
+	handle  Handler
+	proc    ProcFunc
+	perCopy time.Duration
+	links   map[ndn.FaceID]*link
+
+	// Below fields are touched only by the node's own shard during windows
+	// and by the single-threaded global phase between them.
 	busyUntil time.Time
 
 	// stats
-	processed uint64
-	maxQueue  time.Duration // worst queueing delay observed
+	processed    uint64
+	maxQueue     time.Duration // worst queueing delay observed
+	packetEvents uint64
+	bytes        float64 // integer-valued, so summation order cannot matter
+}
+
+// Option configures a Testbed at construction.
+type Option func(*Testbed)
+
+// WithWorkers partitions nodes across n worker shards; packet deliveries in
+// disjoint shards execute concurrently. n <= 1 runs the same windowed loop
+// inline. Every worker count produces the identical packet trace.
+func WithWorkers(n int) Option {
+	return func(tb *Testbed) { tb.workers = n }
+}
+
+// WithFaults installs a fault injector on every link (see SetFaults).
+func WithFaults(in *faultnet.Injector) Option {
+	return func(tb *Testbed) { tb.faults = in }
+}
+
+// WithObs attaches a metrics registry; Run exports per-shard queue depth,
+// window-stall and cross-shard-traffic gauges on it.
+func WithObs(reg *obs.Registry) Option {
+	return func(tb *Testbed) { tb.reg = reg }
 }
 
 // Testbed wires nodes and runs the discrete-event loop.
 type Testbed struct {
-	sched  *event.Scheduler
-	nodes  map[string]*nodeState
-	faults *faultnet.Injector
+	sched   *event.ShardedScheduler
+	workers int
+	nodes   map[string]*nodeState
+	order   []string // node names in AddNode order (shard assignment)
+	faults  *faultnet.Injector
+	reg     *obs.Registry
 
-	// deliver is the pre-bound receive callback for AtCall events: binding
-	// the method value once here means transmit schedules deliveries without
+	nextLinkID uint32
+	minDelay   time.Duration
+	hasLink    bool
+
+	// deliver is the pre-bound receive callback for node events: binding the
+	// method value once here means transmit schedules deliveries without
 	// allocating a closure per packet.
 	deliver event.CallHandler
 
-	packetEvents uint64
-	bytes        float64
+	// scratch is the per-shard action sink handlers emit into; each shard
+	// owns exactly one, so windows never share them.
+	scratch []ndn.SliceSink
 }
 
 // New creates an empty testbed starting at virtual time zero.
-func New() *Testbed {
+func New(opts ...Option) *Testbed {
 	tb := &Testbed{
-		sched: event.NewScheduler(time.Unix(0, 0)),
-		nodes: make(map[string]*nodeState),
+		workers: 1,
+		nodes:   make(map[string]*nodeState),
 	}
+	for _, o := range opts {
+		o(tb)
+	}
+	if tb.workers < 1 {
+		tb.workers = 1
+	}
+	tb.sched = event.NewSharded(time.Unix(0, 0), tb.workers)
+	tb.scratch = make([]ndn.SliceSink, tb.workers)
 	tb.deliver = func(now time.Time, pl event.Payload) {
 		tb.receive(now, pl.Str, ndn.FaceID(pl.Int), pl.Ptr.(*wire.Packet))
 	}
@@ -114,6 +175,9 @@ func New() *Testbed {
 
 // Now returns the current virtual time.
 func (tb *Testbed) Now() time.Time { return tb.sched.Now() }
+
+// Workers returns the worker shard count.
+func (tb *Testbed) Workers() int { return tb.workers }
 
 // SetFaults installs a fault injector on every link: each transmitted packet
 // consults it and may be dropped, duplicated, delayed or reordered. Link
@@ -138,7 +202,7 @@ func (tb *Testbed) Every(start time.Time, interval time.Duration, fn func(now ti
 // transmit puts one packet on the wire from node n's face-link l at time at,
 // applying link faults. It is the single choke point shared by the service
 // path (receive) and the timer path (Emit).
-func (tb *Testbed) transmit(n *nodeState, l link, at time.Time, pkt *wire.Packet) {
+func (tb *Testbed) transmit(n *nodeState, l *link, at time.Time, pkt *wire.Packet) {
 	copies := 1
 	if tb.faults != nil {
 		v := tb.faults.Decide(at, n.name+">"+l.to, pkt)
@@ -150,26 +214,33 @@ func (tb *Testbed) transmit(n *nodeState, l link, at time.Time, pkt *wire.Packet
 		}
 		at = at.Add(v.Delay)
 	}
-	tb.bytes += float64(wire.Size(pkt))
+	n.bytes += float64(wire.Size(pkt))
 	pl := event.Payload{Str: l.to, Int: int64(l.face), Ptr: pkt}
 	for i := 0; i < copies; i++ {
-		tb.sched.AtCall(at.Add(l.delay), tb.deliver, pl)
+		key := uint64(l.id)<<32 | uint64(l.seq)
+		l.seq++
+		tb.sched.PostNode(n.shard, l.toShard, at.Add(l.delay), key, tb.deliver, pl)
 	}
 }
 
 // AddNode registers a node with its handler and processing-cost function.
+// Nodes are assigned to worker shards round-robin in registration order.
 func (tb *Testbed) AddNode(name string, handle Handler, proc ProcFunc, perCopy time.Duration) {
 	tb.nodes[name] = &nodeState{
 		name:    name,
+		shard:   len(tb.order) % tb.workers,
 		handle:  handle,
 		proc:    proc,
 		perCopy: perCopy,
-		links:   make(map[ndn.FaceID]link),
+		links:   make(map[ndn.FaceID]*link),
 	}
+	tb.order = append(tb.order, name)
 }
 
 // Connect wires face fa of node a to face fb of node b with the given
-// propagation delay (both directions).
+// propagation delay (both directions). Directed link IDs are assigned in
+// call order, so topology construction order fixes the canonical delivery
+// ordering for every worker count.
 func (tb *Testbed) Connect(a string, fa ndn.FaceID, b string, fb ndn.FaceID, delay time.Duration) error {
 	na, ok := tb.nodes[a]
 	if !ok {
@@ -185,8 +256,14 @@ func (tb *Testbed) Connect(a string, fa ndn.FaceID, b string, fb ndn.FaceID, del
 	if _, busy := nb.links[fb]; busy {
 		return fmt.Errorf("testbed: %s face %d already wired", b, fb)
 	}
-	na.links[fa] = link{to: b, face: fb, delay: delay}
-	nb.links[fb] = link{to: a, face: fa, delay: delay}
+	tb.nextLinkID++
+	na.links[fa] = &link{to: b, toShard: nb.shard, face: fb, delay: delay, id: tb.nextLinkID}
+	tb.nextLinkID++
+	nb.links[fb] = &link{to: a, toShard: na.shard, face: fa, delay: delay, id: tb.nextLinkID}
+	if !tb.hasLink || delay < tb.minDelay {
+		tb.minDelay = delay
+	}
+	tb.hasLink = true
 	return nil
 }
 
@@ -199,6 +276,9 @@ func (tb *Testbed) Inject(at time.Time, node string, face ndn.FaceID, pkt *wire.
 }
 
 // Schedule runs fn at the given absolute virtual time (for client timers).
+// Like all global events, fn runs single-threaded between node windows; it
+// must be scheduled before Run or from another global event, never from
+// inside a node Handler.
 func (tb *Testbed) Schedule(at time.Time, fn func(now time.Time)) {
 	tb.sched.At(at, fn)
 }
@@ -210,7 +290,7 @@ func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wir
 	if !ok {
 		return
 	}
-	tb.packetEvents++
+	n.packetEvents++
 	start := now
 	if n.busyUntil.After(start) {
 		if q := n.busyUntil.Sub(now); q > n.maxQueue {
@@ -218,7 +298,10 @@ func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wir
 		}
 		start = n.busyUntil
 	}
-	actions := n.handle(start, face, pkt)
+	sink := &tb.scratch[n.shard]
+	sink.Reset()
+	n.handle(start, face, pkt, sink)
+	actions := sink.Actions
 	service := n.proc(pkt)
 	if len(actions) > 1 {
 		service += time.Duration(len(actions)-1) * n.perCopy
@@ -233,10 +316,12 @@ func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wir
 		}
 		tb.transmit(n, l, finish, a.Packet)
 	}
+	sink.Reset()
 }
 
 // Emit sends packets from a node outside the service path (used by client
-// timers: publishing an update costs HostProc at the host).
+// timers: publishing an update costs HostProc at the host). Like Schedule,
+// it must only be called from global events or before Run.
 func (tb *Testbed) Emit(now time.Time, node string, actions []ndn.Action) {
 	n, ok := tb.nodes[node]
 	if !ok {
@@ -257,6 +342,9 @@ func (tb *Testbed) Run(deadline time.Time, maxEvents uint64) error {
 	if maxEvents == 0 {
 		maxEvents = 100_000_000
 	}
+	// The conservative window width is the minimum link latency: a packet
+	// handled at t cannot be delivered anywhere before t + minDelay.
+	tb.sched.SetLookahead(tb.minDelay)
 	for tb.sched.Pending() > 0 {
 		if tb.sched.Processed() > maxEvents {
 			return fmt.Errorf("testbed: event budget exhausted (%d)", maxEvents)
@@ -269,12 +357,33 @@ func (tb *Testbed) Run(deadline time.Time, maxEvents uint64) error {
 			break
 		}
 	}
+	tb.export()
 	return nil
+}
+
+// export publishes the parallel-execution gauges on the attached registry.
+func (tb *Testbed) export() {
+	if tb.reg == nil {
+		return
+	}
+	tb.reg.Gauge("testbed_workers").Set(int64(tb.workers))
+	tb.reg.Gauge("testbed_windows_total").Set(int64(tb.sched.Windows()))
+	tb.reg.Gauge("testbed_window_stalls_total").Set(int64(tb.sched.WindowStalls()))
+	tb.reg.Gauge("testbed_cross_shard_posts_total").Set(int64(tb.sched.CrossShardPosts()))
+	depth := tb.reg.GaugeVec("testbed_shard_queue_high_water", "shard")
+	for i := 0; i < tb.workers; i++ {
+		depth.With(strconv.Itoa(i)).Set(int64(tb.sched.QueueHighWater(i)))
+	}
 }
 
 // Stats returns aggregate counters.
 func (tb *Testbed) Stats() (packetEvents uint64, bytes float64) {
-	return tb.packetEvents, tb.bytes
+	for _, name := range tb.order {
+		n := tb.nodes[name]
+		packetEvents += n.packetEvents
+		bytes += n.bytes
+	}
+	return packetEvents, bytes
 }
 
 // NodeStats returns per-node processed counts and worst queueing delay.

@@ -11,9 +11,8 @@ import (
 func TestNodeFIFOQueueing(t *testing.T) {
 	tb := New()
 	var handled []time.Time
-	tb.AddNode("n", func(now time.Time, _ ndn.FaceID, _ *wire.Packet) []ndn.Action {
+	tb.AddNode("n", func(now time.Time, _ ndn.FaceID, _ *wire.Packet, _ ndn.ActionSink) {
 		handled = append(handled, now)
-		return nil
 	}, func(*wire.Packet) time.Duration { return 10 * time.Millisecond }, 0)
 
 	pkt := &wire.Packet{Type: wire.TypeInterest, Name: "/x"}
@@ -52,15 +51,12 @@ func TestLinkDelayAndPerCopy(t *testing.T) {
 	tb := New()
 	var received []time.Time
 	// a fans out two copies to b and c; per-copy surcharge 5ms.
-	tb.AddNode("a", func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
-		return []ndn.Action{
-			{Face: 1, Packet: pkt.Clone()},
-			{Face: 2, Packet: pkt.Clone()},
-		}
+	tb.AddNode("a", func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, out ndn.ActionSink) {
+		out.Emit(ndn.Action{Face: 1, Packet: pkt.Clone()})
+		out.Emit(ndn.Action{Face: 2, Packet: pkt.Clone()})
 	}, func(*wire.Packet) time.Duration { return 10 * time.Millisecond }, 5*time.Millisecond)
-	sink := func(now time.Time, _ ndn.FaceID, _ *wire.Packet) []ndn.Action {
+	sink := func(now time.Time, _ ndn.FaceID, _ *wire.Packet, _ ndn.ActionSink) {
 		received = append(received, now)
-		return nil
 	}
 	tb.AddNode("b", sink, func(*wire.Packet) time.Duration { return 0 }, 0)
 	tb.AddNode("c", sink, func(*wire.Packet) time.Duration { return 0 }, 0)

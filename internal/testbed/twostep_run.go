@@ -62,40 +62,39 @@ func runDeliveryMode(mode core.PublishMode, payload, subscribers int, wantFracti
 	}
 	tb.Schedule(tb.Now().Add(time.Millisecond), func(now time.Time) { tb.Emit(now, "R1", actions) })
 
-	latency := &stats.Sample{}
-	deliveries := 0
+	accs := make([]clientAcc, subscribers)
 	topic := cd.MustParse("/1/1")
 
 	for i := 0; i < subscribers; i++ {
-		i := i
 		name := fmt.Sprintf("sub%d", i)
 		wants := float64(i) < wantFraction*float64(subscribers)
 		pending := make(map[string]int64) // content name → publish time
-		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet) []ndn.Action {
+		acc := &accs[i]
+		tb.AddNode(name, func(now time.Time, _ ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 			if contentName, ok := core.ParseSnippet(pkt); ok {
 				if !wants {
-					return nil
+					return
 				}
 				pending[contentName] = pkt.SentAt
-				return []ndn.Action{{Face: 0, Packet: &wire.Packet{Type: wire.TypeInterest, Name: contentName}}}
+				sink.Emit(ndn.Action{Face: 0, Packet: &wire.Packet{Type: wire.TypeInterest, Name: contentName}})
+				return
 			}
 			switch pkt.Type {
 			case wire.TypeMulticast:
 				if pkt.Origin == core.FlushOrigin {
-					return nil
+					return
 				}
 				if wants { // one-step: everyone receives, the interested consume
-					latency.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
+					acc.lat.Add(float64(now.UnixNano()-pkt.SentAt) / 1e6)
 				}
-				deliveries++
+				acc.deliveries++
 			case wire.TypeData:
 				if sentAt, ok := pending[pkt.Name]; ok {
-					latency.Add(float64(now.UnixNano()-sentAt) / 1e6)
+					acc.lat.Add(float64(now.UnixNano()-sentAt) / 1e6)
 					delete(pending, pkt.Name)
-					deliveries++
+					acc.deliveries++
 				}
 			}
-			return nil
 		}, func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 		router := rn.names[1+i%(len(rn.names)-1)] // spread over R2..R6
 		if _, err := rn.attachClient(router, name, core.FaceClient, s.LinkDelay); err != nil {
@@ -108,7 +107,7 @@ func runDeliveryMode(mode core.PublishMode, payload, subscribers int, wantFracti
 		})
 	}
 
-	tb.AddNode("pub", func(time.Time, ndn.FaceID, *wire.Packet) []ndn.Action { return nil },
+	tb.AddNode("pub", func(time.Time, ndn.FaceID, *wire.Packet, ndn.ActionSink) {},
 		func(*wire.Packet) time.Duration { return s.Costs.HostProc }, 0)
 	if _, err := rn.attachClient("R4", "pub", core.FaceClient, s.LinkDelay); err != nil {
 		return nil, err
@@ -135,12 +134,14 @@ func runDeliveryMode(mode core.PublishMode, payload, subscribers int, wantFracti
 	if err := tb.Run(deadline, 0); err != nil {
 		return nil, err
 	}
+	res := &MicroResult{Latency: &stats.Sample{}}
+	mergeAccs(res, accs)
 	_, bytes := tb.Stats()
 	return &DeliveryModeResult{
 		Mode:          mode,
 		PayloadBytes:  payload,
-		MeanLatencyMs: latency.Mean(),
+		MeanLatencyMs: res.Latency.Mean(),
 		NetworkBytes:  bytes,
-		Deliveries:    deliveries,
+		Deliveries:    res.Deliveries,
 	}, nil
 }

@@ -37,7 +37,7 @@ func TestBrokerOverTCP(t *testing.T) {
 	time.Sleep(100 * time.Millisecond)
 
 	// Broker on R1 serving zone /1/1, running the gbroker logic inline.
-	b := broker.New("broker1", []cd.CD{cd.MustParse("/1/1")}, 0)
+	b := broker.New("broker1", []cd.CD{cd.MustParse("/1/1")})
 	bClient, err := NewClient("broker1", addr1)
 	if err != nil {
 		t.Fatal(err)
