@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench bench-diff cover ci
+.PHONY: all build vet lint lint-audit test race fuzz bench bench-diff cover ci
 
 all: build lint test
 
@@ -12,9 +12,14 @@ vet:
 
 # lint runs go vet plus the repo's own invariant checkers (cmd/gcopsslint):
 # clockfree, randinject, nopanic, cdctor, errcheckedfaces, obsnames,
-# sharedpkt.
+# sharedpkt, maporder, hotalloc, guardedby.
 lint: vet
 	$(GO) run ./cmd/gcopsslint ./...
+
+# lint-audit lists every //lint:allow waiver with its file:line, the waived
+# checkers and the stated reason, so accepted exceptions stay reviewable.
+lint-audit:
+	$(GO) run ./cmd/gcopsslint -audit ./...
 
 test:
 	$(GO) test ./...

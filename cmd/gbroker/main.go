@@ -39,6 +39,17 @@ func main() {
 	}
 }
 
+// brokerHost serializes access to the broker state machine, which is not
+// goroutine-safe: the cyclic ticker, the receive loop, the stats ticker and
+// the debug scraper all go through mu.
+type brokerHost struct {
+	mu sync.Mutex
+	// b is the broker state machine.
+	//
+	//gcopss:guardedby mu
+	b *broker.Broker
+}
+
 func run() error {
 	var (
 		name      = flag.String("name", "broker1", "broker name")
@@ -87,9 +98,11 @@ func run() error {
 	}
 
 	b := broker.New(*name, leaves, broker.WithDecay(*decay))
-	// The broker state machine is not goroutine-safe; the cyclic ticker, the
-	// receive loop and the debug scraper all go through this mutex.
-	var mu sync.Mutex
+	host := &brokerHost{b: b}
+	// The histogram is internally synchronized; capture it once here, before
+	// any goroutine starts, so the hot receive loop can observe latencies
+	// without taking the broker lock.
+	queryLat := b.QueryLatency()
 
 	client, err := transport.NewClient(*name, *router)
 	if err != nil {
@@ -110,7 +123,10 @@ func run() error {
 	// Subscriptions and the snapshot-prefix announcement are face state on
 	// the router; they must be re-issued after every (re)connect.
 	announce := func() error {
-		if err := client.Subscribe(b.SubscriptionCDs()...); err != nil {
+		host.mu.Lock()
+		subCDs := host.b.SubscriptionCDs()
+		host.mu.Unlock()
+		if err := client.Subscribe(subCDs...); err != nil {
 			return err
 		}
 		// Make the snapshot namespace routable network-wide.
@@ -123,9 +139,9 @@ func run() error {
 
 	if *debugAddr != "" {
 		mux := obs.NewDebugMux(func(w io.Writer) {
-			mu.Lock()
-			defer mu.Unlock()
-			b.Obs().WriteText(w)
+			host.mu.Lock()
+			defer host.mu.Unlock()
+			host.b.Obs().WriteText(w)
 		}, nil)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -145,9 +161,9 @@ func run() error {
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()
 		for range ticker.C {
-			mu.Lock()
-			outs := b.Tick()
-			mu.Unlock()
+			host.mu.Lock()
+			outs := host.b.Tick()
+			host.mu.Unlock()
 			for _, pkt := range outs {
 				if err := client.Send(pkt); err != nil {
 					return
@@ -161,10 +177,10 @@ func run() error {
 		ticker := time.NewTicker(10 * time.Second)
 		defer ticker.Stop()
 		for range ticker.C {
-			mu.Lock()
-			u, q, c := b.Stats()
-			sessions := b.ActiveSessions()
-			mu.Unlock()
+			host.mu.Lock()
+			u, q, c := host.b.Stats()
+			sessions := host.b.ActiveSessions()
+			host.mu.Unlock()
 			lg.Info("stats", "updates", u, "queries", q, "cycled", c, "sessions", fmt.Sprint(sessions))
 		}
 	}()
@@ -189,11 +205,11 @@ func run() error {
 		// broker itself is a pure state machine with no clock.
 		isQuery := pkt.Type == wire.TypeInterest
 		start := time.Now()
-		mu.Lock()
-		outs := b.HandlePacket(pkt)
-		mu.Unlock()
+		host.mu.Lock()
+		outs := host.b.HandlePacket(pkt)
+		host.mu.Unlock()
 		if isQuery {
-			b.QueryLatency().Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+			queryLat.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 		}
 		for _, out := range outs {
 			if err := client.Send(out); err != nil {

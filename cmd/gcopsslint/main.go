@@ -4,6 +4,8 @@
 //	gcopsslint ./...                  # everything, tests included
 //	gcopsslint -tests=false ./...     # production code only
 //	gcopsslint -checks nopanic,cdctor ./internal/wire
+//	gcopsslint -json ./...            # machine-readable diagnostics (CI artifact)
+//	gcopsslint -audit ./...           # list every //lint:allow waiver
 //
 // Checkers (see internal/analysis/* and DESIGN.md "Machine-checked
 // invariants"):
@@ -15,14 +17,24 @@
 //	errcheckedfaces  wire/transport errors must be handled
 //	obsnames         telemetry metric names are literal and well-formed
 //	sharedpkt        handler-received packets are immutable; mutate via COW copies
+//	maporder         map iteration order must not reach the event stream
+//	hotalloc         //gcopss:hotpath functions must not allocate (transitively)
+//	guardedby        //gcopss:guardedby fields only accessed with their mutex held
+//
+// Packages are analyzed in dependency order with a shared fact store, so the
+// interprocedural checkers (maporder, hotalloc, guardedby) see summaries of
+// every already-analyzed dependency.
 //
 // A finding is waived in place with `//lint:allow <checker> <reason>` on the
-// flagged line or the line above it.
+// flagged line or the line above it; for maporder/hotalloc/guardedby the
+// reason is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"sort"
 	"strings"
@@ -31,7 +43,10 @@ import (
 	"github.com/icn-gaming/gcopss/internal/analysis/cdctor"
 	"github.com/icn-gaming/gcopss/internal/analysis/clockfree"
 	"github.com/icn-gaming/gcopss/internal/analysis/errcheckedfaces"
+	"github.com/icn-gaming/gcopss/internal/analysis/guardedby"
+	"github.com/icn-gaming/gcopss/internal/analysis/hotalloc"
 	"github.com/icn-gaming/gcopss/internal/analysis/load"
+	"github.com/icn-gaming/gcopss/internal/analysis/maporder"
 	"github.com/icn-gaming/gcopss/internal/analysis/nopanic"
 	"github.com/icn-gaming/gcopss/internal/analysis/obsnames"
 	"github.com/icn-gaming/gcopss/internal/analysis/randinject"
@@ -46,16 +61,30 @@ var all = []*analysis.Analyzer{
 	errcheckedfaces.Analyzer,
 	obsnames.Analyzer,
 	sharedpkt.Analyzer,
+	maporder.Analyzer,
+	hotalloc.Analyzer,
+	guardedby.Analyzer,
 }
 
 func main() {
 	os.Exit(run())
 }
 
+// diagJSON is one finding in -json output.
+type diagJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run() int {
 	var (
-		tests  = flag.Bool("tests", true, "also lint test files")
-		checks = flag.String("checks", "", "comma-separated subset of checkers to run (default: all)")
+		tests    = flag.Bool("tests", true, "also lint test files")
+		checks   = flag.String("checks", "", "comma-separated subset of checkers to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		auditOut = flag.Bool("audit", false, "list every //lint:allow waiver with file:line and reason, then exit 0")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: gcopsslint [flags] [packages]\n\nflags:\n")
@@ -82,28 +111,108 @@ func run() int {
 		return 2
 	}
 
-	var lines []string
+	if *auditOut {
+		audit(pkgs)
+		return 0
+	}
+
+	// Packages arrive in dependency order from the loader; one shared fact
+	// store lets importing packages consume their dependencies' summaries.
+	facts := analysis.NewFactStore()
+	var diags []diagJSON
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			diags, err := analysis.RunUnit(a, pkg.Unit)
+			found, err := analysis.RunUnitFacts(a, pkg.Unit, facts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "gcopsslint:", err)
 				return 2
 			}
-			for _, d := range diags {
-				lines = append(lines, fmt.Sprintf("%s: %s (%s)", pkg.Unit.Fset.Position(d.Pos), d.Message, a.Name))
+			for _, d := range found {
+				pos := pkg.Unit.Fset.Position(d.Pos)
+				diags = append(diags, diagJSON{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
 			}
 		}
 	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Println(l)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []diagJSON{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "gcopsslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Analyzer)
+		}
 	}
-	if len(lines) > 0 {
-		fmt.Fprintf(os.Stderr, "gcopsslint: %d finding(s)\n", len(lines))
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gcopsslint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// audit prints every //lint:allow waiver in the loaded packages, with its
+// position, the waived checkers and the stated reason, so waived invariants
+// stay greppable and reviewable.
+func audit(pkgs []*load.Package) {
+	type waiver struct {
+		pos    token.Position
+		names  []string
+		reason string
+	}
+	var waivers []waiver
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Unit.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, reason, ok := analysis.ParseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					waivers = append(waivers, waiver{pkg.Unit.Fset.Position(c.Pos()), names, reason})
+				}
+			}
+		}
+	}
+	sort.Slice(waivers, func(i, j int) bool {
+		a, b := waivers[i], waivers[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		return a.pos.Line < b.pos.Line
+	})
+	for _, w := range waivers {
+		reason := w.reason
+		if reason == "" {
+			reason = "(no reason given)"
+		}
+		fmt.Printf("%s:%d: %s: %s\n", w.pos.Filename, w.pos.Line, strings.Join(w.names, ","), reason)
+	}
+	fmt.Fprintf(os.Stderr, "gcopsslint: %d waiver(s)\n", len(waivers))
 }
 
 func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {

@@ -36,7 +36,12 @@ import (
 
 // fetchMgr routes incoming Data packets to in-progress snapshot downloads.
 type fetchMgr struct {
-	mu      sync.Mutex
+	// mu serializes the stdin loop (begin), the receive loop (handleData)
+	// and the retry ticker (tick).
+	mu sync.Mutex
+	// fetches is the set of in-progress QR downloads.
+	//
+	//gcopss:guardedby mu
 	fetches []*broker.QRFetch
 	client  *transport.Client
 }

@@ -92,17 +92,46 @@ type delivery struct {
 type Network struct {
 	mu sync.Mutex
 
-	gameMap  *gamemap.Map
-	routers  map[string]*core.Router
-	wires    map[wireKey]wireDest
-	players  map[string]*Player
-	brokers  map[string]*brokerHost
+	// gameMap is immutable after New; reads need no lock.
+	gameMap *gamemap.Map
+
+	// routers maps router names to their cores.
+	//
+	//gcopss:guardedby mu
+	routers map[string]*core.Router
+	// wires maps (router, face) to the far end of the link.
+	//
+	//gcopss:guardedby mu
+	wires map[wireKey]wireDest
+	// players maps player names to their in-process endpoints.
+	//
+	//gcopss:guardedby mu
+	players map[string]*Player
+	// brokers maps broker names to their in-process hosts.
+	//
+	//gcopss:guardedby mu
+	brokers map[string]*brokerHost
+	// nextFace is the per-router face ID allocator.
+	//
+	//gcopss:guardedby mu
 	nextFace map[string]ndn.FaceID
 
-	rpSeq   uint64
-	queue   []delivery
+	// rpSeq numbers RP announcements.
+	//
+	//gcopss:guardedby mu
+	rpSeq uint64
+	// queue holds deliveries drained by the synchronous pump.
+	//
+	//gcopss:guardedby mu
+	queue []delivery
+	// dropped counts updates lost to full player channels.
+	//
+	//gcopss:guardedby mu
 	dropped uint64
-	closed  bool
+	// closed marks a shut-down fabric.
+	//
+	//gcopss:guardedby mu
+	closed bool
 }
 
 type brokerHost struct {
@@ -165,6 +194,9 @@ func (n *Network) Link(a, b string) error {
 	return nil
 }
 
+// allocFace hands out the next face ID on a router. Caller holds the lock.
+//
+//gcopss:locked mu
 func (n *Network) allocFace(router string) ndn.FaceID {
 	n.nextFace[router]++
 	return n.nextFace[router]
@@ -197,6 +229,8 @@ func (n *Network) StartRP(router, rpName string) error {
 }
 
 // enqueue resolves actions into deliveries. Caller holds the lock.
+//
+//gcopss:locked mu
 func (n *Network) enqueue(fromRouter string, actions []ndn.Action) {
 	for _, a := range actions {
 		dest, wired := n.wires[wireKey{fromRouter, a.Face}]
@@ -212,6 +246,8 @@ func (n *Network) enqueue(fromRouter string, actions []ndn.Action) {
 }
 
 // drain processes queued deliveries to quiescence. Caller holds the lock.
+//
+//gcopss:locked mu
 func (n *Network) drain() {
 	now := time.Now()
 	for len(n.queue) > 0 {
@@ -227,6 +263,8 @@ func (n *Network) drain() {
 
 // deliverEndpoint hands a packet to a player or broker. Caller holds the
 // lock.
+//
+//gcopss:locked mu
 func (n *Network) deliverEndpoint(dest wireDest, pkt *wire.Packet) {
 	switch dest.kind {
 	case endpointPlayer:
@@ -246,11 +284,15 @@ func (n *Network) deliverEndpoint(dest wireDest, pkt *wire.Packet) {
 
 // inject queues a packet as if sent by an endpoint attached at (router,
 // face). Caller holds the lock.
+//
+//gcopss:locked mu
 func (n *Network) inject(router string, face ndn.FaceID, pkt *wire.Packet) {
 	n.queue = append(n.queue, delivery{router: router, face: face, pkt: pkt})
 }
 
 // send injects and drains. Caller holds the lock.
+//
+//gcopss:locked mu
 func (n *Network) send(router string, face ndn.FaceID, pkts ...*wire.Packet) {
 	for _, p := range pkts {
 		n.inject(router, face, p)
@@ -303,6 +345,8 @@ func (n *Network) AttachBroker(router, name string, areaPaths ...string) error {
 
 // installSnapshotRoutes BFSes from the broker's router outward, pointing
 // every router's /snapshot route back along the tree. Caller holds the lock.
+//
+//gcopss:locked mu
 func (n *Network) installSnapshotRoutes(origin string, brokerFace ndn.FaceID) {
 	n.routers[origin].NDN().FIB().RemovePrefix(broker.SnapshotPrefix)
 	n.routers[origin].NDN().FIB().Add(broker.SnapshotPrefix, brokerFace)

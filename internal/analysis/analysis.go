@@ -13,9 +13,16 @@
 //
 //	//lint:allow <name>[,<name>...] [reason...]
 //
-// placed either on the flagged line or on the line directly above it. The
-// reason is free text; naming the analyzer is mandatory so grep can audit
-// every waived invariant.
+// placed either on the flagged line or on the line directly above it. A
+// comment on its own line also covers the line below it; a trailing comment
+// covers only the line it sits on. The reason is free text; naming the
+// analyzer is mandatory so grep can audit every waived invariant, and
+// analyzers with NeedsReason set turn a reason-less waiver into a diagnostic
+// of its own.
+//
+// Interprocedural checks use the FactStore (facts.go): the driver walks
+// packages in dependency order and analyzers export per-function summaries
+// that importing packages consume.
 package analysis
 
 import (
@@ -33,6 +40,10 @@ type Analyzer struct {
 	Name string
 	// Doc states the invariant the analyzer guards.
 	Doc string
+	// NeedsReason requires every //lint:allow waiver naming this analyzer
+	// to carry a free-text reason; a bare waiver is itself reported (and
+	// that report cannot be suppressed).
+	NeedsReason bool
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (interface{}, error)
 }
@@ -44,6 +55,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts is the cross-package fact store shared by the whole run, or nil
+	// when the driver analyzes packages in isolation (plain RunUnit).
+	Facts *FactStore
 
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
@@ -69,9 +84,18 @@ type Unit struct {
 	TypesInfo *types.Info
 }
 
-// RunUnit applies a to u and returns its diagnostics with //lint:allow
-// suppressions already filtered out, sorted by position.
+// RunUnit applies a to u in isolation (no fact store) and returns its
+// diagnostics with //lint:allow suppressions already filtered out, sorted by
+// position.
 func RunUnit(a *Analyzer, u *Unit) ([]Diagnostic, error) {
+	return RunUnitFacts(a, u, nil)
+}
+
+// RunUnitFacts applies a to u with a shared cross-package fact store (nil is
+// allowed and degrades to per-package analysis). Facts exported by earlier
+// units in the same store are visible through Pass.ImportFact; for the
+// contract to hold, callers must process units in dependency order.
+func RunUnitFacts(a *Analyzer, u *Unit, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -79,6 +103,7 @@ func RunUnit(a *Analyzer, u *Unit) ([]Diagnostic, error) {
 		Files:     u.Files,
 		Pkg:       u.Pkg,
 		TypesInfo: u.TypesInfo,
+		Facts:     facts,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {
@@ -93,6 +118,11 @@ func RunUnit(a *Analyzer, u *Unit) ([]Diagnostic, error) {
 		}
 		kept = append(kept, d)
 	}
+	// A reason-less waiver naming a NeedsReason analyzer is a finding of its
+	// own — appended after the suppression filter so it cannot waive itself.
+	if a.NeedsReason {
+		kept = append(kept, reasonlessAllows(u.Fset, u.Files, a.Name)...)
+	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
 	return kept, nil
 }
@@ -103,14 +133,17 @@ type posKey struct {
 }
 
 // allowedLines collects the lines on which diagnostics from the named
-// analyzer are suppressed: the line carrying a //lint:allow comment and the
-// line below it (so the comment can sit above the flagged statement).
+// analyzer are suppressed. A //lint:allow comment standing on its own line
+// covers that line and the line below it (so it can sit above the flagged
+// statement); a comment trailing code covers only its own line — otherwise a
+// trailing waiver would silently waive the next line too.
 func allowedLines(fset *token.FileSet, files []*ast.File, name string) map[posKey]bool {
 	out := map[posKey]bool{}
 	for _, f := range files {
+		var starts map[int]int // line -> earliest code column, built lazily
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, _, ok := ParseAllow(c.Text)
 				if !ok {
 					continue
 				}
@@ -123,35 +156,93 @@ func allowedLines(fset *token.FileSet, files []*ast.File, name string) map[posKe
 				if !match {
 					continue
 				}
-				line := fset.Position(c.Pos()).Line
-				file := fset.Position(c.Pos()).Filename
-				out[posKey{file, line}] = true
-				out[posKey{file, line + 1}] = true
+				pos := fset.Position(c.Pos())
+				out[posKey{pos.Filename, pos.Line}] = true
+				if starts == nil {
+					starts = codeColumns(fset, f)
+				}
+				if col, hasCode := starts[pos.Line]; hasCode && col < pos.Column {
+					continue // trailing comment: own line only
+				}
+				out[posKey{pos.Filename, pos.Line + 1}] = true
 			}
 		}
 	}
 	return out
 }
 
-// parseAllow extracts the analyzer names of a //lint:allow comment.
-func parseAllow(text string) ([]string, bool) {
+// codeColumns maps each line of f to the earliest column at which a
+// non-comment token starts, so allowedLines can tell a trailing comment
+// (code precedes it on the line) from one standing alone.
+func codeColumns(fset *token.FileSet, f *ast.File) map[int]int {
+	out := map[int]int{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if p := n.Pos(); p.IsValid() {
+			pos := fset.Position(p)
+			if cur, ok := out[pos.Line]; !ok || pos.Column < cur {
+				out[pos.Line] = pos.Column
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reasonlessAllows reports every //lint:allow comment that names the given
+// analyzer but carries no reason text.
+func reasonlessAllows(fset *token.FileSet, files []*ast.File, name string) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := ParseAllow(c.Text)
+				if !ok || reason != "" {
+					continue
+				}
+				for _, n := range names {
+					if n == name {
+						out = append(out, Diagnostic{
+							Pos:     c.Pos(),
+							Message: fmt.Sprintf("//lint:allow %s without a reason: state why the invariant is waived", name),
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ParseAllow extracts the analyzer names and the free-text reason of a
+// //lint:allow comment.
+func ParseAllow(text string) (names []string, reason string, ok bool) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimSpace(text)
-	if !strings.HasPrefix(text, "lint:allow") {
-		return nil, false
+	rest, found := strings.CutPrefix(text, "lint:allow")
+	// The marker must be the whole word: "lint:allowx" is not a waiver.
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "", false
 	}
-	rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+	rest = strings.TrimSpace(rest)
 	if rest == "" {
-		return nil, false
+		return nil, "", false
 	}
 	fields := strings.Fields(rest)
-	var names []string
 	for _, n := range strings.Split(fields[0], ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	return names, reason, true
 }
 
 // Inspect walks every file of the pass in depth-first order.

@@ -55,15 +55,21 @@ func TestData() string {
 
 // Run loads each testdata package, applies the analyzer, and reports any
 // mismatch between its diagnostics and the packages' want comments.
+//
+// All packages of one Run share a single analysis.FactStore and are analyzed
+// in the order given, mirroring the real driver's dependency-order contract:
+// list a testdata package before the packages that import it, and facts it
+// exports are visible to them.
 func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	ld := &testLoader{root: srcRoot, pkgs: map[string]*checked{}}
+	facts := analysis.NewFactStore()
 	for _, path := range pkgPaths {
 		cp, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("loading testdata package %s: %v", path, err)
 		}
-		diags, err := analysis.RunUnit(a, cp.unit)
+		diags, err := analysis.RunUnitFacts(a, cp.unit, facts)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}

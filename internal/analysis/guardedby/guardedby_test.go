@@ -1,0 +1,16 @@
+package guardedby
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestGuardedby(t *testing.T) {
+	// statelib is listed first so its field facts are visible when guarded
+	// (which imports it) is analyzed — the dependency-order contract.
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"statelib", // exports the Box.Val guard fact, no diagnostics of its own
+		"guarded",  // lock-first, escape hatches, violations, bad annotations
+	)
+}

@@ -1,0 +1,16 @@
+// Package statelib exists to exercise the cross-package fact path: it
+// exports a struct with a guarded field, and the guarded testdata package
+// accesses it. It is listed before guarded in the test so its field facts
+// are available (the dependency-order contract).
+package statelib
+
+import "sync"
+
+// Box is shared state with a published locking contract.
+type Box struct {
+	Mu sync.Mutex
+	// Val is the guarded payload.
+	//
+	//gcopss:guardedby Mu
+	Val int
+}

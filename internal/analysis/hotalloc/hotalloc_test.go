@@ -1,0 +1,16 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	// alloclib is listed first so its allocates-facts are visible when hot
+	// (which imports it) is analyzed — the dependency-order contract.
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"alloclib", // exports allocates-facts, no diagnostics of its own
+		"hot",      // every flagged construct plus the clean idioms
+	)
+}

@@ -1,0 +1,20 @@
+// Package alloclib exists to exercise the cross-package fact path: it
+// exports functions that allocate, and the hot testdata package calls them
+// from //gcopss:hotpath functions. It is listed before hot in the test so
+// its facts are available (the dependency-order contract).
+package alloclib
+
+import "fmt"
+
+// Describe allocates via fmt.Sprintf.
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Wrap allocates one call deeper.
+func Wrap(n int) string {
+	return Describe(n)
+}
+
+// Double is allocation-free.
+func Double(n int) int { return n * 2 }

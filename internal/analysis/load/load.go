@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/icn-gaming/gcopss/internal/analysis"
@@ -53,6 +54,11 @@ type listPkg struct {
 // Packages loads and type-checks the packages matching the patterns,
 // relative to dir. With includeTests, in-package and external test files are
 // included (each package's test variant supersedes its plain build).
+//
+// The result is in dependency order: every package appears after the
+// packages it imports (restricted to the result set). Drivers that share an
+// analysis.FactStore across packages rely on this order — facts about a
+// dependency are complete before any importer is analyzed.
 func Packages(dir string, includeTests bool, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -98,7 +104,49 @@ func Packages(dir string, includeTests bool, patterns ...string) ([]*Package, er
 		}
 		out = append(out, pkg)
 	}
-	return out, nil
+	return sortDeps(out), nil
+}
+
+// sortDeps topologically orders packages so every package follows the
+// packages it imports (restricted to the analyzed set). Roots and import
+// edges are walked in sorted path order, so the result is deterministic for
+// a given package set.
+func sortDeps(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		if _, ok := byPath[p.ImportPath]; !ok {
+			byPath[p.ImportPath] = p
+		}
+	}
+	roots := make([]*Package, len(pkgs))
+	copy(roots, pkgs)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	sorted := make([]*Package, 0, len(pkgs))
+	state := map[*Package]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // done, or a visiting cycle guard (cannot happen in valid Go)
+		}
+		state[p] = 1
+		imps := p.Unit.Pkg.Imports()
+		paths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			paths = append(paths, imp.Path())
+		}
+		sort.Strings(paths)
+		for _, ip := range paths {
+			if dep, ok := byPath[ip]; ok && dep != p {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		sorted = append(sorted, p)
+	}
+	for _, p := range roots {
+		visit(p)
+	}
+	return sorted
 }
 
 // ExportTable returns the import-path → export-data-file mapping for the

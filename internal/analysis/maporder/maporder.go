@@ -1,0 +1,284 @@
+// Package maporder keeps Go's randomized map iteration order out of the
+// deterministic event stream.
+//
+// Seeded replays are bit-identical only if every emission sequence is a pure
+// function of the event history (DESIGN.md "Determinism"). A `for … range`
+// over a map whose body emits — directly or through anything it calls —
+// injects the runtime's per-process iteration seed into the trace: exactly
+// the regression class PR 4 had to fix by hand in floodExcept/flushLeaves
+// after chaos TraceHash replays went flaky.
+//
+// The analyzer flags a range over a map whose body (transitively, via
+// cross-package facts) does any of:
+//
+//   - calls ndn.ActionSink.Emit (any method named Emit taking one ndn.Action)
+//   - writes wire frames (internal/wire Encode/AppendEncode)
+//   - appends to an action/result slice ([]ndn.Action or []*wire.Packet)
+//   - calls a function that transitively does one of the above — same-package
+//     callees are resolved by a local fixpoint, imported ones through the
+//     FactStore, so the check crosses package boundaries when the driver
+//     analyzes packages in dependency order
+//
+// The canonical fix — collect the keys, sort, then emit over the sorted
+// slice — passes naturally: the collection loop does not emit, and the
+// emission loop ranges over a slice.
+//
+// Limitations: calls through interface values other than Emit and through
+// stored function values are not resolved; a closure declared inside the
+// range body is treated as if it ran there (conservative).
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/icn-gaming/gcopss/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "maporder",
+	Doc:         "map iteration order must not reach the event stream: sort keys before emitting from a range over a map",
+	NeedsReason: true,
+	Run:         run,
+}
+
+// A trigger explains why a statement reaches the event stream. The fact
+// exported for emitting functions is the leaf phrase (emitFact), so chained
+// diagnostics stay short no matter how deep the call chain is.
+type trigger struct {
+	why string
+	pos ast.Node
+}
+
+const (
+	whyEmit   = "emits to an ActionSink"
+	whyWire   = "writes a wire frame"
+	whyAppend = "appends to an action slice"
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: per-declared-function direct triggers and same-package call
+	// edges. Calls into already-analyzed packages resolve through facts and
+	// count as direct triggers.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	emits := map[*types.Func]string{} // func -> leaf phrase
+	calls := map[*types.Func][]*types.Func{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if why, ok := directTrigger(pass, call); ok {
+					if _, have := emits[fn]; !have {
+						emits[fn] = why
+					}
+					return true
+				}
+				if callee := calleeOf(pass, call); callee != nil {
+					if callee.Pkg() == pass.Pkg {
+						calls[fn] = append(calls[fn], callee)
+					} else if why, ok := importedWhy(pass, callee); ok {
+						if _, have := emits[fn]; !have {
+							emits[fn] = why
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Fixpoint: a function that calls an emitting same-package function emits
+	// too, inheriting the leaf phrase.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if _, done := emits[fn]; done {
+				continue
+			}
+			for _, callee := range callees {
+				if why, ok := emits[callee]; ok {
+					emits[fn] = why
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for fn, why := range emits {
+		pass.ExportFact(analysis.FuncKey(fn), why)
+	}
+
+	// Pass 2: flag ranges over maps whose body reaches a trigger.
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypesInfo.Types[rng.X].Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if tr, ok := findTrigger(pass, rng.Body, emits); ok {
+			pass.Reportf(rng.For, "map iteration order reaches the event stream: %s inside a range over a map; collect and sort the keys, then emit over the sorted slice", tr)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// findTrigger returns a description of the first construct in body that
+// reaches the event stream, directly or through a call.
+func findTrigger(pass *analysis.Pass, body ast.Node, emits map[*types.Func]string) (string, bool) {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why, ok := directTrigger(pass, call); ok {
+			found = why
+			return false
+		}
+		callee := calleeOf(pass, call)
+		if callee == nil {
+			return true
+		}
+		if why, ok := emits[callee]; ok {
+			found = "call to " + callee.Name() + ", which " + why
+			return false
+		}
+		if why, ok := importedWhy(pass, callee); ok {
+			found = "call to " + callee.Name() + ", which " + why
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// directTrigger classifies a call that reaches the event stream by itself:
+// an ActionSink.Emit, a wire-frame encode, or an append to an action slice.
+func directTrigger(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if isEmitCall(pass, call) {
+		return whyEmit, true
+	}
+	if fn := calleeOf(pass, call); fn != nil {
+		if (fn.Name() == "Encode" || fn.Name() == "AppendEncode") &&
+			fn.Pkg() != nil && analysis.PathIn(fn.Pkg().Path(), "internal/wire") {
+			return whyWire, true
+		}
+	}
+	if isActionAppend(pass, call) {
+		return whyAppend, true
+	}
+	return "", false
+}
+
+// importedWhy resolves a cross-package callee through the fact store.
+func importedWhy(pass *analysis.Pass, fn *types.Func) (string, bool) {
+	f, ok := pass.ImportFact(analysis.FuncKey(fn))
+	if !ok {
+		return "", false
+	}
+	why, ok := f.(string)
+	return why, ok
+}
+
+// calleeOf resolves the *types.Func a call statically invokes (package
+// function, method, or interface method), or nil for builtins and calls
+// through function values.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isEmitCall reports whether call is a single-argument method call named Emit
+// whose argument is an ndn.Action — the ActionSink contract (same matching as
+// the sharedpkt analyzer: interface, concrete sinks and test doubles alike).
+func isEmitCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" || len(call.Args) != 1 {
+		return false
+	}
+	return isActionType(pass.TypesInfo.Types[call.Args[0]].Type)
+}
+
+// isActionAppend reports whether call appends to a slice of ndn.Action or
+// *wire.Packet — the result slices whose order becomes the emission order.
+func isActionAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	t := pass.TypesInfo.Types[call.Args[0]].Type
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := sl.Elem()
+	if isActionType(elem) {
+		return true
+	}
+	if ptr, ok := elem.(*types.Pointer); ok && isPacketNamed(ptr.Elem()) {
+		return true
+	}
+	return false
+}
+
+// isActionType reports whether t is the named type Action from internal/ndn.
+func isActionType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Action" && obj.Pkg() != nil && analysis.PathIn(obj.Pkg().Path(), "internal/ndn")
+}
+
+// isPacketNamed reports whether t is the named type Packet from internal/wire.
+func isPacketNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil && analysis.PathIn(obj.Pkg().Path(), "internal/wire")
+}

@@ -1,0 +1,16 @@
+package maporder
+
+import (
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/analysis/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	// emitlib is listed first so its exported facts are visible when ranger
+	// (which imports it) is analyzed — the dependency-order contract.
+	analysistest.Run(t, analysistest.TestData(), Analyzer,
+		"emitlib", // exports emits-facts, no diagnostics of its own
+		"ranger",  // direct, helper-transitive and import-transitive triggers
+	)
+}

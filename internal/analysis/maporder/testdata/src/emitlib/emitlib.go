@@ -1,0 +1,29 @@
+// Package emitlib exists to exercise the cross-package fact path: it exports
+// functions that reach the event stream, and the ranger testdata package
+// calls them from map ranges. It is listed before ranger in the test so its
+// facts are available (the dependency-order contract).
+package emitlib
+
+import (
+	"internal/ndn"
+	"internal/wire"
+)
+
+// Deliver emits one action.
+func Deliver(sink ndn.ActionSink, a ndn.Action) {
+	sink.Emit(a)
+}
+
+// Chain reaches the sink through another exported function.
+func Chain(sink ndn.ActionSink, a ndn.Action) {
+	Deliver(sink, a)
+}
+
+// Frame writes a wire frame.
+func Frame(dst []byte, p *wire.Packet) []byte {
+	out, _ := wire.AppendEncode(dst, p)
+	return out
+}
+
+// Pure does not touch the event stream.
+func Pure(n int) int { return n * 2 }

@@ -1,0 +1,26 @@
+// Package ndn is a minimal stub of the real internal/ndn package, just
+// enough surface for the maporder testdata to type-check. The analyzer
+// matches it by path suffix.
+package ndn
+
+import "internal/wire"
+
+type FaceID uint32
+
+// Action is one emission decision.
+type Action struct {
+	Face   FaceID
+	Packet *wire.Packet
+}
+
+// ActionSink receives emissions.
+type ActionSink interface {
+	Emit(a Action)
+}
+
+// SliceSink collects actions into a slice.
+type SliceSink struct {
+	Actions []Action
+}
+
+func (s *SliceSink) Emit(a Action) { s.Actions = append(s.Actions, a) }

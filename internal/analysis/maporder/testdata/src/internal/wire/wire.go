@@ -1,0 +1,18 @@
+// Package wire is a minimal stub of the real internal/wire package, just
+// enough surface for the maporder testdata to type-check. The analyzer
+// matches it by path suffix.
+package wire
+
+type Type uint8
+
+type Packet struct {
+	Type    Type
+	Name    string
+	Payload []byte
+}
+
+// Encode renders a packet to a fresh frame.
+func Encode(p *Packet) ([]byte, error) { return nil, nil }
+
+// AppendEncode renders a packet onto dst.
+func AppendEncode(dst []byte, p *Packet) ([]byte, error) { return dst, nil }

@@ -1,0 +1,111 @@
+// Package ranger exercises the maporder analyzer: ranges over maps that
+// reach the event stream (directly, through same-package helpers, or through
+// imported functions via facts) are flagged; the collect-sort-emit idiom and
+// order-insensitive ranges pass.
+package ranger
+
+import (
+	"sort"
+
+	"emitlib"
+	"internal/ndn"
+	"internal/wire"
+)
+
+// Direct Emit inside a map range.
+func emitPerEntry(sink ndn.ActionSink, m map[string]*wire.Packet) {
+	for _, p := range m { // want "emits to an ActionSink inside a range over a map"
+		sink.Emit(ndn.Action{Face: 1, Packet: p})
+	}
+}
+
+// Wire frame written inside a map range.
+func framePerEntry(m map[string]*wire.Packet) []byte {
+	var out []byte
+	for _, p := range m { // want "writes a wire frame inside a range over a map"
+		out, _ = wire.AppendEncode(out, p)
+	}
+	return out
+}
+
+// Append to an action slice inside a map range.
+func collectPerEntry(m map[string]*wire.Packet) []ndn.Action {
+	var acts []ndn.Action
+	for _, p := range m { // want "appends to an action slice inside a range over a map"
+		acts = append(acts, ndn.Action{Face: 2, Packet: p})
+	}
+	return acts
+}
+
+// Append to a packet slice inside a map range.
+func packetsPerEntry(m map[string]*wire.Packet) []*wire.Packet {
+	var out []*wire.Packet
+	for _, p := range m { // want "appends to an action slice inside a range over a map"
+		out = append(out, p)
+	}
+	return out
+}
+
+// forward reaches the sink one same-package call away.
+func forward(sink ndn.ActionSink, p *wire.Packet) {
+	sink.Emit(ndn.Action{Face: 3, Packet: p})
+}
+
+// Transitive trigger through a same-package helper (local fixpoint).
+func emitViaHelper(sink ndn.ActionSink, m map[string]*wire.Packet) {
+	for _, p := range m { // want "call to forward, which emits to an ActionSink"
+		forward(sink, p)
+	}
+}
+
+// Transitive trigger through an imported function (cross-package facts).
+func emitViaImport(sink ndn.ActionSink, m map[string]*wire.Packet) {
+	for _, p := range m { // want "call to Deliver, which emits to an ActionSink"
+		emitlib.Deliver(sink, ndn.Action{Face: 4, Packet: p})
+	}
+}
+
+// Two imported hops: Chain calls Deliver inside emitlib.
+func emitViaImportChain(sink ndn.ActionSink, m map[string]*wire.Packet) {
+	for _, p := range m { // want "call to Chain, which emits to an ActionSink"
+		emitlib.Chain(sink, ndn.Action{Face: 5, Packet: p})
+	}
+}
+
+// The canonical fix: collect the keys, sort, emit over the sorted slice.
+func emitSorted(sink ndn.ActionSink, m map[string]*wire.Packet) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink.Emit(ndn.Action{Face: 6, Packet: m[k]})
+	}
+}
+
+// Ranging over a slice is always fine.
+func emitSlice(sink ndn.ActionSink, ps []*wire.Packet) {
+	for _, p := range ps {
+		sink.Emit(ndn.Action{Face: 7, Packet: p})
+	}
+}
+
+// Order-insensitive work inside a map range is fine.
+func countPerEntry(m map[string]*wire.Packet, pure func(int) int) int {
+	total := 0
+	for _, p := range m {
+		total += len(p.Payload) + emitlib.Pure(1)
+	}
+	return total
+}
+
+// A waiver with a reason suppresses the diagnostic (commutative fold).
+func foldPerEntry(m map[string]*wire.Packet) []ndn.Action {
+	var acts []ndn.Action
+	//lint:allow maporder single entry by construction in this test fixture
+	for _, p := range m {
+		acts = append(acts, ndn.Action{Face: 8, Packet: p})
+	}
+	return acts
+}

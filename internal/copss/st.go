@@ -46,16 +46,24 @@ type faceSubs struct {
 	exact  *cd.Set
 	filter *bloom.Filter
 	dirty  bool // true when filter must be rebuilt (after removals)
+
+	// keyScratch backs rebuild's key listing so lazy rebuilds on the
+	// forwarding path stay allocation-free in the steady state.
+	keyScratch []string
 }
 
 func newFaceSubs() *faceSubs {
 	return &faceSubs{exact: cd.NewSet(), filter: bloom.New(stFilterBits, stFilterHashes)}
 }
 
+// rebuild repopulates the Bloom filter from the exact set. Insertion order is
+// irrelevant (the filter ORs bits), so it iterates keys unsorted via
+// AppendKeys instead of the sorting, allocating Members.
 func (fs *faceSubs) rebuild() {
 	fs.filter.Reset()
-	for _, c := range fs.exact.Members() {
-		fs.filter.AddString(c.Key())
+	fs.keyScratch = fs.exact.AppendKeys(fs.keyScratch[:0])
+	for _, k := range fs.keyScratch {
+		fs.filter.AddString(k)
 	}
 	fs.dirty = false
 }
@@ -191,6 +199,8 @@ func (st *ST) FacesForHashed(c cd.CD, pairs []bloom.HashPair) []ndn.FaceID {
 // (wire.Packet.CDHashes: H1,H2 per prefix, shortest first) directly, so the
 // per-hop forwarding path avoids the UnflattenHashes allocation. The result
 // is valid only until the next query on this ST.
+//
+//gcopss:hotpath
 func (st *ST) FacesForFlat(c cd.CD, flat []uint64) []ndn.FaceID {
 	if len(flat) != 2*(c.Len()+1) {
 		return st.facesFor(c, nil)

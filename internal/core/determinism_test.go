@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+// TestFloodExceptOrderIsSorted pins the determinism contract of floodExcept:
+// actions come out in ascending face order regardless of face-map iteration
+// order, the excepted face and non-router faces are skipped, and the order
+// holds past the 16-face stack buffer. Repeated fresh routers turn Go's
+// randomized map order into a deterministic failure if the sort regresses.
+func TestFloodExceptOrderIsSorted(t *testing.T) {
+	// Insertion order is deliberately scrambled; 20 router faces also cover
+	// the spill past floodExcept's stack scratch buffer.
+	ids := []ndn.FaceID{17, 3, 40, 9, 1, 25, 12, 38, 7, 21,
+		5, 33, 14, 28, 2, 19, 36, 10, 23, 31}
+	pkt := &wire.Packet{Type: wire.TypeFIBAdd, Name: "/rp", Seq: 1, Origin: "X"}
+	for trial := 0; trial < 20; trial++ {
+		r := NewRouter("X")
+		for _, id := range ids {
+			r.AddFace(id, FaceRouter)
+		}
+		r.AddFace(99, FaceClient) // clients never receive floods
+		acts := emitted(func(s ndn.ActionSink) { r.floodExcept(9, pkt, s) })
+		if len(acts) != len(ids)-1 {
+			t.Fatalf("trial %d: %d actions, want %d", trial, len(acts), len(ids)-1)
+		}
+		prev := ndn.FaceID(-1)
+		for i, a := range acts {
+			if a.Face == 9 || a.Face == 99 {
+				t.Fatalf("trial %d: flood reached excluded face %d", trial, a.Face)
+			}
+			if a.Face <= prev {
+				t.Fatalf("trial %d: faces not ascending at %d: %v then %v",
+					trial, i, prev, a.Face)
+			}
+			prev = a.Face
+		}
+	}
+}
+
+// TestFlushLeavesOrderIsSorted pins the determinism contract of flushLeaves:
+// when one flush marker releases several grafts, the Leaves are emitted in
+// sorted RP-name order, not graft-map iteration order.
+func TestFlushLeavesOrderIsSorted(t *testing.T) {
+	names := []string{"/rp/echo", "/rp/alpha", "/rp/delta", "/rp/charlie", "/rp/bravo"}
+	marker := &wire.Packet{
+		Type: wire.TypeMulticast, CDs: []cd.CD{cd.MustParse("/1")},
+		Origin: FlushOrigin, Name: flushMarkerName("X"),
+	}
+	for trial := 0; trial < 20; trial++ {
+		r := NewRouter("X")
+		r.AddFace(1, FaceRouter)
+		for _, name := range names {
+			r.grafts[name] = &graft{
+				confirmed:    true,
+				hasOld:       true,
+				oldFace:      1,
+				oldRP:        "/old" + name,
+				pendingLeave: cd.NewSet(cd.MustParse("/1")),
+			}
+		}
+		acts := emitted(func(s ndn.ActionSink) { r.flushLeaves(time.Unix(0, 0), 1, marker, s) })
+		if len(acts) != len(names) {
+			t.Fatalf("trial %d: %d leaves, want %d", trial, len(acts), len(names))
+		}
+		prev := ""
+		for i, a := range acts {
+			if a.Packet.Type != wire.TypeLeave {
+				t.Fatalf("trial %d: action %d is %v, want Leave", trial, i, a.Packet.Type)
+			}
+			if a.Packet.Name <= prev {
+				t.Fatalf("trial %d: leaves not sorted at %d: %q then %q",
+					trial, i, prev, a.Packet.Name)
+			}
+			prev = a.Packet.Name
+		}
+	}
+}

@@ -494,6 +494,8 @@ func (r *Router) BecomeRPAt(now time.Time, info copss.RPInfo) ([]ndn.Action, err
 // CtlSeq stamping) copies on write in the relSink. Actions are emitted in
 // ascending face order: flood order feeds the transmit order hosts observe,
 // and map-iteration order here would make same-seed replays diverge.
+//
+//gcopss:hotpath
 func (r *Router) floodExcept(except ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	// Flood fan-outs are a handful of faces; collect them on the stack and
 	// insertion-sort (sort.Slice's closure would allocate on this path).
@@ -776,6 +778,8 @@ func (r *Router) publishToward(now time.Time, rpName string, inner *wire.Packet,
 // prefix of the packet's CD, excluding the arrival face. Precomputed hash
 // pairs from the first hop are used when present. Deliveries to client faces
 // carrying a send timestamp feed the delivery-latency histogram.
+//
+//gcopss:hotpath
 func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSink) {
 	c, err := pkt.CD()
 	if err != nil {

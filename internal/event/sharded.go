@@ -180,6 +180,11 @@ func (s *ShardedScheduler) PostNode(src, dst int, at time.Time, key uint64, call
 	s.shards[dst].push(ev)
 }
 
+// push inserts one event into the shard's manual value heap. Part of the
+// scheduler inner loop: no closures (sort or heap interfaces would allocate),
+// no boxing.
+//
+//gcopss:hotpath
 func (sh *shard) push(ev nodeEvent) {
 	sh.heap = append(sh.heap, ev)
 	if len(sh.heap) > sh.maxDepth {
@@ -197,6 +202,9 @@ func (sh *shard) push(ev nodeEvent) {
 	}
 }
 
+// pop removes the earliest event. Same inner-loop discipline as push.
+//
+//gcopss:hotpath
 func (sh *shard) pop() nodeEvent {
 	h := sh.heap
 	top := h[0]
@@ -227,6 +235,8 @@ func (sh *shard) pop() nodeEvent {
 // runShard executes shard i's events with at < end, in (at, key) order.
 // Events the shard posts to itself inside the window are picked up by the
 // same loop; cross-shard posts go to mailboxes.
+//
+//gcopss:hotpath
 func (s *ShardedScheduler) runShard(i int, end time.Time) int {
 	sh := s.shards[i]
 	n := 0

@@ -37,16 +37,28 @@ type Stats struct {
 // comes from per-link rand streams, so decisions on one link do not depend
 // on traffic interleaving across links.
 type Injector struct {
-	mu    sync.Mutex
-	spec  *Spec
-	seed  int64
+	mu   sync.Mutex
+	spec *Spec // immutable after New
+	seed int64 // immutable after New
+	// epoch anchors the partition schedule.
+	//
+	//gcopss:guardedby mu
 	epoch time.Time
+	// links holds the per-link decision streams.
+	//
+	//gcopss:guardedby mu
 	links map[string]*linkState
 
+	// stats accumulates decision counts.
+	//
+	//gcopss:guardedby mu
 	stats Stats
 
 	dropped, dupped, delayed, reordered *obs.Counter
-	flight                              *obs.Flight
+	// flight is the optional fault-event recorder.
+	//
+	//gcopss:guardedby mu
+	flight *obs.Flight
 }
 
 // linkState carries one directed link's independent decision stream: its
@@ -131,6 +143,8 @@ func (in *Injector) TraceHash() uint64 {
 // seed^hash(link) keeps one link's stream independent of every other link's
 // traffic volume; the same name hash salts the link's trace digest so two
 // links with identical verdict sequences contribute distinct digests.
+//
+//gcopss:locked mu
 func (in *Injector) link(name string) *linkState {
 	if s, ok := in.links[name]; ok {
 		return s
@@ -214,6 +228,8 @@ func (in *Injector) Decide(now time.Time, link string, pkt *wire.Packet) Verdict
 }
 
 // note records a flight event for an injected fault. Caller holds the lock.
+//
+//gcopss:locked mu
 func (in *Injector) note(now time.Time, link string, pkt *wire.Packet, reason string) {
 	if in.flight == nil {
 		return
@@ -230,6 +246,8 @@ func (in *Injector) note(now time.Time, link string, pkt *wire.Packet, reason st
 // mix folds one decision into the link's own trace digest. Caller holds the
 // lock. The link name itself is baked into the digest's initial value (see
 // link), so only the per-decision fields are folded here.
+//
+//gcopss:locked mu
 func (in *Injector) mix(link string, t wire.Type, v Verdict) {
 	const prime = 1099511628211
 	s := in.link(link)

@@ -111,9 +111,15 @@ type Event struct {
 // replayable trace. A nil or zero-capacity Flight discards records, so
 // instrumented code never branches on whether recording is enabled.
 type Flight struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events recorded since creation
+	mu sync.Mutex
+	// buf is the ring storage. Its length is immutable after construction,
+	// so Enabled and Cap may read len(buf) lock-free; element writes happen
+	// under mu. Deliberately not lock-annotated for that reason.
+	buf []Event
+	// next is the total number of events recorded since creation.
+	//
+	//gcopss:guardedby mu
+	next uint64
 }
 
 // NewFlight creates a recorder holding the last capacity events; capacity

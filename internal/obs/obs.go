@@ -61,9 +61,15 @@ type GaugeVec struct {
 	name  string
 	label string
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// children maps label values to their gauges.
+	//
+	//gcopss:guardedby mu
 	children map[string]*Gauge
-	order    []string
+	// order remembers label creation order for stable exposition.
+	//
+	//gcopss:guardedby mu
+	order []string
 }
 
 // With returns the child gauge for the given label value, creating it on
@@ -131,13 +137,31 @@ func (k metricKind) String() string {
 // conditions, and must fail loudly at process start rather than silently
 // corrupting the exposition.
 type Registry struct {
-	mu         sync.RWMutex
-	kinds      map[string]metricKind
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.RWMutex
+	// kinds claims each name for one metric kind.
+	//
+	//gcopss:guardedby mu
+	kinds map[string]metricKind
+	// counters holds the registered counters.
+	//
+	//gcopss:guardedby mu
+	counters map[string]*Counter
+	// gauges holds the registered gauges.
+	//
+	//gcopss:guardedby mu
+	gauges map[string]*Gauge
+	// gaugeFuncs holds the exposition-time callbacks.
+	//
+	//gcopss:guardedby mu
 	gaugeFuncs map[string]func() float64
+	// histograms holds the registered histograms.
+	//
+	//gcopss:guardedby mu
 	histograms map[string]*Histogram
-	gaugeVecs  map[string]*GaugeVec
+	// gaugeVecs holds the registered gauge families.
+	//
+	//gcopss:guardedby mu
+	gaugeVecs map[string]*GaugeVec
 }
 
 // NewRegistry creates an empty registry.
@@ -168,6 +192,8 @@ func ValidName(name string) bool {
 
 // register validates and claims a name for the given kind; it must be called
 // with the write lock held.
+//
+//gcopss:locked mu
 func (r *Registry) register(name string, kind metricKind) {
 	if !ValidName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q (want ^[a-z][a-z0-9_.]*$)", name))

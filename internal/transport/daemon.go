@@ -42,10 +42,21 @@ type Daemon struct {
 
 	ln net.Listener
 
-	mu        sync.Mutex
-	faces     map[ndn.FaceID]*Conn
-	neighbors map[ndn.FaceID]string // dialed-router addr, for auto-reconnect
-	nextFace  ndn.FaceID
+	// mu guards the face table shared between the event loop and the
+	// feeder/timer goroutines that resolve FaceIDs to connections.
+	mu sync.Mutex
+	// faces maps live face IDs to their connections.
+	//
+	//gcopss:guardedby mu
+	faces map[ndn.FaceID]*Conn
+	// neighbors remembers dialed-router addrs, for auto-reconnect.
+	//
+	//gcopss:guardedby mu
+	neighbors map[ndn.FaceID]string
+	// nextFace is the last face ID handed out.
+	//
+	//gcopss:guardedby mu
+	nextFace ndn.FaceID
 
 	idleTimeout  time.Duration
 	tickInterval time.Duration
@@ -379,8 +390,16 @@ type Client struct {
 	name string
 	addr string
 
-	mu     sync.Mutex
-	conn   *Conn
+	// mu guards the swappable uplink state (Reconnect replaces conn while
+	// writers are active).
+	mu sync.Mutex
+	// conn is the live uplink connection.
+	//
+	//gcopss:guardedby mu
+	conn *Conn
+	// faults is the optional uplink fault injector.
+	//
+	//gcopss:guardedby mu
 	faults *faultnet.Injector
 
 	reconnects *obs.Counter

@@ -52,6 +52,13 @@ type Conn struct {
 	c    net.Conn
 	wmu  sync.Mutex
 	idle time.Duration // 0 = no idle read deadline
+
+	// wbuf is the per-connection frame assembly buffer. It grows to the
+	// largest frame sent and is reused for every subsequent write, so the
+	// steady-state send path does not allocate.
+	//
+	//gcopss:guardedby wmu
+	wbuf []byte
 }
 
 // NewConn wraps an established stream.
@@ -74,25 +81,25 @@ func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
 
 // WritePacket frames and sends one packet. The frame (4-byte length prefix
-// plus body) is assembled in a pooled buffer and flushed with a single
-// Write, so the steady-state send path neither allocates nor risks a torn
-// frame between two syscalls.
+// plus body) is assembled in the connection-owned write buffer and flushed
+// with a single Write, so the steady-state send path neither allocates nor
+// risks a torn frame between two syscalls. Assembly happens under the write
+// lock: the buffer is guarded state, and holding the lock across encode keeps
+// concurrent writers from interleaving their frames.
 func (c *Conn) WritePacket(pkt *wire.Packet) error {
-	buf := wire.GetEncodeBuffer()
-	defer wire.PutEncodeBuffer(buf)
-	frame := append(buf.B, 0, 0, 0, 0) // length prefix, patched below
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	frame := append(c.wbuf[:0], 0, 0, 0, 0) // length prefix, patched below
 	frame, err := wire.AppendEncode(frame, pkt)
 	if err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
-	buf.B = frame[:0] // let the pool keep any growth
+	c.wbuf = frame[:0] // keep any growth for the next frame
 	body := len(frame) - 4
 	if body > MaxFrame {
 		return fmt.Errorf("transport: frame too large: %d", body)
 	}
 	binary.BigEndian.PutUint32(frame[:4], uint32(body))
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	if _, err := c.c.Write(frame); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}

@@ -155,40 +155,57 @@ func (p *Packet) CD() (cd.CD, error) {
 	return p.CDs[0], nil
 }
 
-// Validate checks type-specific structural invariants.
+// Validation errors. Sentinels rather than formatted errors: Validate runs
+// on the zero-allocation encode path (AppendEncode is //gcopss:hotpath), so
+// it must not build error strings. Callers that need the offending detail
+// have the packet in hand.
+var (
+	ErrNoName       = errors.New("wire: packet type requires a name")
+	ErrNoCDs        = errors.New("wire: packet type requires CDs")
+	ErrPruneNoName  = errors.New("wire: Prune without an RP name")
+	ErrFIBEmpty     = errors.New("wire: FIB update without a name or CDs")
+	ErrMulticastCDs = errors.New("wire: Multicast must carry exactly one CD")
+	ErrAckNoSeq     = errors.New("wire: Ack without a CtlSeq")
+	ErrUnknownType  = errors.New("wire: unknown packet type")
+)
+
+// Validate checks type-specific structural invariants. It is part of the
+// hot encode path and allocates nothing, error cases included.
+//
+//gcopss:hotpath
 func (p *Packet) Validate() error {
 	switch p.Type {
 	case TypeInterest, TypeData:
 		if p.Name == "" {
-			return fmt.Errorf("wire: %v without a name", p.Type)
+			return ErrNoName
 		}
 	case TypeSubscribe, TypeUnsubscribe, TypeHandoff, TypePrune:
 		if len(p.CDs) == 0 {
-			return fmt.Errorf("wire: %v without CDs", p.Type)
+			return ErrNoCDs
 		}
 		if p.Type == TypePrune && p.Name == "" {
-			return fmt.Errorf("wire: Prune without an RP name")
+			return ErrPruneNoName
 		}
 	case TypeFIBAdd, TypeFIBRemove:
 		// RP announcements carry served CDs; pure prefix announcements
 		// (e.g. a broker making /snapshot routable) carry only a name.
 		if p.Name == "" && len(p.CDs) == 0 {
-			return fmt.Errorf("wire: %v without a name or CDs", p.Type)
+			return ErrFIBEmpty
 		}
 	case TypeMulticast:
 		if len(p.CDs) != 1 {
-			return fmt.Errorf("wire: Multicast must carry exactly one CD, has %d", len(p.CDs))
+			return ErrMulticastCDs
 		}
 	case TypeJoin, TypeConfirm, TypeLeave:
 		if p.Name == "" {
-			return fmt.Errorf("wire: %v without an RP name", p.Type)
+			return ErrNoName
 		}
 	case TypeAck:
 		if p.CtlSeq == 0 {
-			return fmt.Errorf("wire: Ack without a CtlSeq")
+			return ErrAckNoSeq
 		}
 	default:
-		return fmt.Errorf("wire: unknown packet type %d", uint8(p.Type))
+		return ErrUnknownType
 	}
 	return nil
 }
@@ -282,6 +299,8 @@ func bodyLen(p *Packet) int {
 // is the zero-allocation entry point for callers that reuse buffers (the TCP
 // transport frames through a pooled EncodeBuffer); Encode wraps it for
 // one-shot use.
+//
+//gcopss:hotpath
 func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return dst, err
@@ -448,6 +467,8 @@ func Decode(buf []byte) (*Packet, int, error) {
 // arithmetically without encoding (the simulators charge it per transmitted
 // packet, so it must not allocate). Invalid packets report 0, matching what
 // Encode would produce.
+//
+//gcopss:hotpath
 func Size(p *Packet) int {
 	if err := p.Validate(); err != nil {
 		return 0

@@ -2,6 +2,7 @@ package gcopss
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/broker"
@@ -129,6 +130,8 @@ func (p *Player) PublishTo(areaPath, objectID string, data []byte) error {
 }
 
 // handlePacket runs under the network lock.
+//
+//gcopss:locked mu
 func (p *Player) handlePacket(pkt *wire.Packet) {
 	switch pkt.Type {
 	case wire.TypeMulticast:
@@ -177,7 +180,16 @@ func (p *Player) handlePacket(pkt *wire.Packet) {
 		if p.fetch.onData != nil {
 			p.fetch.onData(pkt)
 		}
-		for key, f := range p.fetch.qr {
+		// Sorted keys: the order fetches consume a Data packet decides the
+		// order of their follow-up Interests, which must not depend on map
+		// iteration order.
+		keys := make([]string, 0, len(p.fetch.qr))
+		for key := range p.fetch.qr {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			f := p.fetch.qr[key]
 			out, done := f.HandleData(pkt)
 			p.fetch.out = append(p.fetch.out, out...)
 			if done {
@@ -254,6 +266,8 @@ func (p *Player) MoveTo(areaPath string, mode SnapshotMode) (*MoveReport, error)
 }
 
 // fetchSnapshots downloads the given leaves. Caller holds the lock.
+//
+//gcopss:locked mu
 func (p *Player) fetchSnapshots(leaves []cd.CD, mode SnapshotMode) (int, error) {
 	if mode == 0 {
 		mode = SnapshotQueryResponse
@@ -286,7 +300,15 @@ func (p *Player) fetchSnapshots(leaves []cd.CD, mode SnapshotMode) (int, error) 
 		if guard > 100000 {
 			return 0, fmt.Errorf("gcopss: cyclic snapshot fetch did not converge")
 		}
-		for _, bh := range p.net.brokers {
+		// Brokers tick in sorted-name order so the injected rotation packets
+		// are sequenced identically on every run.
+		names := make([]string, 0, len(p.net.brokers))
+		for name := range p.net.brokers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bh := p.net.brokers[name]
 			for _, out := range bh.b.Tick() {
 				p.net.inject(bh.router, bh.face, out)
 			}
