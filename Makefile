@@ -25,29 +25,31 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency: the TCP daemon, the
-# router/migration machinery, the end-to-end tests in the module root, and
-# the sharded-scheduler determinism suite (stage-A/B/C handoff under 4
-# workers plus the window/tie-break invariants).
+# router/migration machinery, the end-to-end tests in the module root, the
+# telemetry plumbing (flight recorder and trace rings are written by shards
+# while scrapers snapshot them), the scheduler profiler, and the
+# sharded-scheduler determinism suite (stage-A/B/C handoff under 4 workers
+# plus the window/tie-break invariants).
 race:
-	$(GO) test -race -count=1 ./internal/transport ./internal/core .
+	$(GO) test -race -count=1 ./internal/transport ./internal/core ./internal/obs/... ./internal/event .
 	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering' ./internal/testbed
 
 # bench runs the paper-experiment benchmarks (module root) and the telemetry
-# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_5.json
+# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_7.json
 # (name -> ns/op, B/op, allocs/op). One iteration per experiment benchmark:
-# the artifact records magnitudes, not statistics. BENCH_4.json is the
-# committed pre-sharding baseline; compare with bench-diff.
+# the artifact records magnitudes, not statistics. BENCH_5.json is the
+# committed pre-tracing baseline; compare with bench-diff.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_7.json
 
-# bench-diff compares the fresh BENCH_5.json against the committed baseline.
+# bench-diff compares the fresh BENCH_7.json against the committed baseline.
 # Report-only by default; pass THRESHOLD=<pct> to fail on regressions beyond
 # that percentage.
-BENCH_BASELINE = BENCH_4.json
+BENCH_BASELINE = BENCH_5.json
 bench-diff: bench
-	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_5.json
+	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_7.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:

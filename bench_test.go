@@ -7,19 +7,32 @@
 package gcopss_test
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/event"
 	"github.com/icn-gaming/gcopss/internal/experiments"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/ndn"
+	obstrace "github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/trace"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
+
+// benchTraceOut, when set, makes BenchmarkFig4Parallel/w8 run with causal
+// packet tracing attached and write a Chrome trace-event JSON file (open in
+// Perfetto / chrome://tracing) to the given path. The go tool claims the
+// bare -trace flag for the runtime execution tracer, so pass it after
+// -args:
+//
+//	go test -bench 'Fig4Parallel/w8' -benchtime 1x . -args -trace fig4.json
+var benchTraceOut = flag.String("trace", "", "write a Chrome trace of the w8 Fig. 4 run to this file")
 
 // benchOpts is the experiment scale used by the table/figure benches: small
 // enough for tight iteration, large enough for every paper effect.
@@ -78,7 +91,10 @@ func BenchmarkFig4Microbenchmark(b *testing.B) {
 // bit-identical at every worker count; this benchmark records the wall-clock
 // effect of sharding. The speedup metric on the w8 run is measured, never
 // asserted — on a single-core runner the windowed parallel loop can at best
-// break even, and the artifact should say so honestly.
+// break even, and the artifact should say so honestly. The w8 run carries
+// the scheduler profiler, so barrier-wait-frac and attributed-frac land in
+// the bench artifact next to the speedup they explain; the profiler is off
+// on w1 so the baseline ns/op stays uninstrumented.
 func BenchmarkFig4Parallel(b *testing.B) {
 	perOp := map[string]float64{}
 	for _, c := range []struct {
@@ -86,15 +102,45 @@ func BenchmarkFig4Parallel(b *testing.B) {
 		workers int
 	}{{"w1", 1}, {"w8", 8}} {
 		b.Run(c.name, func(b *testing.B) {
+			opts := experiments.Options{Scale: 0.05, Seed: 42, Workers: c.workers}
+			var tr *obstrace.Tracer
+			if c.workers > 1 {
+				opts.Profile = true
+				if *benchTraceOut != "" {
+					tr = obstrace.NewTracer(16, 42, 8192)
+					opts.Trace = tr
+				}
+			}
 			var mean float64
+			var sched *event.SchedProfile
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.Fig4(experiments.Options{Scale: 0.05, Seed: 42, Workers: c.workers})
+				r, err := experiments.Fig4(opts)
 				if err != nil {
 					b.Fatal(err)
 				}
 				mean = r.GCOPSS.Latency.Mean()
+				sched = r.GCOPSS.Sched
 			}
 			b.ReportMetric(mean, "gcopss-ms")
+			if sched != nil {
+				b.ReportMetric(sched.BarrierWaitFrac(), "barrier-wait-frac")
+				b.ReportMetric(sched.AttributedFrac(), "attributed-frac")
+				b.ReportMetric(float64(sched.MeanWindowWidth().Nanoseconds())/1e3, "window-width-us")
+			}
+			if tr != nil {
+				f, err := os.Create(*benchTraceOut)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := obstrace.WriteChromeTrace(f, tr, sched); err != nil {
+					f.Close()
+					b.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.Logf("chrome trace written to %s", *benchTraceOut)
+			}
 			perOp[c.name] = b.Elapsed().Seconds() / float64(b.N)
 			if c.name == "w8" && perOp["w8"] > 0 {
 				b.ReportMetric(perOp["w1"]/perOp["w8"], "speedup")
@@ -138,6 +184,8 @@ func BenchmarkFig5AutoBalance(b *testing.B) {
 			b.ReportMetric(float64(len(r.Auto.Splits)), "splits")
 			b.ReportMetric(r.Auto.MeanMs, "auto-ms")
 			b.ReportMetric(r.ThreeRP.MeanMs, "3rp-ms")
+			b.ReportMetric(r.Auto.P50Ms, "auto-p50-ms")
+			b.ReportMetric(r.Auto.P99Ms, "auto-p99-ms")
 		}
 	}
 }

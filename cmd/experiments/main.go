@@ -17,7 +17,9 @@ import (
 	"os"
 	"time"
 
+	"github.com/icn-gaming/gcopss/internal/event"
 	"github.com/icn-gaming/gcopss/internal/experiments"
+	obstrace "github.com/icn-gaming/gcopss/internal/obs/trace"
 )
 
 func main() {
@@ -29,12 +31,20 @@ func main() {
 
 func run() error {
 	var (
-		scale   = flag.Float64("scale", 0.05, "workload scale in (0,1]; 1 = paper scale")
-		seed    = flag.Int64("seed", 42, "random seed")
-		workers = flag.Int("workers", 1, "scheduler shards for the testbed experiments; results are identical at every count")
+		scale       = flag.Float64("scale", 0.05, "workload scale in (0,1]; 1 = paper scale")
+		seed        = flag.Int64("seed", 42, "random seed")
+		workers     = flag.Int("workers", 1, "scheduler shards for the testbed experiments; results are identical at every count")
+		traceOut    = flag.String("trace", "", "write a Chrome trace (Perfetto / chrome://tracing) of the fig4 G-COPSS run to this file")
+		traceSample = flag.Int("trace-sample", 16, "with -trace, sample 1 in N publications for causal tracing")
 	)
 	flag.Parse()
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	var tracer *obstrace.Tracer
+	if *traceOut != "" {
+		tracer = obstrace.NewTracer(*traceSample, *seed, 8192)
+		opts.Trace = tracer
+		opts.Profile = true
+	}
 
 	names := flag.Args()
 	if len(names) == 0 {
@@ -96,6 +106,12 @@ func run() error {
 				return err
 			}
 			fmt.Print(r.Render())
+			if tracer != nil {
+				if err := writeChromeTrace(*traceOut, tracer, r.GCOPSS.Sched); err != nil {
+					return err
+				}
+				fmt.Printf("chrome trace written to %s\n", *traceOut)
+			}
 		case "table1":
 			wb, err := bench()
 			if err != nil {
@@ -172,4 +188,18 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// writeChromeTrace dumps the tracer rings and scheduler profile as a Chrome
+// trace-event JSON file.
+func writeChromeTrace(path string, tr *obstrace.Tracer, prof *event.SchedProfile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obstrace.WriteChromeTrace(f, tr, prof); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -116,6 +116,7 @@ func run() error {
 		}
 		in := faultnet.New(spec, *faultSeed)
 		in.SetEpoch(time.Now())
+		in.Instrument(b.Obs())
 		client.SetFaults(in)
 		lg.Info("fault injection armed", "spec", spec.String(), "seed", fmt.Sprint(*faultSeed))
 	}
@@ -142,7 +143,7 @@ func run() error {
 			host.mu.Lock()
 			defer host.mu.Unlock()
 			host.b.Obs().WriteText(w)
-		}, nil)
+		}, nil, nil)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			return fmt.Errorf("debug listen: %w", err)

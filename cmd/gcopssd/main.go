@@ -15,10 +15,13 @@
 //
 // With -debug, the daemon serves its runtime telemetry over HTTP:
 // /metrics (Prometheus text exposition), /flight?n= (packet-path flight
-// recorder dump) and /debug/pprof/*:
+// recorder dump), /debug/trace (Chrome trace-event JSON of the causal
+// packet trace when -trace-sample is on; open in Perfetto) and
+// /debug/pprof/*:
 //
-//	gcopssd -name R1 -listen :7001 -debug :7101
+//	gcopssd -name R1 -listen :7001 -debug :7101 -trace-sample 16
 //	curl http://localhost:7101/metrics
+//	curl http://localhost:7101/debug/trace > trace.json
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/faultnet"
 	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/transport"
 )
 
@@ -61,8 +65,10 @@ func run() error {
 		listen    = flag.String("listen", ":7000", "listen address for faces")
 		rpName    = flag.String("rp", "", "host an RP under this name (e.g. /rp1)")
 		rpPrefix  = flag.String("rp-prefixes", "/,/1,/2,/3,/4,/5", "comma-separated CD prefixes the RP serves")
-		debugAddr = flag.String("debug", "", "serve /metrics, /flight and /debug/pprof on this address (empty = off)")
+		debugAddr = flag.String("debug", "", "serve /metrics, /flight, /debug/trace and /debug/pprof on this address (empty = off)")
 		flightCap = flag.Int("flight-events", 1024, "flight recorder capacity in events (0 = off)")
+		traceRate = flag.Int("trace-sample", 0, "sample 1 in N publications for causal tracing, dumped at /debug/trace (0 = off)")
+		traceSeed = flag.Int64("trace-seed", 42, "sampling seed for -trace-sample")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		faultSpec = flag.String("fault-spec", "", "inject egress faults, e.g. 'loss=0.05,reorder=0.2' or 'face2:only=ctl,loss=0.1' (empty = off)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
@@ -78,8 +84,15 @@ func run() error {
 	root := obs.NewLogger(os.Stderr, level)
 	lg := obs.Scoped(root, "gcopssd").With("router", *name)
 
-	d := transport.NewDaemon(*name, core.WithFlightRecorder(obs.NewFlight(*flightCap)))
+	ropts := []core.Option{core.WithFlightRecorder(obs.NewFlight(*flightCap))}
+	if *traceRate > 0 {
+		ropts = append(ropts, core.WithTracer(trace.NewTracer(*traceRate, *traceSeed, 4096)))
+	}
+	d := transport.NewDaemon(*name, ropts...)
 	d.SetLogger(obs.Printf(obs.Scoped(root, "daemon")))
+	if *traceRate > 0 {
+		lg.Info("causal tracing armed", "sample", fmt.Sprintf("1/%d", *traceRate), "seed", fmt.Sprint(*traceSeed))
+	}
 	if *faultSpec != "" {
 		spec, err := faultnet.ParseSpec(*faultSpec)
 		if err != nil {
@@ -87,6 +100,7 @@ func run() error {
 		}
 		in := faultnet.New(spec, *faultSeed)
 		in.SetEpoch(time.Now())
+		in.Instrument(d.Router().Obs())
 		d.SetFaults(in)
 		lg.Info("fault injection armed", "spec", spec.String(), "seed", fmt.Sprint(*faultSeed))
 	}

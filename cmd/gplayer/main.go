@@ -12,13 +12,19 @@
 //	<text>            publish <text> to the current position
 //	/move <area>      relocate (resubscribes per the movement rules)
 //	/quit             exit
+//
+// With -debug, the client's counters (sent/received packets, faultnet
+// decisions) are exposed at /metrics alongside /debug/pprof/*.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -122,6 +128,7 @@ func run() error {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		faultSpec = flag.String("fault-spec", "", "inject uplink faults, e.g. 'loss=0.05' (empty = off)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's randomness")
+		debugAddr = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -150,6 +157,10 @@ func run() error {
 		return err
 	}
 	defer client.Close() //nolint:errcheck // shutdown path
+	// The player's registry is counters-only (client send/receive counts,
+	// faultnet decisions), so the debug scraper reads it without locking.
+	reg := obs.NewRegistry()
+	client.Instrument(reg)
 	if *faultSpec != "" {
 		spec, err := faultnet.ParseSpec(*faultSpec)
 		if err != nil {
@@ -157,8 +168,25 @@ func run() error {
 		}
 		in := faultnet.New(spec, *faultSeed)
 		in.SetEpoch(time.Now())
+		in.Instrument(reg)
 		client.SetFaults(in)
 		lg.Info("fault injection armed", "spec", spec.String(), "seed", fmt.Sprint(*faultSeed))
+	}
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux(func(w io.Writer) {
+			reg.WriteText(w) //nolint:errcheck // exposition write failure surfaces as a truncated scrape
+		}, nil, nil)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				lg.Error("debug server", "err", err)
+			}
+		}()
+		lg.Info("debug endpoint up", "addr", ln.Addr().String())
 	}
 
 	if err := client.Subscribe(player.SubscriptionCDs()...); err != nil {

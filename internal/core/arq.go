@@ -6,6 +6,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -118,6 +119,12 @@ func (s *relSink) Emit(a ndn.Action) {
 		r.arqSeq++
 		cp := *a.Packet
 		cp.CtlSeq = r.arqSeq
+		// Control packets get their trace context here: the CtlSeq stamp is
+		// their first hop, and (router name, CtlSeq) is the deterministic
+		// sampling key — control packets carry no (Origin, Seq).
+		if cp.TraceID == 0 {
+			cp.TraceID = r.tracer.SampleID(r.name, r.arqSeq)
+		}
 		a.Packet = &cp
 		r.arqPending[arqKey{face: a.Face, seq: r.arqSeq}] = &arqEntry{
 			pkt:    &cp,
@@ -194,12 +201,14 @@ func (r *Router) TickTo(now time.Time, sink ndn.ActionSink) {
 			delete(r.arqPending, k)
 			r.ctr.retransAbandoned.Inc()
 			r.record(now, obs.EvDrop, k.face, e.pkt, "retransmission abandoned")
+			r.traceHop(now, trace.HopDrop, k.face, e.pkt)
 			continue
 		}
 		e.attempts++
 		e.nextAt = now.Add(r.arqRTO << uint(e.attempts))
 		r.ctr.retransTotal.Inc()
 		r.record(now, obs.EvRetrans, k.face, e.pkt, "")
+		r.traceHop(now, trace.HopRetransmit, k.face, e.pkt)
 		// The stored packet is immutable-after-send; the resend can share it.
 		sink.Emit(ndn.Action{Face: k.face, Packet: e.pkt})
 	}

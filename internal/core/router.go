@@ -21,6 +21,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -140,6 +141,12 @@ type Router struct {
 	ctr             routerCounters
 	deliveryLatency *obs.Histogram
 
+	// tracer samples publications for causal tracing; tring is this
+	// router's hop ring, bound once at construction so the hot path never
+	// touches the tracer's registry map. Both nil when tracing is off.
+	tracer *trace.Tracer
+	tring  *trace.Ring
+
 	windowSize int
 	matchMode  copss.MatchMode
 
@@ -217,6 +224,15 @@ func WithFlightRecorder(f *obs.Flight) Option {
 	return func(r *Router) { r.flight = f }
 }
 
+// WithTracer attaches a shared causal tracer (internal/obs/trace): the
+// router samples client publications at their first hop and appends hop
+// records for any packet carrying a trace context. Hosts share one tracer
+// across all routers so a trace's hops land in per-router rings keyed by
+// router name. Without one, tracing is disabled at zero cost.
+func WithTracer(t *trace.Tracer) Option {
+	return func(r *Router) { r.tracer = t }
+}
+
 // NewRouter creates a router with no faces.
 func NewRouter(name string, opts ...Option) *Router {
 	r := &Router{
@@ -242,6 +258,9 @@ func NewRouter(name string, opts ...Option) *Router {
 	}
 	r.st = copss.NewST(r.matchMode)
 	r.hashes = copss.NewHashCache(0)
+	if r.tracer != nil {
+		r.tring = r.tracer.Ring(name)
+	}
 	if r.obsReg == nil {
 		r.obsReg = obs.NewRegistry()
 	}
@@ -283,6 +302,9 @@ func (r *Router) Obs() *obs.Registry { return r.obsReg }
 
 // FlightRecorder returns the attached flight recorder (nil when disabled).
 func (r *Router) FlightRecorder() *obs.Flight { return r.flight }
+
+// Tracer returns the attached causal tracer (nil when disabled).
+func (r *Router) Tracer() *trace.Tracer { return r.tracer }
 
 // Name returns the router's name.
 func (r *Router) Name() string { return r.name }
@@ -370,11 +392,31 @@ func (r *Router) record(now time.Time, kind obs.EventKind, face ndn.FaceID, pkt 
 	r.flight.Record(ev)
 }
 
+// traceHop appends one hop record for a traced packet. The common early-out
+// (untraced packet, or tracing disabled) is two loads and costs nothing —
+// this rides inside the multicast fast path, so it must stay alloc-free.
+//
+//gcopss:hotpath
+func (r *Router) traceHop(now time.Time, ev trace.HopEvent, face ndn.FaceID, pkt *wire.Packet) {
+	if pkt.TraceID == 0 || r.tring == nil {
+		return
+	}
+	r.tring.Append(trace.Hop{
+		TraceID:  pkt.TraceID,
+		At:       now.UnixNano(),
+		Face:     int64(face),
+		Seq:      pkt.Seq,
+		Event:    ev,
+		HopIndex: pkt.HopCount,
+	})
+}
+
 // drop counts a discarded packet and leaves a flight-recorder trace with the
 // reason.
 func (r *Router) drop(now time.Time, from ndn.FaceID, pkt *wire.Packet, reason string) {
 	r.ctr.dropped.Inc()
 	r.record(now, obs.EvDrop, from, pkt, reason)
+	r.traceHop(now, trace.HopDrop, from, pkt)
 }
 
 // AddFace registers a face of the given kind.
@@ -660,6 +702,7 @@ func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet, s
 		}
 		r.ctr.redirected.Inc()
 		r.record(now, obs.EvRedirect, InternalFace, inner, newRP)
+		r.traceHop(now, trace.HopRedirect, InternalFace, inner)
 		r.publishToward(now, newRP, inner, sink)
 		return
 	}
@@ -672,6 +715,7 @@ func (r *Router) deliverAsRP(now time.Time, rpName string, inner *wire.Packet, s
 	}
 	r.ctr.rpDeliveries.Inc()
 	r.record(now, obs.EvRPDeliver, InternalFace, inner, rpName)
+	r.traceHop(now, trace.HopRPDeliver, InternalFace, inner)
 	r.distribute(now, -1, inner, sink) // -1: no arrival face to exclude
 }
 
@@ -721,11 +765,22 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 		// First-hop optimization (Section III-C): attach the memoized Bloom
 		// hash pairs of the CD's prefixes once, here, and carry them with
 		// the packet so every downstream ST probe is a bit comparison. The
-		// arrival packet may be aliased by the sender, so the stamp goes on
-		// a copy-on-write shallow copy.
-		if r.matchMode != copss.MatchExact && len(pkt.CDHashes) == 0 {
+		// first hop is also where the causal tracer samples publications;
+		// both stamps share one copy-on-write shallow copy, since the
+		// arrival packet may be aliased by the sender.
+		needHash := r.matchMode != copss.MatchExact && len(pkt.CDHashes) == 0
+		tid := uint64(0)
+		if pkt.TraceID == 0 {
+			tid = r.tracer.SampleID(pkt.Origin, pkt.Seq)
+		}
+		if needHash || tid != 0 {
 			cp := *pkt
-			cp.CDHashes = r.hashes.FlatFor(c)
+			if needHash {
+				cp.CDHashes = r.hashes.FlatFor(c)
+			}
+			if tid != 0 {
+				cp.TraceID = tid
+			}
 			pkt = &cp
 		}
 		if r.IsRP(rpName) {
@@ -742,6 +797,7 @@ func (r *Router) handleMulticast(now time.Time, from ndn.FaceID, pkt *wire.Packe
 			}
 			r.ctr.rpDeliveries.Inc()
 			r.record(now, obs.EvRPDeliver, InternalFace, pkt, rpName)
+			r.traceHop(now, trace.HopRPDeliver, InternalFace, pkt)
 			r.distribute(now, -1, pkt, sink)
 			return
 		}
@@ -771,6 +827,9 @@ func (r *Router) publishToward(now time.Time, rpName string, inner *wire.Packet,
 	}
 	outer.HopCount = inner.HopCount + 1
 	r.record(now, obs.EvEncapsulate, faces[0], inner, rpName)
+	// The hop is recorded against the inner publication (its Seq identifies
+	// the trace span); the outer carries the same TraceID on the wire.
+	r.traceHop(now, trace.HopEncapsulate, faces[0], inner)
 	sink.Emit(ndn.Action{Face: faces[0], Packet: outer})
 }
 
@@ -807,6 +866,7 @@ func (r *Router) distribute(now time.Time, from ndn.FaceID, pkt *wire.Packet, si
 		sink.Emit(ndn.Action{Face: f, Packet: fwd})
 		r.ctr.multicastOut.Inc()
 		r.record(now, obs.EvFanOut, f, pkt, "")
+		r.traceHop(now, trace.HopFanOut, f, pkt)
 		if pkt.SentAt != 0 && pkt.Origin != FlushOrigin && r.faces[f] == FaceClient {
 			if dt := now.UnixNano() - pkt.SentAt; dt >= 0 {
 				r.deliveryLatency.Observe(float64(dt) / 1e6)

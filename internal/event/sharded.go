@@ -44,6 +44,11 @@ type ShardedScheduler struct {
 	nodeProcessed uint64
 	windows       uint64
 	windowStalls  uint64
+
+	// prof, when non-nil, accumulates wall-clock attribution (see
+	// profile.go). internal/event is exempt from the clockfree rule: the
+	// profiler measures real execution cost, not virtual time.
+	prof *schedProf
 }
 
 // shard is one worker's event queue plus its outbound mailboxes.
@@ -252,8 +257,12 @@ func (s *ShardedScheduler) runShard(i int, end time.Time) int {
 // drainMail moves every staged cross-shard event into its destination heap.
 // Called at barriers only (single-threaded).
 func (s *ShardedScheduler) drainMail() {
-	for _, sh := range s.shards {
+	p := s.prof
+	for si, sh := range s.shards {
 		for d, box := range sh.mail {
+			if p != nil && len(box) > 0 {
+				p.noteMailDepth(si, len(box))
+			}
 			for _, ev := range box {
 				s.shards[d].push(ev)
 			}
@@ -301,6 +310,10 @@ func (s *ShardedScheduler) minNodeShard() (int, bool) {
 // execute the same canonical (time, global-first, key) order — the
 // determinism suite compares one against the other directly.
 func (s *ShardedScheduler) RunUntil(deadline time.Time) uint64 {
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
 	var n uint64
 	if s.lookahead <= 0 || len(s.shards) == 1 {
 		n = s.runSequential(deadline)
@@ -309,6 +322,9 @@ func (s *ShardedScheduler) RunUntil(deadline time.Time) uint64 {
 	}
 	if s.now.Before(deadline) {
 		s.now = deadline
+	}
+	if s.prof != nil {
+		s.prof.wallNs += int64(time.Since(t0))
 	}
 	return n
 }
@@ -332,8 +348,20 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 			wg.Add(1)
 			go func(i int, c chan time.Time) {
 				defer wg.Done()
+				// prof is fixed before RunUntil; the coordinator reads
+				// curExec/curEvents only after receiving this shard's done
+				// value, so the channel is the happens-before edge.
+				p := s.prof
 				for end := range c {
-					done <- s.runShard(i, end)
+					if p != nil {
+						t0 := time.Now()
+						k := s.runShard(i, end)
+						p.curExec[i] = int64(time.Since(t0))
+						p.curEvents[i] = k
+						done <- k
+					} else {
+						done <- s.runShard(i, end)
+					}
 				}
 			}(i, starts[i])
 		}
@@ -352,7 +380,13 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 			if tg.After(deadline) {
 				return n
 			}
-			n += s.global.RunUntil(tg)
+			if p := s.prof; p != nil {
+				t0 := time.Now()
+				n += s.global.RunUntil(tg)
+				p.globalNs += int64(time.Since(t0))
+			} else {
+				n += s.global.RunUntil(tg)
+			}
 			if g := s.global.Now(); g.After(s.now) {
 				s.now = g
 			}
@@ -370,10 +404,21 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 		}
 		s.windows++
 		stalled := false
+		p := s.prof
+		var wStart time.Time
+		if p != nil {
+			wStart = time.Now()
+		}
 		if nw == 1 {
 			k := s.runShard(0, end)
 			s.nodeProcessed += uint64(k)
 			n += uint64(k)
+			if p != nil {
+				wall := int64(time.Since(wStart))
+				p.curExec[0] = wall
+				p.curEvents[0] = k
+				p.recordWindow(s.windows-1, wall, tn, end)
+			}
 		} else {
 			s.parallel = true
 			for _, c := range starts {
@@ -388,7 +433,14 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 				n += uint64(k)
 			}
 			s.parallel = false
-			s.drainMail()
+			if p != nil {
+				p.recordWindow(s.windows-1, int64(time.Since(wStart)), tn, end)
+				t0 := time.Now()
+				s.drainMail()
+				p.drainNs += int64(time.Since(t0))
+			} else {
+				s.drainMail()
+			}
 		}
 		if stalled {
 			s.windowStalls++
@@ -414,7 +466,13 @@ func (s *ShardedScheduler) runSequential(deadline time.Time) uint64 {
 			if tg.After(deadline) {
 				return n
 			}
-			n += s.global.RunUntil(tg)
+			if p := s.prof; p != nil {
+				t0 := time.Now()
+				n += s.global.RunUntil(tg)
+				p.globalNs += int64(time.Since(t0))
+			} else {
+				n += s.global.RunUntil(tg)
+			}
 			if g := s.global.Now(); g.After(s.now) {
 				s.now = g
 			}
@@ -433,7 +491,19 @@ func (s *ShardedScheduler) runSequential(deadline time.Time) uint64 {
 		if ev.at.After(s.now) {
 			s.now = ev.at
 		}
-		ev.call(ev.at, ev.pl)
+		// With no windows there is no barrier, so every node event is pure
+		// execution; charge it to its shard and to the window bucket so
+		// AttributedFrac keeps the same meaning in both modes.
+		if p := s.prof; p != nil {
+			t0 := time.Now()
+			ev.call(ev.at, ev.pl)
+			d := int64(time.Since(t0))
+			p.shards[i].ExecNs += d
+			p.shards[i].Events++
+			p.windowNs += d
+		} else {
+			ev.call(ev.at, ev.pl)
+		}
 		n++
 	}
 }

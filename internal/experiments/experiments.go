@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/gamemap"
+	obstrace "github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/sim"
 	"github.com/icn-gaming/gcopss/internal/topo"
 	"github.com/icn-gaming/gcopss/internal/trace"
@@ -30,6 +31,16 @@ type Options struct {
 	// produces bit-identical results, so Workers is intentionally not part
 	// of the Provenance replay line.
 	Workers int
+	// Trace, when non-nil, attaches causal packet tracing to the Fig. 4
+	// G-COPSS routers; hop records land in the tracer's rings for Chrome
+	// trace export. Tracing never changes results (sampled packets carry an
+	// extra ID, virtual time is untouched), so like Workers it is not part
+	// of Provenance.
+	Trace *obstrace.Tracer
+	// Profile enables the scheduler profiler on the Fig. 4 G-COPSS run;
+	// the profile returns in Fig4Result.GCOPSS.Sched. Observational only —
+	// not part of Provenance.
+	Profile bool
 }
 
 // DefaultOptions runs at 5% scale — large enough for every effect in the

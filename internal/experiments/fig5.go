@@ -17,6 +17,10 @@ type Fig5Series struct {
 	MaxMs   []float32
 	Splits  []sim.SplitEvent
 	MeanMs  float64
+	// P50Ms/P99Ms are the run's delivery-latency quantiles (log-bucket
+	// interpolation over every delivery; NaN with no deliveries).
+	P50Ms   float64
+	P99Ms   float64
 	FinalRP int
 	// RPQueues reports each RP's queue-depth summary for the panel —
 	// the load picture behind the latency curves.
@@ -43,7 +47,9 @@ func Fig5(w *Workbench) (*Fig5Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig5 %s: %w", name, err)
 		}
-		s := &Fig5Series{Name: name, Splits: r.Splits, MeanMs: r.Latency.Mean(), FinalRP: r.FinalRPs, RPQueues: r.RPQueues}
+		s := &Fig5Series{Name: name, Splits: r.Splits, MeanMs: r.Latency.Mean(),
+			P50Ms: r.LatencyP50Ms, P99Ms: r.LatencyP99Ms,
+			FinalRP: r.FinalRPs, RPQueues: r.RPQueues}
 		n := len(r.PerUpdateAvg)
 		stride := n / fig5Points
 		if stride < 1 {
@@ -88,7 +94,7 @@ func (r *Fig5Result) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig 5 — traffic-concentration elimination (per-update latency vs packet index; %s)\n", r.Provenance)
 	for _, s := range []*Fig5Series{r.ThreeRP, r.TwoRP, r.Auto} {
-		fmt.Fprintf(&b, "[%s] mean=%.2fms finalRPs=%d", s.Name, s.MeanMs, s.FinalRP)
+		fmt.Fprintf(&b, "[%s] mean=%.2fms p50=%.2fms p99=%.2fms finalRPs=%d", s.Name, s.MeanMs, s.P50Ms, s.P99Ms, s.FinalRP)
 		if len(s.Splits) > 0 {
 			b.WriteString(" splits at packets:")
 			for _, sp := range s.Splits {

@@ -104,12 +104,14 @@ func formatFloat(v float64) string {
 //	GET /metrics        Prometheus-style text exposition (via metrics)
 //	GET /flight?n=64    last n flight-recorder events (via flight; all if n
 //	                    is absent); 404 when flight is nil
+//	GET /debug/trace    Chrome trace-event JSON of the causal packet trace
+//	                    (via trace; open in Perfetto); 404 when trace is nil
 //	GET /debug/pprof/*  the standard runtime profiles
 //
 // The callbacks let each host serialize access its own way: the TCP daemon
 // routes both through its event loop, the broker writes its (atomic-only)
 // registry directly.
-func NewDebugMux(metrics func(io.Writer), flight func(io.Writer, int)) *http.ServeMux {
+func NewDebugMux(metrics func(io.Writer), flight func(io.Writer, int), trace func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -131,6 +133,15 @@ func NewDebugMux(metrics func(io.Writer), flight func(io.Writer, int)) *http.Ser
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		flight(w, n)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		if trace == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="gcopss-trace.json"`)
+		trace(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightReadDuringWrite hammers one recorder with concurrent writers
+// while readers snapshot and dump it. Run under -race this pins the
+// documented concurrency contract: Record, Snapshot, Last, Dump, Recorded
+// and Enabled are all safe to interleave, and every snapshot observes a
+// consistent ring (sequence numbers strictly increasing, no torn events).
+func TestFlightReadDuringWrite(t *testing.T) {
+	f := NewFlight(64)
+	const writers, perWriter, reads = 4, 2000, 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(Event{Kind: EvMulticast, CD: "/1/2", Origin: "p"})
+			}
+		}()
+	}
+	readErr := make(chan string, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reads; i++ {
+			evs := f.Snapshot()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					select {
+					case readErr <- "snapshot sequence not strictly increasing":
+					default:
+					}
+					return
+				}
+			}
+			var sb strings.Builder
+			if err := f.Dump(&sb, 16); err != nil {
+				select {
+				case readErr <- err.Error():
+				default:
+				}
+				return
+			}
+			_ = f.Recorded()
+			_ = f.Enabled()
+		}
+	}()
+	wg.Wait()
+	select {
+	case msg := <-readErr:
+		t.Fatal(msg)
+	default:
+	}
+	if got := f.Recorded(); got != writers*perWriter {
+		t.Errorf("Recorded() = %d, want %d", got, writers*perWriter)
+	}
+}

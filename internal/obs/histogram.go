@@ -15,6 +15,12 @@ type Histogram struct {
 	sumBits atomic.Uint64 // math.Float64bits of the running sum
 }
 
+// NewHistogram builds a standalone histogram from ascending upper bounds
+// (nil defaults to LatencyBucketsMs). Use a Registry for exposed metrics;
+// this constructor serves internal consumers — the simulators keep private
+// latency histograms purely to report quantiles in their results.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 // newHistogram builds a histogram from ascending upper bounds; non-ascending
 // inputs are sanitized by dropping out-of-order bounds. nil bounds default to
 // LatencyBucketsMs.
@@ -69,6 +75,36 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n observations of value v in one shot — the batch
+// counterpart of Observe for replaying pre-aggregated counts. The
+// single-threaded simulators bucket millions of delivery latencies into
+// plain local counters (three uncontended atomics per delivery would
+// dominate their per-delivery arithmetic) and feed the histogram once per
+// run, one ObserveN per occupied bucket.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -77,6 +113,61 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 
 // Bounds returns a copy of the bucket upper bounds.
 func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts by
+// log-linear interpolation, matching the log-spaced bucket layout: within
+// the bucket holding the target rank, the value is interpolated on a
+// geometric scale between the bucket's bounds. The first bucket interpolates
+// from half its upper bound; ranks landing in the +Inf overflow bucket
+// report the final bound (a lower bound on the true value). Returns NaN on
+// an empty histogram or q outside [0, 1]. Safe to call concurrently with
+// Observe; the answer reflects some recent state.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	counts := h.Snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	// Target rank in [1, total]; cumulative walk finds its bucket.
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if rank > cum {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket is unbounded; the final bound is the best
+			// defensible answer.
+			return h.bounds[len(h.bounds)-1]
+		}
+		hi := h.bounds[i]
+		lo := hi / 2
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := (rank - prev) / float64(c)
+		if lo <= 0 {
+			// Degenerate non-positive bound: fall back to linear.
+			return lo + (hi-lo)*frac
+		}
+		return lo * math.Pow(hi/lo, frac)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Snapshot returns per-bucket counts (not cumulative); the last entry counts
 // observations above the final bound.

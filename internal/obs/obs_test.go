@@ -96,6 +96,39 @@ func TestHistogramBucketsAndSum(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveNMatchesObserve(t *testing.T) {
+	vals := []float64{0.5, 1, 1.5, 3, 3, 3, 100}
+	one := NewHistogram([]float64{1, 2, 4})
+	for _, v := range vals {
+		one.Observe(v)
+	}
+	batch := NewHistogram([]float64{1, 2, 4})
+	batch.ObserveN(0.5, 1)
+	batch.ObserveN(1, 1)
+	batch.ObserveN(1.5, 1)
+	batch.ObserveN(3, 3)
+	batch.ObserveN(100, 1)
+	batch.ObserveN(42, 0) // no-op
+
+	if g, w := batch.Count(), one.Count(); g != w {
+		t.Errorf("count = %d, want %d", g, w)
+	}
+	if g, w := batch.Sum(), one.Sum(); math.Abs(g-w) > 1e-9 {
+		t.Errorf("sum = %g, want %g", g, w)
+	}
+	gs, ws := batch.Snapshot(), one.Snapshot()
+	for i := range ws {
+		if gs[i] != ws[i] {
+			t.Errorf("bucket %d = %d, want %d", i, gs[i], ws[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if g, w := batch.Quantile(q), one.Quantile(q); math.Abs(g-w) > 1e-9 {
+			t.Errorf("quantile %g = %g, want %g", q, g, w)
+		}
+	}
+}
+
 func TestLatencyBucketsAreLogSpaced(t *testing.T) {
 	b := LatencyBucketsMs()
 	if len(b) != 20 {
@@ -219,6 +252,7 @@ func TestDebugMux(t *testing.T) {
 	mux := NewDebugMux(
 		func(w io.Writer) { reg.WriteText(w) },     //nolint:errcheck // test shim
 		func(w io.Writer, n int) { fl.Dump(w, n) }, //nolint:errcheck // test shim
+		func(w io.Writer) { io.WriteString(w, `{"traceEvents":[]}`) }, //nolint:errcheck // test shim
 	)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
@@ -248,16 +282,21 @@ func TestDebugMux(t *testing.T) {
 	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
 		t.Errorf("/debug/pprof/cmdline: code=%d", code)
 	}
-
-	noFlight := httptest.NewServer(NewDebugMux(func(w io.Writer) {}, nil))
-	defer noFlight.Close()
-	resp, err := http.Get(noFlight.URL + "/flight")
-	if err != nil {
-		t.Fatal(err)
+	if code, body := get("/debug/trace"); code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+		t.Errorf("/debug/trace: code=%d body=%q", code, body)
 	}
-	resp.Body.Close() //nolint:errcheck // test shim
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("/flight without recorder: code=%d, want 404", resp.StatusCode)
+
+	noFlight := httptest.NewServer(NewDebugMux(func(w io.Writer) {}, nil, nil))
+	defer noFlight.Close()
+	for _, path := range []string{"/flight", "/debug/trace"} {
+		resp, err := http.Get(noFlight.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck // test shim
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without source: code=%d, want 404", path, resp.StatusCode)
+		}
 	}
 }
 

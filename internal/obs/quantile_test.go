@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyAndBadQ(t *testing.T) {
+	h := NewHistogram(nil)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram: Quantile(0.5) not NaN")
+	}
+	h.Observe(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("Quantile(%v) not NaN", q)
+		}
+	}
+}
+
+// TestQuantileMonotone: quantiles are non-decreasing in q and bounded by
+// the bucket containing the rank.
+func TestQuantileMonotone(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 10000; i++ {
+		h.Observe(0.05 * float64(1+i%200)) // 0.05..10 ms
+	}
+	prev := math.Inf(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = NaN", q)
+		}
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < Quantile at lower q = %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestQuantileSingleBucket: all mass in one bucket interpolates within that
+// bucket's geometric span.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(3) // lands in the (2, 4] bucket
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		v := h.Quantile(q)
+		if v < 2 || v > 4 {
+			t.Errorf("Quantile(%v) = %v, want within (2, 4]", q, v)
+		}
+	}
+	// Geometric interpolation: the median of a full bucket sits at the
+	// geometric mean of its bounds.
+	want := math.Sqrt(2 * 4)
+	if got := h.Quantile(0.5); math.Abs(got-want) > 0.1 {
+		t.Errorf("median = %v, want ~%v (geometric midpoint)", got, want)
+	}
+}
+
+// TestQuantileAccuracy: on log-uniform data the estimator must land within
+// one bucket ratio (2×) of the true quantile.
+func TestQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(nil)
+	// 1000 samples at exactly 1ms, 10 at 20ms: p50 ~1ms, p99+ near tail.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1.0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(20.0)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.5 || p50 > 2 {
+		t.Errorf("p50 = %v ms, want within (0.5, 2) around 1ms", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 10 || p999 > 40 {
+		t.Errorf("p99.9 = %v ms, want within (10, 40) around 20ms", p999)
+	}
+}
+
+// TestQuantileOverflowBucket: ranks above the final bound report the final
+// bound rather than inventing a value.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("all-overflow Quantile(0.5) = %v, want final bound 2", got)
+	}
+}
+
+// TestQuantileExtremes: q=0 stays at or below every observation's bucket
+// bound, q=1 at the top of the highest occupied bucket.
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.6)
+	h.Observe(3)
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	if lo > 1 {
+		t.Errorf("Quantile(0) = %v, want <= 1 (first occupied bucket)", lo)
+	}
+	if hi < 2 || hi > 4 {
+		t.Errorf("Quantile(1) = %v, want within (2, 4]", hi)
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/event"
+)
+
+func sampleProfile() *event.SchedProfile {
+	return &event.SchedProfile{
+		Workers: 2, Windows: 2,
+		WallNs: 1000, WindowNs: 800, GlobalNs: 100, DrainNs: 50,
+		Shards: []event.ShardProfile{
+			{ExecNs: 700, BarrierWaitNs: 100, Events: 10},
+			{ExecNs: 300, BarrierWaitNs: 500, Events: 4},
+		},
+		Timeline: []event.WindowRecord{
+			{Window: 0, Shard: 0, StartNs: 0, ExecNs: 400, WaitNs: 0, Events: 5, VirtStart: 0, VirtEnd: 1000},
+			{Window: 0, Shard: 1, StartNs: 0, ExecNs: 100, WaitNs: 300, Events: 2, VirtStart: 0, VirtEnd: 1000},
+			{Window: 1, Shard: 0, StartNs: 400, ExecNs: 300, WaitNs: 100, Events: 5, VirtStart: 1000, VirtEnd: 2000},
+			{Window: 1, Shard: 1, StartNs: 400, ExecNs: 200, WaitNs: 200, Events: 2, VirtStart: 1000, VirtEnd: 2000},
+		},
+	}
+}
+
+// TestWriteChromeTraceValid: a populated export passes the validator and
+// contains the expected track structure.
+func TestWriteChromeTraceValid(t *testing.T) {
+	tr := NewTracer(1, 0, 64)
+	r1 := tr.Ring("R1")
+	r2 := tr.Ring("R2")
+	id := tr.SampleID("p1", 1)
+	if id == 0 {
+		t.Fatal("every=1 did not sample")
+	}
+	base := time.Unix(0, 0).Add(time.Millisecond).UnixNano()
+	r1.Append(Hop{TraceID: id, At: base, Face: 1, Seq: 1, Event: HopEncapsulate, HopIndex: 0})
+	r2.Append(Hop{TraceID: id, At: base + int64(2*time.Millisecond), Face: -1, Seq: 1, Event: HopRPDeliver, HopIndex: 2})
+	r2.Append(Hop{TraceID: id, At: base + int64(2*time.Millisecond), Face: 3, Seq: 1, Event: HopFanOut, HopIndex: 2})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, sampleProfile()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChromeTrace: %v", err)
+	}
+
+	var f struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var spans, instants, execs, waits, metas int
+	for _, ev := range f.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			metas++
+		case ev.Ph == "X" && strings.HasPrefix(ev.Name, "trace "):
+			spans++
+			if ev.Pid != 0 {
+				t.Errorf("packet span on pid %d, want 0", ev.Pid)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("packet span dur = %v, want > 0", ev.Dur)
+			}
+		case ev.Ph == "i":
+			instants++
+			if ev.Pid < 1 || ev.Pid > 2 {
+				t.Errorf("hop instant on pid %d, want router pid 1..2", ev.Pid)
+			}
+		case ev.Ph == "X" && ev.Name == "execute":
+			execs++
+		case ev.Ph == "X" && ev.Name == "barrier-wait":
+			waits++
+		}
+	}
+	if spans != 1 {
+		t.Errorf("packet spans = %d, want 1", spans)
+	}
+	if instants != 3 {
+		t.Errorf("hop instants = %d, want 3", instants)
+	}
+	if execs != 4 {
+		t.Errorf("execute spans = %d, want 4 (one per timeline record)", execs)
+	}
+	if waits != 3 {
+		t.Errorf("barrier-wait spans = %d, want 3 (zero-wait records skipped)", waits)
+	}
+	// process_name for packets, 2 routers, scheduler + 2 shard thread_names.
+	if metas != 6 {
+		t.Errorf("metadata events = %d, want 6", metas)
+	}
+}
+
+// TestWriteChromeTraceEmpty: nil tracer and nil profile still produce a
+// schema-valid (empty) trace.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatalf("WriteChromeTrace(nil, nil): %v", err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChromeTrace: %v", err)
+	}
+}
+
+// TestValidateChromeTraceRejects: malformed documents are caught.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", "{"},
+		{"no traceEvents", `{}`},
+		{"missing name", `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":0,"tid":0}]}`},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`},
+		{"missing pid", `{"traceEvents":[{"name":"x","ph":"i","ts":1,"tid":0}]}`},
+		{"negative dur", `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-5,"pid":0,"tid":0}]}`},
+		{"missing dur", `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":0,"tid":0}]}`},
+	}
+	for _, tt := range bad {
+		if err := ValidateChromeTrace([]byte(tt.doc)); err == nil {
+			t.Errorf("%s: validator accepted %s", tt.name, tt.doc)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"x","ph":"M","pid":0,"tid":0}]}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("validator rejected minimal valid doc: %v", err)
+	}
+}

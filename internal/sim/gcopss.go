@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -78,6 +79,96 @@ type Result struct {
 	// RPQueues summarizes each RP's FIFO queue over the run, in RP order
 	// (RPs created by auto-balancing splits appear after the initial set).
 	RPQueues []RPQueueStat
+	// LatencyP50Ms and LatencyP99Ms are delivery-latency quantiles
+	// estimated from a log-bucket histogram fed every delivery (unlike
+	// Latency, which is a bounded reservoir sample). NaN when the run had
+	// no deliveries.
+	LatencyP50Ms float64
+	LatencyP99Ms float64
+
+	// latCounts feeds the quantiles: per-bucket delivery counts over
+	// latBounds (last slot is overflow). Plain integers, not an
+	// obs.Histogram — the engines are single-threaded and call addLatency
+	// once per delivery, where the histogram's three atomics would cost
+	// more than the rest of the per-delivery arithmetic combined.
+	latCounts []uint64
+}
+
+// latBounds is the shared bucket layout of the delivery-latency quantile
+// accumulators, fixed at package init so latIndex works over an immutable
+// slice.
+var latBounds = obs.LatencyBucketsMs()
+
+// latIndex returns the quantile bucket for lat: the index of the first
+// bound >= lat, or len(latBounds) for overflow. The bounds double from
+// latBounds[0], so the index is read off the binary exponent of
+// lat/latBounds[0] instead of binary-searched — a search's comparisons are
+// data-dependent and mispredict on real latency streams, which at one call
+// per delivery (~10M per Fig. 5 run) is the dominant cost of quantile
+// accounting. The one-step fix-up absorbs division rounding at bucket
+// boundaries, keeping the result identical to the search.
+func latIndex(lat float64) int {
+	n := len(latBounds)
+	if lat <= latBounds[0] {
+		return 0
+	}
+	if lat > latBounds[n-1] {
+		return n
+	}
+	bits := math.Float64bits(lat / latBounds[0])
+	i := int(bits>>52&0x7ff) - 1023
+	if bits&(1<<52-1) != 0 {
+		i++
+	}
+	if i < 1 {
+		i = 1
+	} else if i >= n {
+		i = n - 1
+	}
+	if lat > latBounds[i] {
+		i++
+	} else if lat <= latBounds[i-1] {
+		i--
+	}
+	return i
+}
+
+// addLatency records one delivery latency into both the reservoir stream
+// and the quantile buckets.
+func (r *Result) addLatency(lat float64) {
+	r.Latency.Add(lat)
+	if r.latCounts == nil {
+		r.latCounts = make([]uint64, len(latBounds)+1)
+	}
+	r.latCounts[latIndex(lat)]++
+}
+
+// finishLatency resolves the quantile fields; engines call it once before
+// returning their Result. The local bucket counts are replayed into an
+// obs.Histogram (one ObserveN per occupied bucket, each fed a value inside
+// that bucket's bounds) so the quantile math lives in exactly one place.
+func (r *Result) finishLatency() {
+	if r.latCounts == nil {
+		r.LatencyP50Ms = math.NaN()
+		r.LatencyP99Ms = math.NaN()
+		return
+	}
+	h := obs.NewHistogram(nil)
+	for i, c := range r.latCounts {
+		if c == 0 {
+			continue
+		}
+		v := latBounds[len(latBounds)-1] * 2 // overflow bucket
+		if i < len(latBounds) {
+			v = latBounds[i]
+			if i > 0 {
+				v = (latBounds[i-1] + latBounds[i]) / 2
+			}
+		}
+		h.ObserveN(v, c)
+	}
+	r.LatencyP50Ms = h.Quantile(0.5)
+	r.LatencyP99Ms = h.Quantile(0.99)
 }
 
 // RPQueueStat is the per-RP queue summary of one run.
@@ -278,7 +369,7 @@ func (cfg GCOPSSConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
 				continue
 			}
 			lat := depart + plan.delays[i] - nowMs
-			res.Latency.Add(lat)
+			res.addLatency(lat)
 			res.Deliveries++
 			sum += lat
 			if n == 0 || lat < minL {
@@ -307,6 +398,7 @@ func (cfg GCOPSSConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
 		}
 		res.RPQueues = append(res.RPQueues, st)
 	}
+	res.finishLatency()
 	return res, nil
 }
 

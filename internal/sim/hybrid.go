@@ -136,7 +136,7 @@ func (cfg HybridConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
 				continue
 			}
 			lat := cfg.Costs.HostMs + sp.delays[i]
-			res.Latency.Add(lat)
+			res.addLatency(lat)
 			res.Deliveries++
 			sum += lat
 			if n == 0 || lat < minL {
@@ -158,6 +158,7 @@ func (cfg HybridConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
 			res.PerUpdateMax = append(res.PerUpdateMax, 0)
 		}
 	}
+	res.finishLatency()
 	return res, nil
 }
 

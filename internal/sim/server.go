@@ -107,7 +107,7 @@ func (cfg ServerConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
 				continue
 			}
 			lat := depart + plan.delays[i] - nowMs
-			res.Latency.Add(lat)
+			res.addLatency(lat)
 			res.Deliveries++
 			res.Bytes += pktBytes * float64(plan.hops[i])
 			sum += lat
@@ -130,6 +130,7 @@ func (cfg ServerConfig) Run(env *Env, updates []trace.Update) (*Result, error) {
 		}
 	}
 	res.FinalRPs = len(cfg.Servers)
+	res.finishLatency()
 	return res, nil
 }
 

@@ -18,9 +18,16 @@ import (
 // multicast and the subscription tree.
 func RunGCOPSS(s *Setup) (*MicroResult, error) {
 	tb := New(WithWorkers(s.Workers))
+	if s.Profile {
+		tb.EnableProfiling(4096)
+	}
 	res := &MicroResult{Latency: &stats.Sample{}}
 
-	rn, err := buildRouterNet(tb, s)
+	var ropts []core.Option
+	if s.Tracer != nil {
+		ropts = append(ropts, core.WithTracer(s.Tracer))
+	}
+	rn, err := buildRouterNet(tb, s, ropts...)
 	if err != nil {
 		return nil, err
 	}
@@ -97,5 +104,6 @@ func RunGCOPSS(s *Setup) (*MicroResult, error) {
 	}
 	mergeAccs(res, accs)
 	res.PacketEvents, res.Bytes = tb.Stats()
+	res.Sched = tb.SchedProfile()
 	return res, nil
 }

@@ -7,8 +7,10 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/event"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/ndn"
+	obstrace "github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/stats"
 	"github.com/icn-gaming/gcopss/internal/topo"
 	"github.com/icn-gaming/gcopss/internal/trace"
@@ -33,6 +35,17 @@ type Setup struct {
 	// partitioned across (0 or 1 = single-threaded). Results are identical
 	// at every worker count.
 	Workers int
+
+	// Tracer, when non-nil, attaches causal packet tracing to the G-COPSS
+	// routers: sampled publications carry a trace ID end to end and every
+	// hop decision lands in the tracer's per-router rings. Sampling is
+	// deterministic under the tracer's seed, so the trace itself replays.
+	Tracer *obstrace.Tracer
+	// Profile enables the sharded-scheduler profiler for the G-COPSS run;
+	// the per-window timeline and barrier-wait attribution come back in
+	// MicroResult.Sched. Profiling observes wall-clock time, so it changes
+	// no virtual-time results but does cost a few timestamps per window.
+	Profile bool
 
 	// NDN configures the query/response baseline.
 	NDN NDNOptions
@@ -117,6 +130,9 @@ type MicroResult struct {
 	// PacketEvents and Bytes aggregate network activity.
 	PacketEvents uint64
 	Bytes        float64
+	// Sched is the scheduler profile of the run (nil unless Setup.Profile
+	// was set): wall-clock attribution of the windowed parallel loop.
+	Sched *event.SchedProfile
 }
 
 // clientAcc accumulates one client's delivery observations. Client nodes on

@@ -176,6 +176,15 @@ func New(opts ...Option) *Testbed {
 // Now returns the current virtual time.
 func (tb *Testbed) Now() time.Time { return tb.sched.Now() }
 
+// EnableProfiling turns on the scheduler's wall-clock profiler: per-window
+// exec/barrier-wait attribution and (up to timelineCap records) the
+// per-(window, shard) timeline. Call before Run.
+func (tb *Testbed) EnableProfiling(timelineCap int) { tb.sched.EnableProfiling(timelineCap) }
+
+// SchedProfile snapshots the scheduler profile, or nil when profiling is
+// off. Call after Run.
+func (tb *Testbed) SchedProfile() *event.SchedProfile { return tb.sched.Profile() }
+
 // Workers returns the worker shard count.
 func (tb *Testbed) Workers() int { return tb.workers }
 
@@ -373,6 +382,20 @@ func (tb *Testbed) export() {
 	depth := tb.reg.GaugeVec("testbed_shard_queue_high_water", "shard")
 	for i := 0; i < tb.workers; i++ {
 		depth.With(strconv.Itoa(i)).Set(int64(tb.sched.QueueHighWater(i)))
+	}
+	if prof := tb.sched.Profile(); prof != nil {
+		tb.reg.Gauge("testbed_sched_wall_ns").Set(prof.WallNs)
+		tb.reg.Gauge("testbed_sched_window_ns").Set(prof.WindowNs)
+		tb.reg.Gauge("testbed_sched_global_ns").Set(prof.GlobalNs)
+		tb.reg.Gauge("testbed_sched_drain_ns").Set(prof.DrainNs)
+		tb.reg.Gauge("testbed_sched_barrier_wait_permille").Set(int64(prof.BarrierWaitFrac() * 1000))
+		tb.reg.Gauge("testbed_sched_mean_window_width_ns").Set(int64(prof.MeanWindowWidth()))
+		exec := tb.reg.GaugeVec("testbed_sched_shard_exec_ns", "shard")
+		wait := tb.reg.GaugeVec("testbed_sched_shard_barrier_wait_ns", "shard")
+		for i := range prof.Shards {
+			exec.With(strconv.Itoa(i)).Set(prof.Shards[i].ExecNs)
+			wait.With(strconv.Itoa(i)).Set(prof.Shards[i].BarrierWaitNs)
+		}
 	}
 }
 

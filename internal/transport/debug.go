@@ -10,6 +10,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/obs/trace"
 )
 
 // DebugHandler returns the daemon's runtime debug endpoint: /metrics
@@ -32,7 +33,17 @@ func (d *Daemon) DebugHandler() http.Handler {
 			})
 		}
 	}
-	return obs.NewDebugMux(metrics, flight)
+	var traceDump func(io.Writer)
+	if d.router.Tracer() != nil {
+		traceDump = func(w io.Writer) {
+			d.Inspect(func(r *core.Router) {
+				// No scheduler profile in the live daemon — the profiler
+				// belongs to the discrete-event testbed.
+				trace.WriteChromeTrace(w, r.Tracer(), nil) //nolint:errcheck // same as exposition
+			})
+		}
+	}
+	return obs.NewDebugMux(metrics, flight, traceDump)
 }
 
 // ServeDebug binds an HTTP server for DebugHandler on addr and serves until

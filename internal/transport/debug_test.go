@@ -13,6 +13,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/obs"
+	"github.com/icn-gaming/gcopss/internal/obs/trace"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -177,5 +178,73 @@ func TestDebugEndpointAfterPublicationExchange(t *testing.T) {
 	// pprof rides along on the same mux.
 	if code, _ := httpGet(t, debug1+"/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+
+	// No tracer attached: /debug/trace reports 404 rather than an empty
+	// document.
+	if code, _ := httpGet(t, debug1+"/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("/debug/trace without tracer: status %d, want 404", code)
+	}
+}
+
+// TestDebugTraceEndpoint drives a traced publication through a live daemon
+// and pulls the Chrome trace from /debug/trace: the document must validate
+// and contain the publication's hop records.
+func TestDebugTraceEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	tr := trace.NewTracer(1, 7, 256) // sample everything
+	d, addr, debugURL := startDebugDaemon(t, ctx, "R1", core.WithTracer(tr))
+	if err := d.BecomeRP(copss.RPInfo{
+		Name:     "/rp1",
+		Prefixes: []cd.CD{cd.MustNew("1")},
+		Seq:      1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := NewClient("soldier", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close() //nolint:errcheck // test shutdown
+	if err := sub.Subscribe(cd.MustParse("/1/2")); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewClient("plane", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()                  //nolint:errcheck // test shutdown
+	time.Sleep(100 * time.Millisecond) // subscription settles
+
+	if err := pub.Publish(cd.MustParse("/1/2"), 1, []byte("flyover")); err != nil {
+		t.Fatal(err)
+	}
+	rxc := make(chan *wire.Packet, 1)
+	go func() {
+		if p, err := sub.Receive(); err == nil {
+			rxc <- p
+		}
+	}()
+	select {
+	case p := <-rxc:
+		if p.TraceID == 0 {
+			t.Error("delivered publication lost its trace ID")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("publication never delivered")
+	}
+
+	code, body := httpGet(t, debugURL+"/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", code)
+	}
+	if err := trace.ValidateChromeTrace([]byte(body)); err != nil {
+		t.Fatalf("/debug/trace returned invalid document: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "rp-deliver") || !strings.Contains(body, "fan-out") {
+		t.Errorf("/debug/trace misses hop events:\n%s", body)
 	}
 }

@@ -143,6 +143,16 @@ type Packet struct {
 	// in a TypeAck and uses it to deduplicate retransmissions. Zero means
 	// the packet travels unacknowledged (legacy / client faces).
 	CtlSeq uint64
+
+	// TraceID is the causal-tracing context (internal/obs/trace): a sampled
+	// first-hop router stamps a nonzero deterministic ID derived from
+	// (origin, seq, seed), and every router on the path appends hop records
+	// keyed by it. Zero — the overwhelmingly common case — means the packet
+	// is untraced and the field is omitted from the encoding, so disabled
+	// tracing leaves wire bytes unchanged. HopCount doubles as the hop
+	// index of the trace context; both ride through Forward()/COW copies as
+	// ordinary struct fields.
+	TraceID uint64
 }
 
 // CD returns the single content descriptor of a Multicast packet, or ErrNoCD
@@ -221,6 +231,7 @@ const (
 	fieldHops     = 7
 	fieldCDHashes = 8
 	fieldCtlSeq   = 9
+	fieldTraceID  = 10
 )
 
 const (
@@ -286,6 +297,9 @@ func bodyLen(p *Packet) int {
 	}
 	if p.CtlSeq != 0 {
 		n += fieldLen(uvarintLen(p.CtlSeq))
+	}
+	if p.TraceID != 0 {
+		n += fieldLen(uvarintLen(p.TraceID))
 	}
 	return n
 }
@@ -353,6 +367,11 @@ func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], p.CtlSeq)
 		out = appendBytesField(out, fieldCtlSeq, buf[:n])
+	}
+	if p.TraceID != 0 {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], p.TraceID)
+		out = appendBytesField(out, fieldTraceID, buf[:n])
 	}
 	return out, nil
 }
@@ -453,6 +472,12 @@ func Decode(buf []byte) (*Packet, int, error) {
 				return nil, 0, ErrShortPacket
 			}
 			p.CtlSeq = v
+		case fieldTraceID:
+			v, vn := binary.Uvarint(val)
+			if vn <= 0 {
+				return nil, 0, ErrShortPacket
+			}
+			p.TraceID = v
 		default:
 			// Unknown fields are skipped for forward compatibility.
 		}
@@ -556,11 +581,15 @@ func Encapsulate(rpName string, inner *Packet) (*Packet, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The trace context rides on the outer packet too: intermediate routers
+	// only ever see the Interest, and must still be able to append hop
+	// records for the encapsulated publication.
 	return &Packet{
 		Type:    TypeInterest,
 		Name:    rpName + c.Key(),
 		Payload: enc,
 		SentAt:  inner.SentAt,
+		TraceID: inner.TraceID,
 	}, nil
 }
 
