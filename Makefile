@@ -28,28 +28,30 @@ test:
 # router/migration machinery, the end-to-end tests in the module root, the
 # telemetry plumbing (flight recorder and trace rings are written by shards
 # while scrapers snapshot them), the scheduler profiler, and the
-# sharded-scheduler determinism suite (stage-A/B/C handoff under 4 workers
-# plus the window/tie-break invariants).
+# sharded-scheduler determinism suites (stage-A/B/C handoff under 4 workers,
+# the window/tie-break invariants, and the backbone workers × seeds ×
+# {clean, faulted} sweep of the adaptive lookahead).
 race:
 	$(GO) test -race -count=1 ./internal/transport ./internal/core ./internal/obs/... ./internal/event .
-	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering' ./internal/testbed
+	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering|TestBackboneDeterminism' ./internal/testbed
 
-# bench runs the paper-experiment benchmarks (module root) and the telemetry
-# hot-path benchmarks (internal/obs) with -benchmem and writes BENCH_7.json
-# (name -> ns/op, B/op, allocs/op). One iteration per experiment benchmark:
-# the artifact records magnitudes, not statistics. BENCH_5.json is the
-# committed pre-tracing baseline; compare with bench-diff.
+# bench runs the paper-experiment benchmarks (module root, including the
+# backbone-scale parallel sweep) and the telemetry hot-path benchmarks
+# (internal/obs) with -benchmem and writes BENCH_8.json (name -> ns/op,
+# B/op, allocs/op). One iteration per experiment benchmark: the artifact
+# records magnitudes, not statistics. BENCH_7.json is the committed
+# pre-backbone baseline; compare with bench-diff.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_7.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_8.json
 
-# bench-diff compares the fresh BENCH_7.json against the committed baseline.
+# bench-diff compares the fresh BENCH_8.json against the committed baseline.
 # Report-only by default; pass THRESHOLD=<pct> to fail on regressions beyond
 # that percentage.
-BENCH_BASELINE = BENCH_5.json
+BENCH_BASELINE = BENCH_7.json
 bench-diff: bench
-	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_7.json
+	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_8.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:
@@ -58,10 +60,12 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=20s ./internal/faultnet
 
 # cover gates statement coverage on the reliability-critical packages: the
-# router core (ARQ, migration), the broker (QR fetch retry) and the fault
-# injector itself. The chaos matrix exercises them but lives in testbed, so
-# the gate here is about each package's own unit tests.
-COVER_PKGS = ./internal/core ./internal/broker ./internal/faultnet
+# router core (ARQ, migration), the broker (QR fetch retry), the fault
+# injector itself, the sharded scheduler (adaptive lookahead windows) and
+# the topology partitioner. The chaos and backbone matrices exercise them
+# but live in testbed, so the gate here is about each package's own unit
+# tests.
+COVER_PKGS = ./internal/core ./internal/broker ./internal/faultnet ./internal/event ./internal/topo
 COVER_MIN  = 70
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \

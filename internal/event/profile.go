@@ -39,8 +39,9 @@ type WindowRecord struct {
 	// Events is how many node events the shard executed in the window.
 	Events int
 	// VirtStart and VirtEnd bound the window in virtual time (UnixNano):
-	// [earliest pending node event, window end). VirtEnd − VirtStart is
-	// the lookahead-window width actually achieved.
+	// [earliest pending node event, this shard's adaptive window end).
+	// Ends differ per shard under a latency matrix; VirtEnd − VirtStart is
+	// the lookahead-window width this shard actually achieved.
 	VirtStart int64
 	VirtEnd   int64
 }
@@ -62,9 +63,14 @@ type SchedProfile struct {
 	GlobalNs int64
 	// DrainNs is wall time draining cross-shard mailboxes at barriers.
 	DrainNs int64
-	// WidthSumNs sums the virtual width of every window; divide by
-	// Windows for the mean achieved lookahead window.
+	// WidthSumNs sums the virtual width of every window — the widest
+	// working shard's end minus the window floor; divide by Windows for
+	// the mean achieved lookahead window.
 	WidthSumNs int64
+	// CritNs sums each window's slowest shard execution time — the
+	// window-structure critical path. With unlimited cores the windowed
+	// phase can never finish faster than this.
+	CritNs int64
 	// Shards holds per-shard accounting, index = shard.
 	Shards []ShardProfile
 	// Timeline holds up to the configured cap of per-(window, shard)
@@ -98,6 +104,44 @@ func (p *SchedProfile) BarrierWaitFrac() float64 {
 	return float64(wait) / float64(exec+wait)
 }
 
+// CritPathSpeedup reports the speedup the window structure itself permits:
+// total single-threaded work (shard execution plus global events and drains)
+// over the critical path (each window's slowest shard, plus the same serial
+// phases). It is a property of the partition and the lookahead windows, not
+// of the host — a single-core benchmark runner reports the same value a
+// many-core one would, which is why the backbone artifact records it next
+// to the (host-dependent) wall speedup.
+func (p *SchedProfile) CritPathSpeedup() float64 {
+	var work int64
+	for i := range p.Shards {
+		work += p.Shards[i].ExecNs
+	}
+	serial := p.GlobalNs + p.DrainNs
+	if p.CritNs+serial <= 0 {
+		return 1
+	}
+	return float64(work+serial) / float64(p.CritNs+serial)
+}
+
+// LoadImbalanceFrac reports the fraction of ideal window capacity lost to
+// shard imbalance: 1 − work/(workers · critical path). Zero means every
+// window split its work evenly across shards; values near 1 mean one shard
+// did nearly everything. Like CritPathSpeedup it is host-independent — on a
+// single-core runner BarrierWaitFrac saturates near (k−1)/k because shards
+// time-share the core, while this figure still reflects the partition
+// quality a k-core host would experience.
+func (p *SchedProfile) LoadImbalanceFrac() float64 {
+	var work int64
+	for i := range p.Shards {
+		work += p.Shards[i].ExecNs
+	}
+	capacity := int64(p.Workers) * p.CritNs
+	if capacity <= 0 {
+		return 0
+	}
+	return 1 - float64(work)/float64(capacity)
+}
+
 // MeanWindowWidth is the average achieved lookahead window in virtual time.
 func (p *SchedProfile) MeanWindowWidth() time.Duration {
 	if p.Windows == 0 {
@@ -123,6 +167,7 @@ type schedProf struct {
 	globalNs   int64
 	drainNs    int64
 	widthSumNs int64
+	critNs     int64
 	timeline   []WindowRecord
 }
 
@@ -164,6 +209,7 @@ func (s *ShardedScheduler) Profile() *SchedProfile {
 		GlobalNs:     p.globalNs,
 		DrainNs:      p.drainNs,
 		WidthSumNs:   p.widthSumNs,
+		CritNs:       p.critNs,
 		Shards:       append([]ShardProfile(nil), p.shards...),
 		Timeline:     append([]WindowRecord(nil), p.timeline...),
 	}
@@ -175,11 +221,20 @@ func (s *ShardedScheduler) Profile() *SchedProfile {
 }
 
 // recordWindow folds one finished window into the aggregates and timeline.
-// wall is the window's wall time; tn/end bound it in virtual time. Called
-// at the barrier, single-threaded, after every done has been received.
-func (p *schedProf) recordWindow(window uint64, wall int64, tn, end time.Time) {
+// wall is the window's wall time; tn is the window floor, widest the
+// furthest any working shard was allowed to run, and ends the per-shard
+// adaptive window ends. Called at the barrier, single-threaded, after
+// every done has been received.
+func (p *schedProf) recordWindow(window uint64, wall int64, tn, widest time.Time, ends []time.Time) {
 	p.windowNs += wall
-	p.widthSumNs += int64(end.Sub(tn))
+	p.widthSumNs += int64(widest.Sub(tn))
+	var crit int64
+	for _, exec := range p.curExec {
+		if exec > crit {
+			crit = exec
+		}
+	}
+	p.critNs += crit
 	start := int64(0)
 	for i := range p.curExec {
 		exec := p.curExec[i]
@@ -202,7 +257,7 @@ func (p *schedProf) recordWindow(window uint64, wall int64, tn, end time.Time) {
 				WaitNs:    wait,
 				Events:    p.curEvents[i],
 				VirtStart: tn.UnixNano(),
-				VirtEnd:   end.UnixNano(),
+				VirtEnd:   ends[i].UnixNano(),
 			})
 		}
 		p.curExec[i] = 0

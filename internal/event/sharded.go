@@ -1,6 +1,7 @@
 package event
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -11,32 +12,60 @@ import (
 //
 //   - global phases — ordinary Handler events (timers, injections, recurring
 //     ticks) run single-threaded, exactly like the sequential Scheduler, and
-//   - node windows — every shard executes its queued node events with
-//     at < E concurrently, where the window end E = min(tn+W, tg) is bounded
-//     by the earliest pending node event tn plus the lookahead W (the minimum
-//     link latency) and the earliest pending global event tg.
+//   - node windows — every shard i executes its queued node events with
+//     at < end_i concurrently, where end_i is the earliest timestamp any
+//     event still queued elsewhere could cause to land in shard i.
 //
-// The lookahead invariant makes this safe: a node event executing at time t
-// may only post node events at t+W or later, so nothing posted during a
-// window can land inside it, and the set of events a window executes is fixed
-// at its barrier. Cross-shard posts are staged in per-(src,dst) mailboxes
-// owned by the posting shard (no locks) and drained at the next barrier.
+// Window ends are per shard and adaptive: SetLatencyMatrix installs the
+// minimum event-chain latency between every pair of shards (the testbed
+// derives it from link delays and the node→shard assignment), and each
+// window computes
+//
+//	end_i = min(tg, deadline,
+//	            min over shards j≠i of floor_j + C[j][i],
+//	            floor_i + ret[i])
+//
+// where floor_j is the earliest event queued on shard j, tg the next global
+// event, C the all-pairs shortest-path closure of the matrix, and ret[i] =
+// min over j≠i of C[i][j] + C[j][i] the cheapest chain that leaves shard i
+// and returns (a shard's own events bound its window too: their descendants
+// can re-enter through another shard, riding mailboxes the next barrier's
+// floors cannot see). A shard whose only inbound chains are slow therefore
+// runs far ahead of the global floor instead of stalling at a barrier every
+// global-minimum-latency step. The uniform SetLookahead(W) configuration is
+// the special case C[j][i] = W for every pair (ret[i] = 2W), and per-shard
+// ends are then never narrower than the old conservative global window
+// min(tn+W, tg) — an invariant the unit suite pins.
+//
+// The lookahead invariant makes windows safe: an event executing at time t
+// on shard j may cause an arrival on shard i (j ≠ i, possibly via other
+// shards) only at t + C[j][i] or later, and an arrival back on its own
+// shard only at t + ret[j] or later, so nothing executed during a window
+// can land inside any shard's window, and the set of events a window
+// executes is fixed at its barrier. Cross-shard
+// posts are staged in per-(src,dst) mailboxes owned by the posting shard
+// (no locks) and drained at the next barrier. Posts within a shard go
+// straight into its heap and are picked up in (at, key) order by the same
+// window — which is why the closure treats intra-shard chaining as free.
 //
 // Determinism does not depend on the worker count: node events are totally
 // ordered by (at, key) with caller-chosen canonical keys (the testbed uses
-// linkID<<32|perLinkSeq), window boundaries are computed from heap minima
-// that do not depend on the partition, and at a timestamp tie between a
-// global event and a node event the global event runs first. Workers ∈
-// {1,2,...} therefore execute the same events in the same per-station order
-// and produce identical traces; workers==1 runs the same windowed loop
-// inline without goroutines.
+// linkID<<32|perLinkSeq), every event of one station lives on one shard and
+// executes in that order, and at a timestamp tie between a global event and
+// a node event the global event runs first. Window boundaries do depend on
+// the partition — that is the point of adaptivity — but boundaries only
+// decide when work happens on the wall clock, never which events execute at
+// which virtual time, so workers ∈ {1,2,...} produce identical traces.
 //
-// With a non-positive lookahead there is no safe window and RunUntil falls
-// back to a strictly sequential merge of the global and shard queues.
+// With neither a matrix nor a positive lookahead there is no safe window
+// and RunUntil falls back to a strictly sequential merge of the global and
+// shard queues.
 type ShardedScheduler struct {
 	global    *Scheduler
 	shards    []*shard
 	lookahead time.Duration
+	closure   [][]time.Duration // shortest-path latency closure; nil until built
+	ret       []time.Duration   // min round-trip leaving shard i and returning
 	now       time.Time
 
 	parallel bool // true only while a node window is executing
@@ -45,11 +74,28 @@ type ShardedScheduler struct {
 	windows       uint64
 	windowStalls  uint64
 
+	// Window scratch, coordinator-only (reused across windows so the inner
+	// loop allocates nothing).
+	floors   []time.Time
+	hasFloor []bool
+	ends     []time.Time
+	preLens  []int
+
 	// prof, when non-nil, accumulates wall-clock attribution (see
 	// profile.go). internal/event is exempt from the clockfree rule: the
 	// profiler measures real execution cost, not virtual time.
 	prof *schedProf
 }
+
+// NoRoute marks a shard pair with no event path in a latency matrix handed
+// to SetLatencyMatrix: no event chain starting on the source shard can ever
+// produce an event on the destination shard.
+const NoRoute = time.Duration(-1)
+
+// infDur is the internal "unreachable" distance. Small enough that one
+// Floyd–Warshall addition cannot overflow, large enough that no real
+// latency sum reaches it.
+const infDur = time.Duration(1) << 61
 
 // shard is one worker's event queue plus its outbound mailboxes.
 type shard struct {
@@ -85,9 +131,13 @@ func NewSharded(origin time.Time, workers int) *ShardedScheduler {
 		workers = 1
 	}
 	s := &ShardedScheduler{
-		global: NewScheduler(origin),
-		shards: make([]*shard, workers),
-		now:    origin,
+		global:   NewScheduler(origin),
+		shards:   make([]*shard, workers),
+		now:      origin,
+		floors:   make([]time.Time, workers),
+		hasFloor: make([]bool, workers),
+		ends:     make([]time.Time, workers),
+		preLens:  make([]int, workers),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{mail: make([][]nodeEvent, workers)}
@@ -95,14 +145,175 @@ func NewSharded(origin time.Time, workers int) *ShardedScheduler {
 	return s
 }
 
-// SetLookahead sets the conservative window width W: the minimum delay
-// between a node event executing and any node event it may post. Hosts set
-// it to their minimum link latency before running. W <= 0 disables node
-// windows entirely (sequential fallback).
-func (s *ShardedScheduler) SetLookahead(w time.Duration) { s.lookahead = w }
+// SetLookahead sets the uniform conservative window width W: the minimum
+// delay between a node event executing and any node event it may post on
+// another shard. Hosts without per-shard latency information set it to
+// their minimum link latency before running. W <= 0 with no matrix set
+// disables node windows entirely (sequential fallback). SetLatencyMatrix
+// supersedes the uniform width.
+func (s *ShardedScheduler) SetLookahead(w time.Duration) {
+	s.lookahead = w
+	if s.closure == nil || w <= 0 {
+		return
+	}
+	// A matrix is already installed; keep it (it is never narrower).
+}
 
-// Lookahead returns the configured window width.
+// Lookahead returns the configured uniform window width.
 func (s *ShardedScheduler) Lookahead() time.Duration { return s.lookahead }
+
+// SetLatencyMatrix installs per-shard-pair lookahead: m[src][dst] is the
+// minimum latency of any single event hop from a station on shard src to a
+// station on shard dst (the testbed uses the minimum link delay between the
+// shards' node sets). Entries must be positive or NoRoute; a zero entry —
+// including a zero self-loop m[i][i] — is rejected, because it means a
+// zero-delay hop leaked into the matrix builder and no finite window could
+// ever be safe against it.
+//
+// The scheduler stores the all-pairs shortest-path closure of m with free
+// intra-shard chaining (diagonal 0): an event chain from shard j to shard i
+// may route through intermediate shards, and hops within a shard are
+// ordered by the shard's own heap rather than by windows, so they bound no
+// window. Self-loop entries therefore only validate the builder; they never
+// widen or narrow a window.
+func (s *ShardedScheduler) SetLatencyMatrix(m [][]time.Duration) error {
+	k := len(s.shards)
+	if len(m) != k {
+		return fmt.Errorf("event: latency matrix is %d×?, want %d×%d", len(m), k, k)
+	}
+	d := make([][]time.Duration, k)
+	for i := range m {
+		if len(m[i]) != k {
+			return fmt.Errorf("event: latency matrix row %d has %d entries, want %d", i, len(m[i]), k)
+		}
+		d[i] = make([]time.Duration, k)
+		for j, v := range m[i] {
+			switch {
+			case v == NoRoute:
+				d[i][j] = infDur
+			case v <= 0:
+				return fmt.Errorf("event: non-positive latency %v from shard %d to shard %d", v, i, j)
+			default:
+				d[i][j] = v
+			}
+		}
+		d[i][i] = 0 // intra-shard chaining is ordered by the heap, not windows
+	}
+	// Floyd–Warshall closure: chains may cross intermediate shards, and the
+	// triangle inequality C[j][i] <= C[j][k] + C[k][i] is exactly what makes
+	// mailbox events safe to defer to the next barrier.
+	for via := 0; via < k; via++ {
+		for i := 0; i < k; i++ {
+			dvia := d[i][via]
+			if dvia >= infDur {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if alt := dvia + d[via][j]; alt < d[i][j] {
+					d[i][j] = alt
+				}
+			}
+		}
+	}
+	s.closure = d
+	s.ret = returnBounds(d)
+	return nil
+}
+
+// returnBounds computes, per shard, the cheapest event chain that leaves the
+// shard and comes back: ret[i] = min over j≠i of C[i][j] + C[j][i]. A shard's
+// own queued events bound its window through this term — an event executing
+// at floor_i can hop to another shard and produce an arrival back home at
+// floor_i + ret[i], and that arrival rides mailboxes invisible to the next
+// barrier's floors. Chains through several shards are covered because the
+// closure obeys the triangle inequality. The trivial stay-home path (C[i][i]
+// = 0) is deliberately excluded: intra-shard posts land in the shard's own
+// heap mid-window and execute in (at, key) order, so they need no window
+// bound.
+func returnBounds(d [][]time.Duration) []time.Duration {
+	ret := make([]time.Duration, len(d))
+	for i := range d {
+		best := infDur
+		for j := range d {
+			if j == i || d[i][j] >= infDur || d[j][i] >= infDur {
+				continue
+			}
+			if rt := d[i][j] + d[j][i]; rt < best {
+				best = rt
+			}
+		}
+		ret[i] = best
+	}
+	return ret
+}
+
+// LatencyClosure returns the installed shortest-path closure (nil when only
+// a uniform lookahead is configured). Off-diagonal entries of infinite
+// distance are reported as NoRoute.
+func (s *ShardedScheduler) LatencyClosure() [][]time.Duration {
+	if s.closure == nil {
+		return nil
+	}
+	out := make([][]time.Duration, len(s.closure))
+	for i, row := range s.closure {
+		out[i] = make([]time.Duration, len(row))
+		for j, v := range row {
+			if v >= infDur {
+				v = NoRoute
+			}
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+// ensureClosure materializes the uniform-lookahead matrix when no explicit
+// one was installed, so the windowed loop has a single code path.
+func (s *ShardedScheduler) ensureClosure() {
+	if s.closure != nil {
+		return
+	}
+	k := len(s.shards)
+	d := make([][]time.Duration, k)
+	for i := range d {
+		d[i] = make([]time.Duration, k)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = s.lookahead
+			}
+		}
+	}
+	s.closure = d
+	s.ret = returnBounds(d)
+}
+
+// Preallocate grows every shard's heap and mailbox backing arrays to hold
+// perShard events without reallocation, so the hot PostNode path performs
+// no slice growth during the run. Call before Run; growing later is only a
+// performance loss, never an error.
+func (s *ShardedScheduler) Preallocate(perShard int) {
+	if perShard <= 0 {
+		return
+	}
+	mailEach := perShard / len(s.shards)
+	if mailEach < 16 {
+		mailEach = 16
+	}
+	for _, sh := range s.shards {
+		if cap(sh.heap) < perShard {
+			grown := make([]nodeEvent, len(sh.heap), perShard)
+			copy(grown, sh.heap)
+			sh.heap = grown
+		}
+		for d, box := range sh.mail {
+			if cap(box) < mailEach {
+				grownBox := make([]nodeEvent, len(box), mailEach)
+				copy(grownBox, box)
+				sh.mail[d] = grownBox
+			}
+		}
+	}
+}
 
 // Workers returns the shard count.
 func (s *ShardedScheduler) Workers() int { return len(s.shards) }
@@ -116,7 +327,9 @@ func (s *ShardedScheduler) Now() time.Time {
 }
 
 // Pending returns the number of queued events across the global queue, the
-// shard heaps and the mailboxes.
+// shard heaps and the cross-shard mailboxes. Mailbox-resident events count:
+// between a window's posts and the barrier drain they are scheduled work
+// exactly like heap entries, merely staged on the posting shard.
 func (s *ShardedScheduler) Pending() int {
 	n := s.global.Pending()
 	for _, sh := range s.shards {
@@ -136,8 +349,8 @@ func (s *ShardedScheduler) Processed() uint64 {
 // Windows returns the number of node windows executed.
 func (s *ShardedScheduler) Windows() uint64 { return s.windows }
 
-// WindowStalls returns the number of windows in which at least one shard had
-// no work — the load-imbalance gauge.
+// WindowStalls returns the number of windows in which at least one shard
+// executed no work — the load-imbalance gauge.
 func (s *ShardedScheduler) WindowStalls() uint64 { return s.windowStalls }
 
 // CrossShardPosts returns the total number of node events routed through
@@ -150,7 +363,13 @@ func (s *ShardedScheduler) CrossShardPosts() uint64 {
 	return n
 }
 
-// QueueHighWater returns the deepest queue shard i reached.
+// QueueHighWater returns the deepest queue shard i reached: the maximum,
+// over time, of its heap depth plus the events resident in other shards'
+// mailboxes for it. The mailbox term is measured at each barrier as
+// (heap length at window start + inbound mail at the barrier), so events
+// that were executed and replaced by cross-shard arrivals within one window
+// still register as pressure — the bare heap high-water undercounted them
+// and made the profiler's queue gauges misleading mid-window.
 func (s *ShardedScheduler) QueueHighWater(i int) int { return s.shards[i].maxDepth }
 
 // At schedules a global event. Global events run single-threaded between
@@ -171,12 +390,21 @@ func (s *ShardedScheduler) After(d time.Duration, fn Handler) { s.At(s.Now().Add
 // dst or any value outside a window. During a window a cross-shard post is
 // staged in the src shard's mailbox and becomes visible at the next barrier —
 // the lookahead invariant guarantees it cannot be due before then.
+//
+//gcopss:hotpath
 func (s *ShardedScheduler) PostNode(src, dst int, at time.Time, key uint64, call CallHandler, pl Payload) {
 	ev := nodeEvent{at: at, key: key, call: call, pl: pl}
-	if s.parallel && src != dst {
-		sh := s.shards[src]
-		sh.mail[dst] = append(sh.mail[dst], ev)
-		sh.crossPosts++
+	if s.parallel {
+		if src != dst {
+			sh := s.shards[src]
+			sh.mail[dst] = append(sh.mail[dst], ev)
+			sh.crossPosts++
+			return
+		}
+		// Same-shard posts during a window skip the global-clock clamp:
+		// s.now is barrier state and the executing event's own time is the
+		// only valid floor (the heap keeps order).
+		s.shards[dst].push(ev)
 		return
 	}
 	if ev.at.Before(s.now) {
@@ -254,37 +482,95 @@ func (s *ShardedScheduler) runShard(i int, end time.Time) int {
 	return n
 }
 
-// drainMail moves every staged cross-shard event into its destination heap.
+// drainMail moves every staged cross-shard event into its destination heap
+// and folds mailbox residency into the destinations' queue high-water marks.
 // Called at barriers only (single-threaded).
 func (s *ShardedScheduler) drainMail() {
 	p := s.prof
 	for si, sh := range s.shards {
 		for d, box := range sh.mail {
-			if p != nil && len(box) > 0 {
+			if len(box) == 0 {
+				continue
+			}
+			if p != nil {
 				p.noteMailDepth(si, len(box))
 			}
+			s.preLens[d] += len(box)
 			for _, ev := range box {
 				s.shards[d].push(ev)
 			}
 			sh.mail[d] = box[:0]
 		}
 	}
+	for d, depth := range s.preLens {
+		if depth > s.shards[d].maxDepth {
+			s.shards[d].maxDepth = depth
+		}
+		s.preLens[d] = 0
+	}
 }
 
-// minNodeAt returns the earliest node event time across all shards.
-func (s *ShardedScheduler) minNodeAt() (time.Time, bool) {
+// computeFloors records every shard's earliest queued event and returns the
+// global minimum. Mailboxes are empty whenever this runs (post-barrier).
+func (s *ShardedScheduler) computeFloors() (time.Time, bool) {
 	var best time.Time
 	ok := false
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		if len(sh.heap) == 0 {
+			s.hasFloor[i] = false
 			continue
 		}
+		s.hasFloor[i] = true
+		s.floors[i] = sh.heap[0].at
 		if !ok || sh.heap[0].at.Before(best) {
 			best = sh.heap[0].at
 			ok = true
 		}
 	}
 	return best, ok
+}
+
+// computeEnds fills s.ends with each working shard's adaptive window end:
+// the earliest instant any event still queued on another shard could cause
+// an arrival here, capped by the next global event and the deadline. Shards
+// without work get their floor-relative cap too so the dispatch loop can
+// hand every worker a bound. Returns the latest end (the furthest any shard
+// may run ahead), for the width metric.
+func (s *ShardedScheduler) computeEnds(tg time.Time, okg bool, deadline time.Time) time.Time {
+	dl := deadline.Add(time.Nanosecond)
+	var widest time.Time
+	for i := range s.shards {
+		end := dl
+		if okg && tg.Before(end) {
+			end = tg
+		}
+		row := s.closure
+		for j := range s.shards {
+			if j == i || !s.hasFloor[j] {
+				continue
+			}
+			c := row[j][i]
+			if c >= infDur {
+				continue
+			}
+			if t := s.floors[j].Add(c); t.Before(end) {
+				end = t
+			}
+		}
+		// The shard's own queue bounds it too: an event at floor_i can leave
+		// the shard and return at floor_i + ret[i], still invisible at the
+		// next barrier (mailboxes hold it for one window per inter-shard hop).
+		if s.hasFloor[i] && s.ret[i] < infDur {
+			if t := s.floors[i].Add(s.ret[i]); t.Before(end) {
+				end = t
+			}
+		}
+		s.ends[i] = end
+		if s.hasFloor[i] && end.After(widest) {
+			widest = end
+		}
+	}
+	return widest
 }
 
 // minNodeShard returns the shard holding the globally earliest (at, key)
@@ -315,9 +601,10 @@ func (s *ShardedScheduler) RunUntil(deadline time.Time) uint64 {
 		t0 = time.Now()
 	}
 	var n uint64
-	if s.lookahead <= 0 || len(s.shards) == 1 {
+	if len(s.shards) == 1 || (s.closure == nil && s.lookahead <= 0) {
 		n = s.runSequential(deadline)
 	} else {
+		s.ensureClosure()
 		n = s.runWindowed(deadline)
 	}
 	if s.now.Before(deadline) {
@@ -329,9 +616,9 @@ func (s *ShardedScheduler) RunUntil(deadline time.Time) uint64 {
 	return n
 }
 
-// runWindowed is the conservative parallel loop. Workers are spawned per
-// call and torn down on return; with a single shard the window body runs
-// inline on the calling goroutine.
+// runWindowed is the conservative parallel loop; only entered with at least
+// two shards (a single shard takes the sequential merge). Workers are
+// spawned per call and torn down on return.
 func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 	var (
 		n      uint64
@@ -340,41 +627,39 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 		wg     sync.WaitGroup
 	)
 	nw := len(s.shards)
-	if nw > 1 {
-		starts = make([]chan time.Time, nw)
-		done = make(chan int, nw)
-		for i := range starts {
-			starts[i] = make(chan time.Time)
-			wg.Add(1)
-			go func(i int, c chan time.Time) {
-				defer wg.Done()
-				// prof is fixed before RunUntil; the coordinator reads
-				// curExec/curEvents only after receiving this shard's done
-				// value, so the channel is the happens-before edge.
-				p := s.prof
-				for end := range c {
-					if p != nil {
-						t0 := time.Now()
-						k := s.runShard(i, end)
-						p.curExec[i] = int64(time.Since(t0))
-						p.curEvents[i] = k
-						done <- k
-					} else {
-						done <- s.runShard(i, end)
-					}
+	starts = make([]chan time.Time, nw)
+	done = make(chan int, nw)
+	for i := range starts {
+		starts[i] = make(chan time.Time)
+		wg.Add(1)
+		go func(i int, c chan time.Time) {
+			defer wg.Done()
+			// prof is fixed before RunUntil; the coordinator reads
+			// curExec/curEvents only after receiving this shard's done
+			// value, so the channel is the happens-before edge.
+			p := s.prof
+			for end := range c {
+				if p != nil {
+					t0 := time.Now()
+					k := s.runShard(i, end)
+					p.curExec[i] = int64(time.Since(t0))
+					p.curEvents[i] = k
+					done <- k
+				} else {
+					done <- s.runShard(i, end)
 				}
-			}(i, starts[i])
-		}
-		defer func() {
-			for _, c := range starts {
-				close(c)
 			}
-			wg.Wait()
-		}()
+		}(i, starts[i])
 	}
+	defer func() {
+		for _, c := range starts {
+			close(c)
+		}
+		wg.Wait()
+	}()
 	for {
 		tg, okg := s.global.NextAt()
-		tn, okn := s.minNodeAt()
+		tn, okn := s.computeFloors()
 		// Global events run first at ties, single-threaded.
 		if okg && (!okn || !tg.After(tn)) {
 			if tg.After(deadline) {
@@ -395,58 +680,51 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 		if !okn || tn.After(deadline) {
 			return n
 		}
-		end := tn.Add(s.lookahead)
-		if okg && tg.Before(end) {
-			end = tg
-		}
-		if dl := deadline.Add(time.Nanosecond); dl.Before(end) {
-			end = dl
-		}
-		s.windows++
-		stalled := false
+		// The per-shard end computation is part of the window's cost; start
+		// the window clock before it so the profiler attributes it.
 		p := s.prof
 		var wStart time.Time
 		if p != nil {
 			wStart = time.Now()
 		}
-		if nw == 1 {
-			k := s.runShard(0, end)
+		widest := s.computeEnds(tg, okg, deadline)
+		s.windows++
+		stalled := false
+		minEnd := time.Time{}
+		for i, sh := range s.shards {
+			s.preLens[i] = len(sh.heap)
+			if s.hasFloor[i] && (minEnd.IsZero() || s.ends[i].Before(minEnd)) {
+				minEnd = s.ends[i]
+			}
+		}
+		s.parallel = true
+		for i, c := range starts {
+			c <- s.ends[i]
+		}
+		for i := 0; i < nw; i++ {
+			k := <-done
+			if k == 0 {
+				stalled = true
+			}
 			s.nodeProcessed += uint64(k)
 			n += uint64(k)
-			if p != nil {
-				wall := int64(time.Since(wStart))
-				p.curExec[0] = wall
-				p.curEvents[0] = k
-				p.recordWindow(s.windows-1, wall, tn, end)
-			}
+		}
+		s.parallel = false
+		if p != nil {
+			p.recordWindow(s.windows-1, int64(time.Since(wStart)), tn, widest, s.ends)
+			t0 := time.Now()
+			s.drainMail()
+			p.drainNs += int64(time.Since(t0))
 		} else {
-			s.parallel = true
-			for _, c := range starts {
-				c <- end
-			}
-			for i := 0; i < nw; i++ {
-				k := <-done
-				if k == 0 {
-					stalled = true
-				}
-				s.nodeProcessed += uint64(k)
-				n += uint64(k)
-			}
-			s.parallel = false
-			if p != nil {
-				p.recordWindow(s.windows-1, int64(time.Since(wStart)), tn, end)
-				t0 := time.Now()
-				s.drainMail()
-				p.drainNs += int64(time.Since(t0))
-			} else {
-				s.drainMail()
-			}
+			s.drainMail()
 		}
 		if stalled {
 			s.windowStalls++
 		}
-		if end.After(s.now) {
-			s.now = end
+		// The global clock advances to the narrowest window end: everything
+		// strictly before it has executed; wider shards merely ran ahead.
+		if minEnd.After(s.now) {
+			s.now = minEnd
 		}
 		if s.now.After(deadline) {
 			s.now = deadline
@@ -455,7 +733,7 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 }
 
 // runSequential merges the global queue and every shard heap into one
-// strictly ordered execution — the W <= 0 fallback. Global events win
+// strictly ordered execution — the no-window fallback. Global events win
 // timestamp ties, matching the windowed loop.
 func (s *ShardedScheduler) runSequential(deadline time.Time) uint64 {
 	var n uint64

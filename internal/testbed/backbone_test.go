@@ -1,0 +1,134 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"github.com/icn-gaming/gcopss/internal/ndn"
+	"github.com/icn-gaming/gcopss/internal/topo"
+)
+
+// backboneCell runs the small backbone scenario at a given worker count.
+// faulted adds a loss+reorder faultnet spec on every link and the staged RP
+// migration, so the determinism fingerprint covers ARQ retransmissions and
+// the handoff sequence too.
+func backboneCell(t *testing.T, workers int, seed int64, faulted bool) *BackboneResult {
+	t.Helper()
+	s, err := SmallBackboneSetup(96, 2*time.Second, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = workers
+	s.Drain = 3 * time.Second
+	if faulted {
+		s.FaultSpec = "*:only=ctl,loss=0.05,reorder=0.2"
+		s.FaultSeed = seed
+		s.Migrate = true
+	}
+	res, err := RunBackbone(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBackboneDeterminism is the cross-worker property suite of the adaptive
+// lookahead: workers ∈ {1, 2, 4, 8} × three seeds × {clean, faulted} must
+// produce bit-identical observables — delivery hash and counts, latency mean
+// bits, fault trace hash, RP-migration delivery sequence, retransmissions.
+// The -workers flag (shared with the chaos suite) adds one extra count to
+// the sweep, letting CI matrix legs widen it without recompiling.
+func TestBackboneDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backbone determinism sweep is slow")
+	}
+	counts := []int{1, 2, 4, 8}
+	if *chaosWorkers > 1 {
+		seen := false
+		for _, c := range counts {
+			seen = seen || c == *chaosWorkers
+		}
+		if !seen {
+			counts = append(counts, *chaosWorkers)
+		}
+	}
+	for _, faulted := range []bool{false, true} {
+		for _, seed := range []int64{1, 2, 3} {
+			base := backboneCell(t, counts[0], seed, faulted)
+			if base.Obs.Published == 0 || base.Obs.Deliveries == 0 {
+				t.Fatalf("seed=%d faulted=%v: degenerate baseline %+v", seed, faulted, base.Obs)
+			}
+			if faulted {
+				if base.Obs.TraceHash == 0 {
+					t.Errorf("seed=%d: faulted run produced no fault trace", seed)
+				}
+				if base.Obs.RPDeliveriesNew == 0 {
+					t.Errorf("seed=%d: migration never activated the backup RP", seed)
+				}
+			}
+			for _, w := range counts[1:] {
+				got := backboneCell(t, w, seed, faulted)
+				if got.Obs != base.Obs {
+					t.Errorf("seed=%d faulted=%v: workers=%d diverged from workers=%d\n got %+v\nwant %+v",
+						seed, faulted, w, counts[0], got.Obs, base.Obs)
+				}
+			}
+		}
+	}
+}
+
+// TestBackboneSeedsDiffer guards the fingerprint's liveness: if two seeds
+// produced the same delivery hash, the determinism suite would be comparing
+// constants.
+func TestBackboneSeedsDiffer(t *testing.T) {
+	a := backboneCell(t, 2, 11, false)
+	b := backboneCell(t, 2, 12, false)
+	if a.Obs.DeliveryHash == b.Obs.DeliveryHash {
+		t.Fatalf("seeds 11 and 12 produced the same delivery hash %#x", a.Obs.DeliveryHash)
+	}
+}
+
+// TestBackbonePartitionAgreement pins the routing/assignment contract: the
+// shard the testbed routes a node's deliveries to (link.toShard) must be the
+// shard topo.Partition assigned that node to, for every link in the wired
+// backbone.
+func TestBackbonePartitionAgreement(t *testing.T) {
+	const workers = 4
+	g, _, _, err := topo.Backbone(topo.PaperBackbone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := topo.Partition(g, workers)
+	tb := New(WithWorkers(workers))
+	for id := 0; id < g.NodeCount(); id++ {
+		tb.AddNodeOn(g.Name(topo.NodeID(id)), assign[id], nil, nil, 0)
+	}
+	for a := topo.NodeID(0); a < topo.NodeID(g.NodeCount()); a++ {
+		for _, b := range g.Neighbors(a) {
+			if b < a {
+				continue
+			}
+			d, _ := g.LinkDelay(a, b)
+			if err := tb.Connect(g.Name(a), 1+ndn.FaceID(b), g.Name(b), 1+ndn.FaceID(a), time.Duration(d*float64(time.Millisecond))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, node := range tb.nodes {
+		for _, l := range node.links {
+			wantShard, ok := tb.NodeShard(l.to)
+			if !ok {
+				t.Fatalf("link from %s to unknown node %s", name, l.to)
+			}
+			if l.toShard != wantShard {
+				t.Errorf("link %s→%s routes to shard %d, assignment says %d", name, l.to, l.toShard, wantShard)
+			}
+		}
+	}
+	// And the assignment the links agree with is the partition itself.
+	for id := 0; id < g.NodeCount(); id++ {
+		if got, _ := tb.NodeShard(g.Name(topo.NodeID(id))); got != assign[id] {
+			t.Errorf("node %s on shard %d, partition assigned %d", g.Name(topo.NodeID(id)), got, assign[id])
+		}
+	}
+}

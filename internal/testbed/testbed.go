@@ -98,8 +98,15 @@ type nodeState struct {
 	perCopy time.Duration
 	links   map[ndn.FaceID]*link
 
+	// selfID is the node's slot in the canonical-key ID space (shared with
+	// directed link IDs); with selfSeq it forms the tie-break key for
+	// ScheduleNode events, so node-local timers order deterministically
+	// against deliveries at any worker count.
+	selfID uint32
+
 	// Below fields are touched only by the node's own shard during windows
 	// and by the single-threaded global phase between them.
+	selfSeq   uint32
 	busyUntil time.Time
 
 	// stats
@@ -233,15 +240,33 @@ func (tb *Testbed) transmit(n *nodeState, l *link, at time.Time, pkt *wire.Packe
 }
 
 // AddNode registers a node with its handler and processing-cost function.
-// Nodes are assigned to worker shards round-robin in registration order.
+// Nodes are assigned to worker shards round-robin in registration order; use
+// AddNodeOn to place a node topology-aware (see topo.Partition).
 func (tb *Testbed) AddNode(name string, handle Handler, proc ProcFunc, perCopy time.Duration) {
+	tb.AddNodeOn(name, len(tb.order)%tb.workers, handle, proc, perCopy)
+}
+
+// AddNodeOn registers a node on an explicit worker shard. Hosts building on
+// a topo.Graph pass topo.Partition assignments here so that most links stay
+// shard-internal and the adaptive lookahead windows stay wide. Shards
+// outside [0, workers) are clamped. Call before Connect: link routing
+// captures the endpoint shards at wiring time.
+func (tb *Testbed) AddNodeOn(name string, shard int, handle Handler, proc ProcFunc, perCopy time.Duration) {
+	if shard < 0 {
+		shard = 0
+	}
+	if shard >= tb.workers {
+		shard = shard % tb.workers
+	}
+	tb.nextLinkID++
 	tb.nodes[name] = &nodeState{
 		name:    name,
-		shard:   len(tb.order) % tb.workers,
+		shard:   shard,
 		handle:  handle,
 		proc:    proc,
 		perCopy: perCopy,
 		links:   make(map[ndn.FaceID]*link),
+		selfID:  tb.nextLinkID,
 	}
 	tb.order = append(tb.order, name)
 }
@@ -292,6 +317,40 @@ func (tb *Testbed) Schedule(at time.Time, fn func(now time.Time)) {
 	tb.sched.At(at, fn)
 }
 
+// ScheduleNode runs a pre-bound callback as a node event on the named
+// node's shard — the shard-local alternative to Schedule for per-node
+// timers (a publishing host's update chain, say). Unlike global events,
+// ScheduleNode events execute inside windows, so thousands of node timers
+// do not serialize the scheduler between windows; the cost is the node
+// contract: call it only during setup or from an event of the same node,
+// and touch only that node's state from the callback. Ordering is canonical
+// via a per-node (selfID, selfSeq) key drawn from the same ID space as link
+// deliveries.
+func (tb *Testbed) ScheduleNode(at time.Time, node string, call event.CallHandler, pl event.Payload) error {
+	n, ok := tb.nodes[node]
+	if !ok {
+		return fmt.Errorf("testbed: unknown node %q", node)
+	}
+	key := uint64(n.selfID)<<32 | uint64(n.selfSeq)
+	n.selfSeq++
+	tb.sched.PostNode(n.shard, n.shard, at, key, call, pl)
+	return nil
+}
+
+// NodeShard reports which worker shard a node was placed on.
+func (tb *Testbed) NodeShard(name string) (int, bool) {
+	n, ok := tb.nodes[name]
+	if !ok {
+		return 0, false
+	}
+	return n.shard, true
+}
+
+// Preallocate grows the scheduler's per-shard queues to hold the expected
+// steady-state event count without reallocation on the hot path. Call after
+// topology construction, before Run.
+func (tb *Testbed) Preallocate(perShard int) { tb.sched.Preallocate(perShard) }
+
 // receive models FIFO service at a node: the packet waits for the node to
 // become idle, is handled, and its outputs leave when service completes.
 func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wire.Packet) {
@@ -329,8 +388,10 @@ func (tb *Testbed) receive(now time.Time, node string, face ndn.FaceID, pkt *wir
 }
 
 // Emit sends packets from a node outside the service path (used by client
-// timers: publishing an update costs HostProc at the host). Like Schedule,
-// it must only be called from global events or before Run.
+// timers: publishing an update costs HostProc at the host). Call it from
+// global events, from before Run, or — the ScheduleNode publish-chain case —
+// from a node event of the same node: transmit only touches the sending
+// node's link state, which that node's shard owns during windows.
 func (tb *Testbed) Emit(now time.Time, node string, actions []ndn.Action) {
 	n, ok := tb.nodes[node]
 	if !ok {
@@ -345,6 +406,32 @@ func (tb *Testbed) Emit(now time.Time, node string, actions []ndn.Action) {
 	}
 }
 
+// latencyMatrix builds the shard-to-shard minimum single-hop latency matrix
+// from the wired links: entry [sa][sb] is the smallest delay of any directed
+// link from a shard-sa node to a shard-sb node (NoRoute when none exists).
+// Link delay lower-bounds every event hop — service time and queueing only
+// push deliveries later — and node-local ScheduleNode timers stay on their
+// own shard, which the scheduler treats as free, so the matrix is a sound
+// lookahead bound for the whole testbed.
+func (tb *Testbed) latencyMatrix() [][]time.Duration {
+	m := make([][]time.Duration, tb.workers)
+	for i := range m {
+		m[i] = make([]time.Duration, tb.workers)
+		for j := range m[i] {
+			m[i][j] = event.NoRoute
+		}
+	}
+	for _, name := range tb.order {
+		n := tb.nodes[name]
+		for _, l := range n.links {
+			if cur := m[n.shard][l.toShard]; cur == event.NoRoute || l.delay < cur {
+				m[n.shard][l.toShard] = l.delay
+			}
+		}
+	}
+	return m
+}
+
 // Run drains the event loop up to the deadline; maxEvents bounds runaway
 // loops (0 = default of 100M).
 func (tb *Testbed) Run(deadline time.Time, maxEvents uint64) error {
@@ -352,8 +439,16 @@ func (tb *Testbed) Run(deadline time.Time, maxEvents uint64) error {
 		maxEvents = 100_000_000
 	}
 	// The conservative window width is the minimum link latency: a packet
-	// handled at t cannot be delivered anywhere before t + minDelay.
+	// handled at t cannot be delivered anywhere before t + minDelay. With
+	// positive delays on every link the per-shard-pair matrix refines that
+	// into adaptive windows; a zero-delay link (allowed for hosts wired
+	// straight into a router) forces the uniform fallback.
 	tb.sched.SetLookahead(tb.minDelay)
+	if tb.hasLink && tb.minDelay > 0 && tb.workers > 1 {
+		if err := tb.sched.SetLatencyMatrix(tb.latencyMatrix()); err != nil {
+			return fmt.Errorf("testbed: building lookahead matrix: %w", err)
+		}
+	}
 	for tb.sched.Pending() > 0 {
 		if tb.sched.Processed() > maxEvents {
 			return fmt.Errorf("testbed: event budget exhausted (%d)", maxEvents)

@@ -100,11 +100,18 @@ func playerAreas(m *gamemap.Map) []*gamemap.Area {
 // placePlayers distributes cfg.Players across areas with per-area counts in
 // the configured band (rescaled to the exact total).
 func placePlayers(t *Trace, areas []*gamemap.Area, cfg Config, rnd *rand.Rand) {
+	t.Players = placePlayerInfos(areas, cfg.Players, cfg.MinPlayersPerArea, cfg.MaxPlayersPerArea, rnd)
+}
+
+// placePlayerInfos is the placement core shared by the batch generator and
+// the streaming generator: per-area counts drawn in [minPer, maxPer],
+// rescaled to the exact player total.
+func placePlayerInfos(areas []*gamemap.Area, players, minPer, maxPer int, rnd *rand.Rand) []PlayerInfo {
 	weights := make([]int, len(areas))
 	total := 0
 	for i := range areas {
-		weights[i] = cfg.MinPlayersPerArea
-		if span := cfg.MaxPlayersPerArea - cfg.MinPlayersPerArea; span > 0 {
+		weights[i] = minPer
+		if span := maxPer - minPer; span > 0 {
 			weights[i] += rnd.Intn(span + 1)
 		}
 		total += weights[i]
@@ -114,29 +121,29 @@ func placePlayers(t *Trace, areas []*gamemap.Area, cfg Config, rnd *rand.Rand) {
 	counts := make([]int, len(areas))
 	assigned := 0
 	for i := range areas {
-		counts[i] = weights[i] * cfg.Players / total
+		counts[i] = weights[i] * players / total
 		assigned += counts[i]
 	}
-	for i := 0; assigned < cfg.Players; i++ {
+	for i := 0; assigned < players; i++ {
 		counts[i%len(counts)]++
 		assigned++
 	}
-	for i := 0; assigned > cfg.Players; i++ {
+	for i := 0; assigned > players; i++ {
 		if counts[i%len(counts)] > 0 {
 			counts[i%len(counts)]--
 			assigned--
 		}
 	}
-	id := 0
+	out := make([]PlayerInfo, 0, players)
 	for i, a := range areas {
 		for j := 0; j < counts[i]; j++ {
-			t.Players = append(t.Players, PlayerInfo{
-				ID:   fmt.Sprintf("player%d", id),
+			out = append(out, PlayerInfo{
+				ID:   fmt.Sprintf("player%d", len(out)),
 				Area: a.CD(),
 			})
-			id++
 		}
 	}
+	return out
 }
 
 // assignUpdates draws per-player activity weights from a lognormal
