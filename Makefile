@@ -29,29 +29,31 @@ test:
 # telemetry plumbing (flight recorder and trace rings are written by shards
 # while scrapers snapshot them), the scheduler profiler, and the
 # sharded-scheduler determinism suites (stage-A/B/C handoff under 4 workers,
-# the window/tie-break invariants, and the backbone workers × seeds ×
-# {clean, faulted} sweep of the adaptive lookahead).
+# the window/tie-break invariants, the backbone workers × seeds ×
+# {clean, faulted} sweep of the adaptive lookahead, and the burst data
+# plane's ring-flush equivalence against the per-packet path).
 race:
 	$(GO) test -race -count=1 ./internal/transport ./internal/core ./internal/obs/... ./internal/event .
-	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering|TestBackboneDeterminism' ./internal/testbed
+	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering|TestBackboneDeterminism|TestBackboneBurstDeterminism|TestBurstMatchesPerPacketTrace' ./internal/testbed
 
 # bench runs the paper-experiment benchmarks (module root, including the
-# backbone-scale parallel sweep) and the telemetry hot-path benchmarks
-# (internal/obs) with -benchmem and writes BENCH_8.json (name -> ns/op,
-# B/op, allocs/op). One iteration per experiment benchmark: the artifact
-# records magnitudes, not statistics. BENCH_7.json is the committed
-# pre-backbone baseline; compare with bench-diff.
+# backbone-scale parallel sweep and the burst data-plane amortization) and
+# the telemetry hot-path benchmarks (internal/obs) with -benchmem and writes
+# BENCH_9.json (name -> ns/op, B/op, allocs/op, custom metrics like ns/pkt).
+# One iteration per experiment benchmark: the artifact records magnitudes,
+# not statistics. BENCH_8.json is the committed pre-burst baseline; compare
+# with bench-diff.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_8.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_9.json
 
-# bench-diff compares the fresh BENCH_8.json against the committed baseline.
+# bench-diff compares the fresh BENCH_9.json against the committed baseline.
 # Report-only by default; pass THRESHOLD=<pct> to fail on regressions beyond
 # that percentage.
-BENCH_BASELINE = BENCH_7.json
+BENCH_BASELINE = BENCH_8.json
 bench-diff: bench
-	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_8.json
+	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_9.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:

@@ -380,6 +380,80 @@ func BenchmarkRouterMulticastPath(b *testing.B) {
 	}
 }
 
+// BenchmarkRouterMulticastBurst measures the burst data path at the same
+// router as BenchmarkRouterMulticastPath: a burst of hashed multicasts
+// arriving on a router face is grouped by CD/hash vector so one ST lookup
+// and one fan-out face set serve the whole group, with forwarding copies
+// carved from one slab. The ns/pkt metric is the amortized per-packet cost —
+// the acceptance criterion is >= 2x below the single-packet path at width 32.
+func BenchmarkRouterMulticastBurst(b *testing.B) {
+	for _, width := range []int{1, 8, 16, 32} {
+		b.Run(fmt.Sprintf("width%d", width), func(b *testing.B) {
+			r := benchRouterWithSubscriptions(b, copss.MatchBloomVerified)
+			if _, err := r.BecomeRP(copss.RPInfo{
+				Name:     "/rp",
+				Prefixes: copss.PartitionPrefixes([]string{"1", "2", "3", "4", "5"}),
+				Seq:      1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			r.AddFace(1000, core.FaceRouter)
+			c := cd.MustParse("/3/4")
+			hashes := copss.FlattenHashes(copss.PrefixHashes(c))
+			pkts := make([]*wire.Packet, width)
+			for i := range pkts {
+				pkts[i] = &wire.Packet{
+					Type:     wire.TypeMulticast,
+					CDs:      []cd.CD{c},
+					Origin:   "p",
+					Seq:      uint64(i + 1),
+					Payload:  make([]byte, 200),
+					CDHashes: hashes,
+				}
+			}
+			now := time.Unix(0, 0)
+			var sink ndn.SliceSink
+			r.HandleBurst(now, 1000, pkts, &sink) // warm scratch and caches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink.Reset()
+				r.HandleBurst(now, 1000, pkts, &sink)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(width), "ns/pkt")
+		})
+	}
+}
+
+// BenchmarkAppendEncodeBurst measures packing a whole burst into one reused
+// frame buffer — the transport's per-flush cost. Steady state must be
+// allocation-free (the 0-alloc reuse test in internal/wire pins it; this
+// records the magnitude in the artifact).
+func BenchmarkAppendEncodeBurst(b *testing.B) {
+	pkts := make([]*wire.Packet, 32)
+	for i := range pkts {
+		pkts[i] = &wire.Packet{
+			Type:    wire.TypeMulticast,
+			CDs:     []cd.CD{cd.MustParse("/3/4")},
+			Origin:  "player17",
+			Seq:     uint64(i + 1),
+			Payload: make([]byte, 200),
+			SentAt:  123456789,
+		}
+	}
+	buf := make([]byte, 0, wire.SizeBurst(pkts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wire.AppendEncodeBurst(buf[:0], pkts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(pkts)), "ns/pkt")
+}
+
 // BenchmarkTraceGeneration measures synthetic-trace throughput.
 func BenchmarkTraceGeneration(b *testing.B) {
 	m, err := gamemap.NewGrid(5, 5)

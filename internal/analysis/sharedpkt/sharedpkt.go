@@ -9,10 +9,15 @@
 //
 // The checker therefore flags any write through a function parameter of type
 // *wire.Packet — field assignment, compound assignment, ++/--, element
-// assignment into a field, or whole-struct overwrite (*pkt = ...). Mutation
-// is done copy-on-write instead: copy the struct into a fresh local and
-// write there, which this checker never flags because the local is not the
-// shared parameter:
+// assignment into a field, or whole-struct overwrite (*pkt = ...). The same
+// rule covers burst parameters of type []*wire.Packet (the burst data plane
+// hands whole slices to Router.HandleBurst and the transport): writes through
+// an element (pkts[i].Field, *pkts[i], pkts[i].Field[j]) and writes to an
+// element slot (pkts[i] = ...) are findings — every element is a packet some
+// sink may already share, and the slice backing belongs to the caller.
+// Mutation is done copy-on-write instead: copy the struct into a fresh local
+// and write there, which this checker never flags because the local is not
+// the shared parameter:
 //
 //	cp := *pkt        // fresh object, private to this call
 //	cp.Name = newName // fine
@@ -239,13 +244,20 @@ func writeRoot(e ast.Expr) (root *ast.Ident, sels []string, deref bool) {
 	}
 }
 
-// checkWrite reports lhs if it writes through a *wire.Packet parameter:
-// pkt.Field, pkt.Field[i], or *pkt.
+// checkWrite reports lhs if it writes through a *wire.Packet parameter —
+// pkt.Field, pkt.Field[i], or *pkt — or through an element of a
+// []*wire.Packet burst parameter: pkts[i].Field, *pkts[i], pkts[i].Field[j],
+// and the element slot itself (pkts[i] = ...), which rebinds a cell of the
+// caller-owned backing array. Burst handlers that need to mutate copy the
+// element out first (cp := *pkts[i]) — never flagged, the local is fresh.
 func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
 	switch e := lhs.(type) {
 	case *ast.SelectorExpr:
 		if id, ok := e.X.(*ast.Ident); ok && isPacketParam(pass, id) {
 			pass.Reportf(lhs.Pos(), "write to field %s of shared packet parameter %s: packets are immutable after send, copy first (cp := *%s)", e.Sel.Name, id.Name, id.Name)
+		}
+		if id, ok := burstElemRoot(pass, e.X); ok {
+			pass.Reportf(lhs.Pos(), "write to field %s of an element of shared burst parameter %s: burst packets are immutable, copy first (cp := *%s[i])", e.Sel.Name, id.Name, id.Name)
 		}
 	case *ast.IndexExpr:
 		// pkt.CDs[i] = ... mutates shared backing storage.
@@ -253,12 +265,59 @@ func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
 			if id, ok := sel.X.(*ast.Ident); ok && isPacketParam(pass, id) {
 				pass.Reportf(lhs.Pos(), "write into field %s of shared packet parameter %s: packets are immutable after send", sel.Sel.Name, id.Name)
 			}
+			if id, ok := burstElemRoot(pass, sel.X); ok {
+				pass.Reportf(lhs.Pos(), "write into field %s of an element of shared burst parameter %s: burst packets are immutable", sel.Sel.Name, id.Name)
+			}
+		}
+		// pkts[i] = ... rebinds a cell of the caller-owned slice.
+		if id, ok := e.X.(*ast.Ident); ok && isBurstParam(pass, id) {
+			pass.Reportf(lhs.Pos(), "write to an element slot of shared burst parameter %s: the caller owns the slice; build a local burst instead", id.Name)
 		}
 	case *ast.StarExpr:
 		if id, ok := e.X.(*ast.Ident); ok && isPacketParam(pass, id) {
 			pass.Reportf(lhs.Pos(), "overwrite through shared packet parameter %s: packets are immutable after send", id.Name)
 		}
+		if id, ok := burstElemRoot(pass, e.X); ok {
+			pass.Reportf(lhs.Pos(), "overwrite through an element of shared burst parameter %s: burst packets are immutable, copy first (cp := *%s[i])", id.Name, id.Name)
+		}
 	}
+}
+
+// burstElemRoot unwraps pkts[i] (possibly parenthesized) to the identifier
+// pkts when it is a []*wire.Packet parameter, so callers can flag writes
+// through burst elements.
+func burstElemRoot(pass *analysis.Pass, e ast.Expr) (*ast.Ident, bool) {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		e = p.X
+	}
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := idx.X.(*ast.Ident)
+	if !ok || !isBurstParam(pass, id) {
+		return nil, false
+	}
+	return id, true
+}
+
+// isBurstParam reports whether id denotes a function (or closure) parameter
+// of type []*wire.Packet — a burst, shared with the caller like a single
+// packet parameter is.
+func isBurstParam(pass *analysis.Pass, id *ast.Ident) bool {
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !isParam(pass, v) {
+		return false
+	}
+	sl, ok := v.Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	ptr, ok := sl.Elem().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isPacketNamed(ptr.Elem())
 }
 
 // isPacketParam reports whether id denotes a function (or closure) parameter

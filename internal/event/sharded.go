@@ -85,6 +85,14 @@ type ShardedScheduler struct {
 	// profile.go). internal/event is exempt from the clockfree rule: the
 	// profiler measures real execution cost, not virtual time.
 	prof *schedProf
+
+	// barrierHook, when non-nil, runs single-threaded at every window
+	// barrier, after the shards stop and before the clock advances. Hosts
+	// that stage coalesced cross-shard work in their own rings (the
+	// testbed's burst tx rings) flush them here: PostNode calls made from
+	// the hook land in destination heaps at exactly the instant a mailbox
+	// drain would have delivered the equivalent per-packet events.
+	barrierHook func()
 }
 
 // NoRoute marks a shard pair with no event path in a latency matrix handed
@@ -314,6 +322,26 @@ func (s *ShardedScheduler) Preallocate(perShard int) {
 		}
 	}
 }
+
+// SetBarrierHook installs fn to run single-threaded at every window barrier,
+// between the shards stopping and the clock advancing to the window's minimum
+// end. A PostNode issued from the hook goes straight to the destination heap
+// (no window is executing) and is not clamped forward (s.now still holds the
+// pre-window value), so deferring an in-window cross-shard post to the hook is
+// timing-equivalent to routing it through a mailbox. Only the windowed loop
+// has barriers: with one worker or no lookahead the sequential merge runs and
+// the hook never fires, which is exactly right — hosts that stage work for
+// the hook must do so only while InWindow reports true.
+func (s *ShardedScheduler) SetBarrierHook(fn func()) { s.barrierHook = fn }
+
+// InWindow reports whether a node window is currently executing, i.e. whether
+// the caller is running inside a shard worker between a barrier's start and
+// its end. Hosts use it to decide between posting an event immediately and
+// staging it for the barrier hook. Like PostNode's use of the same flag, the
+// read is race-free for code running on a shard: the coordinator writes the
+// flag strictly before starts and after done, the worker's channel operations
+// order the access.
+func (s *ShardedScheduler) InWindow() bool { return s.parallel }
 
 // Workers returns the shard count.
 func (s *ShardedScheduler) Workers() int { return len(s.shards) }
@@ -710,6 +738,13 @@ func (s *ShardedScheduler) runWindowed(deadline time.Time) uint64 {
 			n += uint64(k)
 		}
 		s.parallel = false
+		// The barrier hook runs before the mailbox drain and before s.now
+		// advances to minEnd: its PostNode calls land unclamped in the
+		// destination heaps, merged by (at, key) with the drained mail —
+		// indistinguishable from having ridden a mailbox themselves.
+		if s.barrierHook != nil {
+			s.barrierHook()
+		}
 		if p != nil {
 			p.recordWindow(s.windows-1, int64(time.Since(wStart)), tn, widest, s.ends)
 			t0 := time.Now()

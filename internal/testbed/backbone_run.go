@@ -42,6 +42,11 @@ type BackboneSetup struct {
 	Drain     time.Duration
 	Workers   int
 
+	// Burst runs the testbed's burst data plane (WithBurst): per-link tx
+	// rings flushed at window barriers. Observables are bit-identical to the
+	// per-packet path at every worker count — the determinism suite pins it.
+	Burst bool
+
 	// Migrate hands every region prefix from the primary RP to the backup
 	// RP (shortest-path staged handoff) halfway through the publish phase.
 	Migrate bool
@@ -208,7 +213,11 @@ func RunBackbone(s *BackboneSetup) (*BackboneResult, error) {
 		workers = 1
 	}
 	assign := topo.Partition(g, workers)
-	tb := New(WithWorkers(workers))
+	opts := []Option{WithWorkers(workers)}
+	if s.Burst {
+		opts = append(opts, WithBurst())
+	}
+	tb := New(opts...)
 	if s.Profile {
 		tb.EnableProfiling(0)
 	}

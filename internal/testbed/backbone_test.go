@@ -13,6 +13,11 @@ import (
 // migration, so the determinism fingerprint covers ARQ retransmissions and
 // the handoff sequence too.
 func backboneCell(t *testing.T, workers int, seed int64, faulted bool) *BackboneResult {
+	return backboneCellBurst(t, workers, seed, faulted, false)
+}
+
+// backboneCellBurst is backboneCell with the burst data plane switchable.
+func backboneCellBurst(t *testing.T, workers int, seed int64, faulted, burst bool) *BackboneResult {
 	t.Helper()
 	s, err := SmallBackboneSetup(96, 2*time.Second, seed)
 	if err != nil {
@@ -20,6 +25,7 @@ func backboneCell(t *testing.T, workers int, seed int64, faulted bool) *Backbone
 	}
 	s.Workers = workers
 	s.Drain = 3 * time.Second
+	s.Burst = burst
 	if faulted {
 		s.FaultSpec = "*:only=ctl,loss=0.05,reorder=0.2"
 		s.FaultSeed = seed
@@ -72,6 +78,33 @@ func TestBackboneDeterminism(t *testing.T) {
 					t.Errorf("seed=%d faulted=%v: workers=%d diverged from workers=%d\n got %+v\nwant %+v",
 						seed, faulted, w, counts[0], got.Obs, base.Obs)
 				}
+			}
+		}
+	}
+}
+
+// TestBackboneBurstDeterminism pins the burst data plane against the
+// per-packet reference: the full observable fingerprint — delivery hash,
+// counts, latency mean bits, RP migration sequence, retransmissions, fault
+// trace hash, packet events and bytes — must be bit-identical to the
+// single-packet path at workers ∈ {1, 4, 8}, on clean and faulted runs.
+// Coalescing merges only events provably adjacent in the canonical order, so
+// any divergence here is a burst-path ordering bug, not tolerance noise.
+func TestBackboneBurstDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backbone burst determinism sweep is slow")
+	}
+	const seed = 1
+	for _, faulted := range []bool{false, true} {
+		base := backboneCell(t, 1, seed, faulted)
+		if base.Obs.Published == 0 || base.Obs.Deliveries == 0 {
+			t.Fatalf("faulted=%v: degenerate baseline %+v", faulted, base.Obs)
+		}
+		for _, w := range []int{1, 4, 8} {
+			got := backboneCellBurst(t, w, seed, faulted, true)
+			if got.Obs != base.Obs {
+				t.Errorf("faulted=%v: burst workers=%d diverged from per-packet workers=1\n got %+v\nwant %+v",
+					faulted, w, got.Obs, base.Obs)
 			}
 		}
 	}

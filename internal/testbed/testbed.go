@@ -87,6 +87,22 @@ type link struct {
 	delay   time.Duration
 	id      uint32
 	seq     uint32
+
+	// ring is the link's burst tx ring: cross-shard transmissions staged
+	// during a node window (burst mode only), flushed at the barrier. Owned
+	// by the sender's shard during windows and by the single-threaded
+	// barrier hook between them; always empty outside windows.
+	ring []txEntry
+}
+
+// txEntry is one staged transmission in a link's burst ring: the arrival
+// time (link delay and any fault delay already applied) and the canonical
+// delivery key computed at transmit time, so flushing preserves the exact
+// (at, key) order the per-packet path would have posted.
+type txEntry struct {
+	at  time.Time
+	key uint64
+	pkt *wire.Packet
 }
 
 // nodeState is one single-threaded network element.
@@ -137,10 +153,23 @@ func WithObs(reg *obs.Registry) Option {
 	return func(tb *Testbed) { tb.reg = reg }
 }
 
+// WithBurst turns on the burst data plane: cross-shard deliveries staged
+// during a node window collect in per-link tx rings and flush once at the
+// window barrier, with same-timestamp consecutive-key runs coalesced into a
+// single burst event whose handler replays each packet through the normal
+// receive path. The packet trace is bit-identical to the per-packet path —
+// coalescing only merges events that are provably adjacent in the canonical
+// (time, linkID<<32|seq) order — and with one worker (no windows) burst mode
+// degenerates to exactly the per-packet path.
+func WithBurst() Option {
+	return func(tb *Testbed) { tb.burst = true }
+}
+
 // Testbed wires nodes and runs the discrete-event loop.
 type Testbed struct {
 	sched   *event.ShardedScheduler
 	workers int
+	burst   bool
 	nodes   map[string]*nodeState
 	order   []string // node names in AddNode order (shard assignment)
 	faults  *faultnet.Injector
@@ -155,9 +184,26 @@ type Testbed struct {
 	// allocating a closure per packet.
 	deliver event.CallHandler
 
+	// deliverBurst is the pre-bound callback for coalesced ring flushes: it
+	// replays every packet of the burst through receive at the shared arrival
+	// time, so FIFO service starts (busyUntil chaining) and every counter are
+	// identical to the packets arriving as separate events.
+	deliverBurst event.CallHandler
+
 	// scratch is the per-shard action sink handlers emit into; each shard
 	// owns exactly one, so windows never share them.
 	scratch []ndn.SliceSink
+
+	// dirty[s] lists links whose ring gained its first entry this window,
+	// appended only by shard s during windows and drained single-threaded by
+	// the barrier hook — the same ownership discipline as the scheduler's
+	// mailboxes.
+	dirty [][]*link
+
+	// coalesced counts burst events posted by ring flushes (runs of length
+	// >= 2); staged singletons and the per-packet path don't count. Touched
+	// only by the single-threaded barrier hook.
+	coalesced uint64
 }
 
 // New creates an empty testbed starting at virtual time zero.
@@ -177,6 +223,13 @@ func New(opts ...Option) *Testbed {
 	tb.deliver = func(now time.Time, pl event.Payload) {
 		tb.receive(now, pl.Str, ndn.FaceID(pl.Int), pl.Ptr.(*wire.Packet))
 	}
+	tb.deliverBurst = func(now time.Time, pl event.Payload) {
+		node, face := pl.Str, ndn.FaceID(pl.Int)
+		for _, pkt := range pl.Ptr.([]*wire.Packet) {
+			tb.receive(now, node, face, pkt)
+		}
+	}
+	tb.dirty = make([][]*link, tb.workers)
 	return tb
 }
 
@@ -231,11 +284,77 @@ func (tb *Testbed) transmit(n *nodeState, l *link, at time.Time, pkt *wire.Packe
 		at = at.Add(v.Delay)
 	}
 	n.bytes += float64(wire.Size(pkt))
+	// Burst mode stages in-window cross-shard deliveries in the link's tx
+	// ring instead of the scheduler's mailbox; the barrier hook flushes them
+	// at the same instant the mailbox drain would have, so only the event
+	// granularity changes. Fault decisions and byte accounting above run
+	// before staging, keeping their order identical to the per-packet path.
+	// Intra-shard posts must not be deferred: they execute within the current
+	// window, so ring-parking them would reorder the trace.
+	if tb.burst && n.shard != l.toShard && tb.sched.InWindow() {
+		if len(l.ring) == 0 {
+			tb.dirty[n.shard] = append(tb.dirty[n.shard], l)
+		}
+		arrive := at.Add(l.delay)
+		for i := 0; i < copies; i++ {
+			key := uint64(l.id)<<32 | uint64(l.seq)
+			l.seq++
+			l.ring = append(l.ring, txEntry{at: arrive, key: key, pkt: pkt})
+		}
+		return
+	}
 	pl := event.Payload{Str: l.to, Int: int64(l.face), Ptr: pkt}
 	for i := 0; i < copies; i++ {
 		key := uint64(l.id)<<32 | uint64(l.seq)
 		l.seq++
 		tb.sched.PostNode(n.shard, l.toShard, at.Add(l.delay), key, tb.deliver, pl)
+	}
+}
+
+// flushRings is the barrier hook of burst mode: single-threaded, it empties
+// every dirty link's tx ring into the scheduler. Ring entries are in key
+// order (transmit staged them with monotonically increasing per-link seqs),
+// so a maximal run sharing one arrival time with consecutive keys is
+// coalesced into one burst event at the run's first (at, key) — sound
+// because consecutive integer keys admit no other event strictly between
+// them in the canonical (time, key) order, making the run's events adjacent
+// in every execution. A fault delay breaks the timestamp and therefore the
+// run; singletons post exactly as the per-packet path would.
+func (tb *Testbed) flushRings() {
+	for src, links := range tb.dirty {
+		for _, l := range links {
+			tb.flushLink(src, l)
+			clear(l.ring)
+			l.ring = l.ring[:0]
+		}
+		tb.dirty[src] = links[:0]
+	}
+}
+
+func (tb *Testbed) flushLink(src int, l *link) {
+	ring := l.ring
+	for i := 0; i < len(ring); {
+		j := i + 1
+		for j < len(ring) && ring[j].at.Equal(ring[i].at) && ring[j].key == ring[j-1].key+1 {
+			j++
+		}
+		if j-i == 1 {
+			e := ring[i]
+			tb.sched.PostNode(src, l.toShard, e.at, e.key, tb.deliver,
+				event.Payload{Str: l.to, Int: int64(l.face), Ptr: e.pkt})
+			i = j
+			continue
+		}
+		// The burst slice is freshly allocated per flush: the scheduler holds
+		// it until delivery, so the ring's backing array cannot be shared.
+		pkts := make([]*wire.Packet, j-i)
+		for k := i; k < j; k++ {
+			pkts[k-i] = ring[k].pkt
+		}
+		tb.coalesced++
+		tb.sched.PostNode(src, l.toShard, ring[i].at, ring[i].key, tb.deliverBurst,
+			event.Payload{Str: l.to, Int: int64(l.face), Ptr: pkts})
+		i = j
 	}
 }
 
@@ -449,6 +568,12 @@ func (tb *Testbed) Run(deadline time.Time, maxEvents uint64) error {
 			return fmt.Errorf("testbed: building lookahead matrix: %w", err)
 		}
 	}
+	if tb.burst {
+		// Barriers only exist in the windowed loop; with one worker the hook
+		// never fires and transmit never stages (InWindow is always false),
+		// so burst mode is exactly the per-packet path there.
+		tb.sched.SetBarrierHook(tb.flushRings)
+	}
 	for tb.sched.Pending() > 0 {
 		if tb.sched.Processed() > maxEvents {
 			return fmt.Errorf("testbed: event budget exhausted (%d)", maxEvents)
@@ -474,6 +599,9 @@ func (tb *Testbed) export() {
 	tb.reg.Gauge("testbed_windows_total").Set(int64(tb.sched.Windows()))
 	tb.reg.Gauge("testbed_window_stalls_total").Set(int64(tb.sched.WindowStalls()))
 	tb.reg.Gauge("testbed_cross_shard_posts_total").Set(int64(tb.sched.CrossShardPosts()))
+	if tb.burst {
+		tb.reg.Gauge("testbed_burst_coalesced_total").Set(int64(tb.coalesced))
+	}
 	depth := tb.reg.GaugeVec("testbed_shard_queue_high_water", "shard")
 	for i := 0; i < tb.workers; i++ {
 		depth.With(strconv.Itoa(i)).Set(int64(tb.sched.QueueHighWater(i)))

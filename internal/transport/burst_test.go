@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/wire"
+)
+
+func testBurst(n int, payload []byte) []*wire.Packet {
+	pkts := make([]*wire.Packet, n)
+	for i := range pkts {
+		pkts[i] = &wire.Packet{
+			Type: wire.TypeMulticast, CDs: []cd.CD{cd.MustParse("/1/2")},
+			Origin: "p", Seq: uint64(i + 1), Payload: payload,
+		}
+	}
+	return pkts
+}
+
+// TestBurstRoundTrip pins the burst framing: WriteBurst's frame must come
+// back from ReadBurst as the same packets in the same order, in one frame.
+func TestBurstRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	sent := testBurst(5, []byte("move"))
+	errc := make(chan error, 1)
+	go func() { errc <- ca.WriteBurst(sent) }()
+	got, err := cb.ReadBurst(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sent) {
+		t.Fatalf("ReadBurst returned %d packets, want %d", len(got), len(sent))
+	}
+	for i := range sent {
+		wb, _ := wire.Encode(sent[i]) //lint:allow errcheckedfaces fixture packets are known-valid
+		gb, _ := wire.Encode(got[i]) //lint:allow errcheckedfaces a decode-side failure shows up as unequal bytes
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("packet %d differs after round trip", i)
+		}
+	}
+}
+
+// TestBurstReadsSinglePacketFrames pins interop: a WritePacket frame is a
+// one-packet burst to ReadBurst, and a one-packet WriteBurst frame is
+// readable by the legacy ReadPacket — the encodings are byte-identical.
+func TestBurstReadsSinglePacketFrames(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	pkt := testBurst(1, []byte("x"))[0]
+	go ca.WritePacket(pkt) //lint:allow errcheckedfaces pipe errors surface on the ReadBurst side
+	got, err := cb.ReadBurst(nil)
+	if err != nil || len(got) != 1 || got[0].Seq != pkt.Seq {
+		t.Fatalf("ReadBurst of WritePacket frame: %v packets, err %v", len(got), err)
+	}
+
+	go ca.WriteBurst([]*wire.Packet{pkt}) //nolint:errcheck // pipe errors surface on read
+	single, err := cb.ReadPacket()
+	if err != nil || single.Seq != pkt.Seq {
+		t.Fatalf("ReadPacket of 1-packet WriteBurst frame: %+v, err %v", single, err)
+	}
+}
+
+// TestBurstSplitsAtMaxFrame pins the frame-size cap: a burst whose total
+// exceeds MaxFrame is split into consecutive frames (one Write), and the
+// reader reassembles it over successive ReadBurst calls without loss.
+func TestBurstSplitsAtMaxFrame(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	// Three ~600 KB packets: > MaxFrame (1 MB) in total, so at least two
+	// frames, with no single packet oversized.
+	sent := testBurst(3, make([]byte, 600<<10))
+	errc := make(chan error, 1)
+	go func() { errc <- ca.WriteBurst(sent) }()
+	var got []*wire.Packet
+	for len(got) < len(sent) {
+		var err error
+		got, err = cb.ReadBurst(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sent) {
+		t.Fatalf("got %d packets, want %d", len(got), len(sent))
+	}
+	for i := range sent {
+		if got[i].Seq != sent[i].Seq {
+			t.Errorf("packet %d: seq %d, want %d", i, got[i].Seq, sent[i].Seq)
+		}
+	}
+}
+
+// TestBurstRejectsOversizedPacket pins the error path: one packet that can
+// never fit a frame fails the whole burst without writing anything.
+func TestBurstRejectsOversizedPacket(t *testing.T) {
+	a, _ := net.Pipe()
+	ca := NewConn(a)
+	defer ca.Close()
+	pkts := testBurst(1, make([]byte, MaxFrame+1))
+	if err := ca.WriteBurst(pkts); err == nil {
+		t.Fatal("WriteBurst of oversized packet: want error")
+	}
+}
+
+// TestWriteBurstEmpty pins the no-op: flushing an empty burst writes nothing
+// and returns nil.
+func TestWriteBurstEmpty(t *testing.T) {
+	a, _ := net.Pipe()
+	ca := NewConn(a)
+	defer ca.Close()
+	if err := ca.WriteBurst(nil); err != nil {
+		t.Fatalf("WriteBurst(nil) = %v, want nil", err)
+	}
+}

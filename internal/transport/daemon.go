@@ -66,11 +66,18 @@ type Daemon struct {
 	events chan faceEvent
 	done   chan struct{} // closed when Run exits; unblocks feeder goroutines
 	wg     sync.WaitGroup
+
+	// sink and tx are event-loop-owned scratch: the reused action sink for
+	// burst arrivals and the per-flush packet collector of dispatch. Only
+	// the Run loop touches them, so neither needs a lock.
+	sink ndn.SliceSink
+	tx   []*wire.Packet
 }
 
 type faceEvent struct {
 	face   ndn.FaceID
-	pkt    *wire.Packet
+	pkt    *wire.Packet   // single arrival (timers, tests)
+	pkts   []*wire.Packet // burst arrival: one frame's worth of packets
 	closed bool
 	fn     func() // loop-executed command (face attach, RP setup)
 }
@@ -196,12 +203,15 @@ func (d *Daemon) addFace(conn *Conn, kind core.FaceKind) ndn.FaceID {
 func (d *Daemon) readLoop(id ndn.FaceID, conn *Conn) {
 	defer d.wg.Done()
 	for {
-		pkt, err := conn.ReadPacket()
+		// One frame = one burst: everything the peer flushed together is
+		// handed to the router as one HandleBurst call sharing one arrival
+		// time, which is exactly right — the packets shared one syscall.
+		pkts, err := conn.ReadBurst(nil)
 		if err != nil {
 			d.enqueue(faceEvent{face: id, closed: true})
 			return
 		}
-		if !d.enqueue(faceEvent{face: id, pkt: pkt}) {
+		if !d.enqueue(faceEvent{face: id, pkts: pkts}) {
 			return
 		}
 	}
@@ -261,6 +271,10 @@ func (d *Daemon) Run(ctx context.Context) error {
 				ev.fn()
 			case ev.closed:
 				d.dropFace(ev.face)
+			case ev.pkts != nil:
+				d.sink.Reset()
+				d.router.HandleBurst(time.Now(), ev.face, ev.pkts, &d.sink)
+				d.dispatch(d.sink.Actions)
 			default:
 				actions := d.router.HandlePacket(time.Now(), ev.face, ev.pkt)
 				d.dispatch(actions)
@@ -303,46 +317,63 @@ func (d *Daemon) acceptLoop(ctx context.Context) {
 }
 
 // dispatch writes actions to their faces; write failures drop the face.
-// With a fault injector installed, each write may be suppressed, duplicated
-// or deferred first (the Conn write mutex makes deferred writes safe).
+// Consecutive actions bound for the same face are collected and flushed as
+// one burst frame, so an N-packet run to one neighbor costs one Write — the
+// wire-level half of the burst amortization. With a fault injector installed
+// each packet still gets its own verdict (loss/dup/delay statistics are per
+// packet, not per frame); the run's survivors flush together.
 func (d *Daemon) dispatch(actions []ndn.Action) {
-	for _, a := range actions {
+	for i := 0; i < len(actions); {
+		face := actions[i].Face
+		j := i + 1
+		for j < len(actions) && actions[j].Face == face {
+			j++
+		}
 		d.mu.Lock()
-		conn := d.faces[a.Face]
+		conn := d.faces[face]
 		d.mu.Unlock()
 		if conn == nil {
+			i = j
 			continue
 		}
-		copies := 1
-		if d.faults != nil {
-			v := d.faults.Decide(time.Now(), fmt.Sprintf("face%d", a.Face), a.Packet)
-			if v.Drop {
-				continue
-			}
-			if v.Dup {
-				copies = 2
-			}
-			if v.Delay > 0 {
-				pkt, face := a.Packet, a.Face
-				for i := 0; i < copies; i++ {
-					time.AfterFunc(v.Delay, func() {
-						d.mu.Lock()
-						late := d.faces[face]
-						d.mu.Unlock()
-						if late != nil {
-							late.WritePacket(pkt) //lint:allow errcheckedfaces delayed fault write; the read loop notices dead faces
-						}
-					})
+		tx := d.tx[:0]
+		for ; i < j; i++ {
+			pkt := actions[i].Packet
+			copies := 1
+			if d.faults != nil {
+				v := d.faults.Decide(time.Now(), fmt.Sprintf("face%d", face), pkt)
+				if v.Drop {
+					continue
 				}
-				continue
+				if v.Dup {
+					copies = 2
+				}
+				if v.Delay > 0 {
+					late, lateFace := pkt, face
+					for k := 0; k < copies; k++ {
+						time.AfterFunc(v.Delay, func() {
+							d.mu.Lock()
+							lc := d.faces[lateFace]
+							d.mu.Unlock()
+							if lc != nil {
+								lc.WritePacket(late) //lint:allow errcheckedfaces delayed fault write; the read loop notices dead faces
+							}
+						})
+					}
+					continue
+				}
+			}
+			for k := 0; k < copies; k++ {
+				tx = append(tx, pkt)
 			}
 		}
-		for i := 0; i < copies; i++ {
-			if err := conn.WritePacket(a.Packet); err != nil {
-				d.logf("daemon %s: write face %d: %v", d.name, a.Face, err)
-				d.dropFace(a.Face)
-				break
-			}
+		d.tx = tx[:0]
+		if len(tx) == 0 {
+			continue
+		}
+		if err := conn.WriteBurst(tx); err != nil {
+			d.logf("daemon %s: write face %d: %v", d.name, face, err)
+			d.dropFace(face)
 		}
 	}
 }
@@ -401,6 +432,11 @@ type Client struct {
 	//
 	//gcopss:guardedby mu
 	faults *faultnet.Injector
+
+	// rq queues decoded-but-undelivered packets when the router flushed a
+	// multi-packet burst frame; Receive drains it before reading the next
+	// frame. Only the single reader goroutine touches it.
+	rq []*wire.Packet
 
 	reconnects *obs.Counter
 }
@@ -533,5 +569,17 @@ func (c *Client) Query(name string) error {
 // Send writes an arbitrary packet (brokers use this for Data responses).
 func (c *Client) Send(pkt *wire.Packet) error { return c.write(pkt) }
 
-// Receive blocks for the next packet.
-func (c *Client) Receive() (*wire.Packet, error) { return c.current().ReadPacket() }
+// Receive blocks for the next packet. The router may flush several packets
+// in one burst frame; Receive hands them out one at a time in frame order.
+func (c *Client) Receive() (*wire.Packet, error) {
+	for len(c.rq) == 0 {
+		pkts, err := c.current().ReadBurst(c.rq[:0])
+		if err != nil {
+			return nil, err
+		}
+		c.rq = pkts
+	}
+	pkt := c.rq[0]
+	c.rq = c.rq[1:]
+	return pkt, nil
+}

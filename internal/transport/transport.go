@@ -106,6 +106,86 @@ func (c *Conn) WritePacket(pkt *wire.Packet) error {
 	return nil
 }
 
+// WriteBurst frames and sends a whole burst with a single Write: the packets
+// are packed back-to-back (wire.AppendEncodeBurst) into one frame whose body
+// is the concatenated encodings, so a flush costs one syscall however many
+// packets it carries. Bursts larger than MaxFrame are split into consecutive
+// frames inside the same Write. The receiver must use ReadBurst — frame
+// boundaries are burst boundaries, and a multi-packet frame is "trailing
+// garbage" to the single-packet ReadPacket. Single-packet frames remain
+// byte-identical to WritePacket's, so the two write paths interoperate.
+func (c *Conn) WriteBurst(pkts []*wire.Packet) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf := c.wbuf[:0]
+	for start := 0; start < len(pkts); {
+		end, body := start, 0
+		for end < len(pkts) {
+			sz := wire.Size(pkts[end])
+			if body > 0 && body+sz > MaxFrame {
+				break
+			}
+			body += sz
+			end++
+		}
+		if body > MaxFrame {
+			c.wbuf = buf[:0]
+			return fmt.Errorf("transport: frame too large: %d", body)
+		}
+		hdr := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		var err error
+		buf, err = wire.AppendEncodeBurst(buf, pkts[start:end])
+		if err != nil {
+			c.wbuf = buf[:0]
+			return fmt.Errorf("transport: encode burst: %w", err)
+		}
+		binary.BigEndian.PutUint32(buf[hdr:hdr+4], uint32(len(buf)-hdr-4))
+		start = end
+	}
+	c.wbuf = buf[:0] // keep any growth for the next burst
+	if _, err := c.c.Write(buf); err != nil {
+		return fmt.Errorf("transport: write burst: %w", err)
+	}
+	return nil
+}
+
+// ReadBurst reads one frame and decodes every packet in it, appending them to
+// dst (which may be nil) and returning the extended slice. A frame written by
+// WritePacket yields exactly one packet, so ReadBurst is a strict superset of
+// ReadPacket and the preferred read loop primitive.
+func (c *Conn) ReadBurst(dst []*wire.Packet) ([]*wire.Packet, error) {
+	if c.idle > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+			return dst, fmt.Errorf("transport: set idle deadline: %w", err)
+		}
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return dst, fmt.Errorf("transport: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return dst, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.c, body); err != nil {
+		return dst, fmt.Errorf("transport: read body: %w", err)
+	}
+	for len(body) > 0 {
+		pkt, consumed, err := wire.Decode(body)
+		if err != nil {
+			return dst, fmt.Errorf("transport: decode: %w", err)
+		}
+		body = body[consumed:]
+		dst = append(dst, pkt)
+	}
+	return dst, nil
+}
+
 // ReadPacket reads one framed packet.
 func (c *Conn) ReadPacket() (*wire.Packet, error) {
 	if c.idle > 0 {

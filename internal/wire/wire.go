@@ -376,6 +376,47 @@ func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 	return out, nil
 }
 
+// AppendEncodeBurst serializes every packet in pkts onto dst back-to-back and
+// returns the extended slice — the writev-style burst packer. The total size
+// is computed arithmetically first so the buffer grows at most once for the
+// whole burst, and every packet is validated before any byte is written:
+// on error dst is returned unchanged, never half a burst. Decode already
+// consumes back-to-back streams, so the concatenation needs no extra framing.
+//
+//gcopss:hotpath
+func AppendEncodeBurst(dst []byte, pkts []*Packet) ([]byte, error) {
+	need := 0
+	for _, p := range pkts {
+		if err := p.Validate(); err != nil {
+			return dst, err
+		}
+		body := bodyLen(p)
+		need += 4 + uvarintLen(uint64(body)) + body
+	}
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, p := range pkts {
+		// Validate already passed, so AppendEncode cannot fail here.
+		dst, _ = AppendEncode(dst, p) //lint:allow errcheckedfaces Validate passed for every packet in the first pass
+	}
+	return dst, nil
+}
+
+// SizeBurst returns the total encoded size of the burst, the sum of Size over
+// its packets. Invalid packets contribute 0, matching Size.
+//
+//gcopss:hotpath
+func SizeBurst(pkts []*Packet) int {
+	n := 0
+	for _, p := range pkts {
+		n += Size(p)
+	}
+	return n
+}
+
 func appendBytesField(out []byte, tag uint64, val []byte) []byte {
 	out = binary.AppendUvarint(out, tag)
 	out = binary.AppendUvarint(out, uint64(len(val)))
