@@ -31,35 +31,39 @@ test:
 # sharded-scheduler determinism suites (stage-A/B/C handoff under 4 workers,
 # the window/tie-break invariants, the backbone workers × seeds ×
 # {clean, faulted} sweep of the adaptive lookahead, and the burst data
-# plane's ring-flush equivalence against the per-packet path).
+# plane's ring-flush equivalence against the per-packet path), plus the
+# flow-control chaos matrix (adaptive-vs-static gate on goodput and
+# retrans_abandoned_total, and same-seed replay determinism).
 race:
-	$(GO) test -race -count=1 ./internal/transport ./internal/core ./internal/obs/... ./internal/event .
-	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering|TestBackboneDeterminism|TestBackboneBurstDeterminism|TestBurstMatchesPerPacketTrace' ./internal/testbed
+	$(GO) test -race -count=1 ./internal/transport ./internal/core ./internal/flowctl ./internal/obs/... ./internal/event .
+	$(GO) test -race -count=1 -run 'TestChaosHandoffStagesWorkers4|TestWorkersReproduceSequentialTrace|TestWindowLookaheadInvariant|TestShardedTieBreakOrdering|TestBackboneDeterminism|TestBackboneBurstDeterminism|TestBurstMatchesPerPacketTrace|TestFlowControlAdaptiveBeatsStatic|TestFlowChaosDeterminism' ./internal/testbed
 
 # bench runs the paper-experiment benchmarks (module root, including the
-# backbone-scale parallel sweep and the burst data-plane amortization) and
-# the telemetry hot-path benchmarks (internal/obs) with -benchmem and writes
-# BENCH_9.json (name -> ns/op, B/op, allocs/op, custom metrics like ns/pkt).
-# One iteration per experiment benchmark: the artifact records magnitudes,
-# not statistics. BENCH_8.json is the committed pre-burst baseline; compare
+# backbone-scale parallel sweep, the burst data-plane amortization and the
+# flow-control chaos matrix) and the telemetry hot-path benchmarks
+# (internal/obs) with -benchmem and writes BENCH_10.json (name -> ns/op,
+# B/op, allocs/op, custom metrics like ns/pkt and goodput-obj/s). One
+# iteration per experiment benchmark: the artifact records magnitudes, not
+# statistics. BENCH_9.json is the committed pre-flowctl baseline; compare
 # with bench-diff.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x -count=1 . ; \
 	  $(GO) test -run='^$$' -bench=BenchmarkObs -benchmem -count=1 ./internal/obs ; } \
-	  | $(GO) run ./cmd/benchjson -out BENCH_9.json
+	  | $(GO) run ./cmd/benchjson -out BENCH_10.json
 
-# bench-diff compares the fresh BENCH_9.json against the committed baseline.
+# bench-diff compares the fresh BENCH_10.json against the committed baseline.
 # Report-only by default; pass THRESHOLD=<pct> to fail on regressions beyond
 # that percentage.
-BENCH_BASELINE = BENCH_8.json
+BENCH_BASELINE = BENCH_9.json
 bench-diff: bench
-	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_9.json
+	$(GO) run ./cmd/benchjson -diff $(if $(THRESHOLD),-threshold $(THRESHOLD)) $(BENCH_BASELINE) BENCH_10.json
 
 # fuzz is a short smoke of the native fuzz targets; CI runs the same.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz=FuzzMigrationHandoff -fuzztime=30s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=20s ./internal/faultnet
+	$(GO) test -run='^$$' -fuzz=FuzzWindowEstimator -fuzztime=20s ./internal/flowctl
 
 # cover gates statement coverage on the reliability-critical packages: the
 # router core (ARQ, migration), the broker (QR fetch retry), the fault
@@ -67,7 +71,7 @@ fuzz:
 # the topology partitioner. The chaos and backbone matrices exercise them
 # but live in testbed, so the gate here is about each package's own unit
 # tests.
-COVER_PKGS = ./internal/core ./internal/broker ./internal/faultnet ./internal/event ./internal/topo
+COVER_PKGS = ./internal/core ./internal/broker ./internal/faultnet ./internal/event ./internal/topo ./internal/flowctl
 COVER_MIN  = 70
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \

@@ -18,6 +18,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/event"
 	"github.com/icn-gaming/gcopss/internal/experiments"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	obstrace "github.com/icn-gaming/gcopss/internal/obs/trace"
@@ -297,6 +298,44 @@ func BenchmarkTable3Movement(b *testing.B) {
 			b.ReportMetric(qr15.TotalMean, "qr15-ms")
 			b.ReportMetric(cyc.TotalMean, "cyclic-ms")
 			b.ReportMetric(qr15.BytesGB/cyc.BytesGB, "qr/cyclic-bytes")
+		}
+	}
+}
+
+// BenchmarkFlowControlChaos runs the flow-control chaos matrix: the same
+// seeded loss-and-partition network under the adaptive flowctl defaults and
+// under the fixed-timer legacy baseline, at both ends of the loss grid. The
+// artifact records the headline quantities of the adaptive-flow-control work:
+// snapshot goodput (obj/s over time-to-completion), objects fetched, and
+// retrans_abandoned_total. The acceptance shape — adaptive goodput above
+// static, adaptive abandonments below static — is asserted by
+// TestFlowControlAdaptiveBeatsStatic; the benchmark records the magnitudes.
+func BenchmarkFlowControlChaos(b *testing.B) {
+	for _, loss := range []float64{0.05, 0.20} {
+		for _, mode := range []struct {
+			name string
+			flow []flowctl.Option
+		}{
+			{"adaptive", nil},
+			{"static", []flowctl.Option{flowctl.Static()}},
+		} {
+			b.Run(fmt.Sprintf("loss%g/%s", loss*100, mode.name), func(b *testing.B) {
+				var res testbed.FlowChaosResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = testbed.RunFlowChaos(testbed.FlowChaosSpec{
+						Loss: loss, Seed: 2, Flow: mode.flow,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.GoodputPerSec, "goodput-obj/s")
+				b.ReportMetric(float64(res.Fetched), "fetched")
+				b.ReportMetric(float64(res.RetransAbandoned), "abandoned")
+				b.ReportMetric(float64(res.Retrans), "retrans")
+				b.ReportMetric(float64(res.Dropped), "dropped")
+			})
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/faultnet"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/transport"
@@ -57,7 +58,7 @@ func (m *fetchMgr) begin(leaves []cd.CD) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, leaf := range leaves {
-		f := broker.NewQRFetch(leaf, 15)
+		f := broker.NewFetch(leaf, flowctl.WithWindow(1, 15, 32))
 		m.fetches = append(m.fetches, f)
 		for _, pkt := range f.StartAt(time.Now()) {
 			if err := m.client.Send(pkt); err != nil {

@@ -24,6 +24,7 @@ var restricted = []string{
 	"internal/sim",
 	"internal/ndn",
 	"internal/faultnet",
+	"internal/flowctl",
 }
 
 // Analyzer implements the check.

@@ -92,9 +92,30 @@ type objState struct {
 type session struct {
 	leaf        cd.CD
 	subscribers int
-	order       []string // object rotation
-	next        int
-	cycle       uint64 // completed cycles, for stats
+	// advBy records each subscriber's receiver-advertised window (objects
+	// per delivery tick) from the AdvWin TLV of its start control packet,
+	// keyed by origin. The session's rotation speed is the smallest
+	// advertisement — the slowest mover sets the pace, explicitly.
+	advBy map[string]int
+	order []string // object rotation
+	next  int
+	cycle uint64 // completed cycles, for stats
+}
+
+// credit returns how many objects this session may emit per Tick: the
+// minimum advertised window across subscribers, or 1 (the legacy one
+// object per pacing tick) when nobody advertised.
+func (s *session) credit() int {
+	c := 0
+	for _, n := range s.advBy {
+		if n > 0 && (c == 0 || n < c) {
+			c = n
+		}
+	}
+	if c == 0 {
+		return 1
+	}
+	return c
 }
 
 // RecentLogSize bounds the per-leaf log of recent updates kept for players
@@ -127,6 +148,7 @@ type Broker struct {
 	queriesServed  *obs.Counter
 	objectsCycled  *obs.Counter
 	queryLatency   *obs.Histogram
+	sessionWindow  *obs.Histogram
 }
 
 // Option configures a Broker at construction. Brokers are configured
@@ -186,6 +208,7 @@ func (b *Broker) Instrument(reg *obs.Registry) {
 	b.queriesServed = reg.Counter("broker.queries_served")
 	b.objectsCycled = reg.Counter("broker.objects_cycled")
 	b.queryLatency = reg.Histogram("broker.query_ms", obs.LatencyBucketsMs())
+	b.sessionWindow = reg.Histogram("broker.session_window", []float64{1, 2, 4, 8, 16, 32, 64})
 	reg.GaugeFunc("broker.active_sessions", func() float64 { return float64(len(b.sessions)) })
 }
 
@@ -248,7 +271,7 @@ func (b *Broker) handleMulticast(pkt *wire.Packet) []*wire.Packet {
 		if err != nil {
 			return nil
 		}
-		return b.handleSessionCtl(leaf, string(pkt.Payload))
+		return b.handleSessionCtl(leaf, pkt)
 	}
 	if _, ok := b.serving[c.Key()]; !ok {
 		return nil
@@ -297,19 +320,22 @@ func (b *Broker) applyUpdate(leaf cd.CD, objID string, size float64) {
 
 // handleSessionCtl starts/stops cyclic sessions ("It starts multicasting on
 // receiving the first Subscribe packet and stops on receiving the last
-// Unsubscribe packet").
-func (b *Broker) handleSessionCtl(leaf cd.CD, verb string) []*wire.Packet {
+// Unsubscribe packet") and tracks each subscriber's advertised window.
+func (b *Broker) handleSessionCtl(leaf cd.CD, pkt *wire.Packet) []*wire.Packet {
 	if _, ok := b.serving[leaf.Key()]; !ok {
 		return nil
 	}
-	switch verb {
+	switch string(pkt.Payload) {
 	case "start":
 		s, ok := b.sessions[leaf.Key()]
 		if !ok {
-			s = &session{leaf: leaf, order: b.changedObjectIDs(leaf)}
+			s = &session{leaf: leaf, advBy: make(map[string]int), order: b.changedObjectIDs(leaf)}
 			b.sessions[leaf.Key()] = s
 		}
 		s.subscribers++
+		if pkt.AdvWin > 0 && pkt.Origin != "" {
+			s.advBy[pkt.Origin] = int(pkt.AdvWin)
+		}
 		// An immediate manifest tells joiners how many objects to expect.
 		return []*wire.Packet{b.manifestPacket(leaf)}
 	case "stop":
@@ -318,6 +344,7 @@ func (b *Broker) handleSessionCtl(leaf cd.CD, verb string) []*wire.Packet {
 			return nil
 		}
 		s.subscribers--
+		delete(s.advBy, pkt.Origin)
 		if s.subscribers <= 0 {
 			delete(b.sessions, leaf.Key())
 		}
@@ -349,9 +376,11 @@ func (b *Broker) manifestPacket(leaf cd.CD) *wire.Packet {
 	}
 }
 
-// Tick advances every active cyclic session by one object transmission and
-// returns the multicast packets to emit. Hosts call it on their multicast
-// pacing interval.
+// Tick advances every active cyclic session by up to its credit — the
+// smallest receiver-advertised window among its subscribers, 1 when none —
+// and returns the multicast packets to emit. Hosts call it on their
+// multicast pacing interval; a session's rotation never outruns what its
+// slowest mover said it could absorb per interval.
 func (b *Broker) Tick() []*wire.Packet {
 	if len(b.sessions) == 0 {
 		return nil
@@ -367,23 +396,27 @@ func (b *Broker) Tick() []*wire.Packet {
 		if len(s.order) == 0 {
 			continue
 		}
-		if s.next >= len(s.order) {
-			s.next = 0
-			s.cycle++
+		credit := s.credit()
+		b.sessionWindow.Observe(float64(credit))
+		for i := 0; i < credit && i < len(s.order); i++ {
+			if s.next >= len(s.order) {
+				s.next = 0
+				s.cycle++
+			}
+			id := s.order[s.next]
+			s.next++
+			o := b.objects[k][id]
+			if o == nil {
+				continue
+			}
+			b.objectsCycled.Inc()
+			out = append(out, &wire.Packet{
+				Type:    wire.TypeMulticast,
+				CDs:     []cd.CD{DataCD(s.leaf)},
+				Origin:  b.name,
+				Payload: encodeObject(id, o),
+			})
 		}
-		id := s.order[s.next]
-		s.next++
-		o := b.objects[k][id]
-		if o == nil {
-			continue
-		}
-		b.objectsCycled.Inc()
-		out = append(out, &wire.Packet{
-			Type:    wire.TypeMulticast,
-			CDs:     []cd.CD{DataCD(s.leaf)},
-			Origin:  b.name,
-			Payload: encodeObject(id, o),
-		})
 	}
 	return out
 }

@@ -2,8 +2,10 @@ package broker
 
 import (
 	"testing"
+	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
@@ -139,8 +141,10 @@ func TestQRFetchPipelines(t *testing.T) {
 		b.HandlePacket(update("/1/1", "obj"+string(rune('A'+i)), 60+i))
 	}
 
-	f := NewQRFetch(leaf, 3)
-	queue := f.Start()
+	// Static pins the pipeline at 3 so the round count below is exact.
+	f := NewFetch(leaf, flowctl.Static(), flowctl.WithWindow(3, 3, 3))
+	t0 := time.Unix(0, 0)
+	queue := f.StartAt(t0)
 	rounds := 0
 	for len(queue) > 0 && !f.Done() {
 		rounds++
@@ -150,7 +154,7 @@ func TestQRFetchPipelines(t *testing.T) {
 		var next []*wire.Packet
 		for _, pkt := range queue {
 			for _, resp := range b.HandlePacket(pkt) {
-				follow, _ := f.HandleData(resp)
+				follow, _ := f.HandleDataAt(t0, resp)
 				next = append(next, follow...)
 			}
 		}
@@ -168,12 +172,13 @@ func TestQRFetchPipelines(t *testing.T) {
 
 func TestQRFetchEmptyArea(t *testing.T) {
 	b := newTestBroker()
-	f := NewQRFetch(cd.MustParse("/1/"), 5)
-	resp := b.HandlePacket(f.Start()[0])
+	f := NewFetch(cd.MustParse("/1/"))
+	t0 := time.Unix(0, 0)
+	resp := b.HandlePacket(f.StartAt(t0)[0])
 	if len(resp) != 1 {
 		t.Fatal("no manifest")
 	}
-	_, done := f.HandleData(resp[0])
+	_, done := f.HandleDataAt(t0, resp[0])
 	if !done || !f.Done() || f.Received() != 0 {
 		t.Error("empty area should complete immediately")
 	}
@@ -252,6 +257,57 @@ func TestCyclicSessionSharing(t *testing.T) {
 	b.HandlePacket(&wire.Packet{Type: wire.TypeMulticast, CDs: []cd.CD{CtlCD(leaf)}, Origin: "m2", Payload: []byte("stop")})
 	if len(b.ActiveSessions()) != 0 {
 		t.Error("session not closed")
+	}
+}
+
+func TestSessionAdvertisedWindowPacesRotation(t *testing.T) {
+	b := newTestBroker()
+	leaf := cd.MustParse("/1/1")
+	for i := 0; i < 6; i++ {
+		b.HandlePacket(update("/1/1", "obj"+string(rune('A'+i)), 10))
+	}
+	f := NewCyclicFetch(leaf, "m", flowctl.WithAdvertisedWindow(2))
+	b.HandlePacket(f.Start()[1])
+	// The mover advertised 2 objects per delivery tick: each Tick emits
+	// exactly that, not the whole six-object rotation.
+	for i := 0; i < 3; i++ {
+		if got := len(b.Tick()); got != 2 {
+			t.Fatalf("Tick %d emitted %d objects, want the advertised 2", i, got)
+		}
+	}
+}
+
+func TestSessionSlowestMoverSetsPace(t *testing.T) {
+	b := newTestBroker()
+	leaf := cd.MustParse("/1/1")
+	for i := 0; i < 8; i++ {
+		b.HandlePacket(update("/1/1", "obj"+string(rune('A'+i)), 10))
+	}
+	fast := NewCyclicFetch(leaf, "fast", flowctl.WithAdvertisedWindow(8))
+	slow := NewCyclicFetch(leaf, "slow", flowctl.WithAdvertisedWindow(2))
+	b.HandlePacket(fast.Start()[1])
+	b.HandlePacket(slow.Start()[1])
+	if got := len(b.Tick()); got != 2 {
+		t.Fatalf("Tick emitted %d objects, want the slowest mover's 2", got)
+	}
+	// The slow mover leaves; its advertisement must leave with it, so the
+	// session speeds back up to the remaining subscriber's window.
+	b.HandlePacket(&wire.Packet{Type: wire.TypeMulticast, CDs: []cd.CD{CtlCD(leaf)}, Origin: "slow", Payload: []byte("stop")})
+	if got := len(b.Tick()); got != 8 {
+		t.Fatalf("Tick after slow mover left emitted %d objects, want 8", got)
+	}
+}
+
+func TestSessionLegacyPaceWithoutAdvertisement(t *testing.T) {
+	b := newTestBroker()
+	leaf := cd.MustParse("/1/1")
+	b.HandlePacket(update("/1/1", "objA", 10))
+	b.HandlePacket(update("/1/1", "objB", 10))
+	// A start control with no AdvWin TLV (a pre-flowctl mover): the session
+	// falls back to the legacy one object per pacing tick.
+	b.HandlePacket(&wire.Packet{Type: wire.TypeMulticast, CDs: []cd.CD{CtlCD(leaf)}, Origin: "old", Payload: []byte("start")})
+	if got := len(b.Tick()); got != 1 {
+		t.Fatalf("Tick emitted %d objects, want the legacy 1", got)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/icn-gaming/gcopss/internal/cd"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -36,23 +37,24 @@ func names(pkts []*wire.Packet) []string {
 
 func TestQRFetchHappyPath(t *testing.T) {
 	leaf := cd.MustParse("/1/2/3")
-	f := NewQRFetch(leaf, 2)
-	start := f.Start()
+	f := NewFetch(leaf, flowctl.WithWindow(1, 2, 4))
+	t0 := time.Unix(0, 0)
+	start := f.StartAt(t0)
 	if len(start) != 1 || start[0].Name != ManifestName(leaf) {
-		t.Fatalf("Start = %v", names(start))
+		t.Fatalf("StartAt = %v", names(start))
 	}
-	out, done := f.HandleData(manifestData(leaf, "a", "b", "c"))
+	out, done := f.HandleDataAt(t0, manifestData(leaf, "a", "b", "c"))
 	if done || len(out) != 2 {
 		t.Fatalf("after manifest: out=%v done=%v, want 2 Interests (window)", names(out), done)
 	}
-	out, done = f.HandleData(objectData(leaf, "a"))
+	out, done = f.HandleDataAt(t0, objectData(leaf, "a"))
 	if done || len(out) != 1 {
 		t.Fatalf("after a: out=%v done=%v, want 1 refill Interest", names(out), done)
 	}
-	if _, done = f.HandleData(objectData(leaf, "b")); done {
+	if _, done = f.HandleDataAt(t0, objectData(leaf, "b")); done {
 		t.Fatal("done too early")
 	}
-	if _, done = f.HandleData(objectData(leaf, "c")); !done {
+	if _, done = f.HandleDataAt(t0, objectData(leaf, "c")); !done {
 		t.Fatal("not done after all three objects")
 	}
 	if !f.Done() || f.Failed() || f.Received() != 3 {
@@ -63,35 +65,38 @@ func TestQRFetchHappyPath(t *testing.T) {
 // Regression: unrequested or duplicate Data arriving while the pipeline is
 // saturated used to corrupt the outstanding/received accounting — a ghost
 // object inflated len(received) past len(wanted), so the == completion check
-// never fired and the download hung forever. HandleData must be idempotent:
-// only Data answering a currently-in-flight Interest counts.
+// never fired and the download hung forever. HandleDataAt must be
+// idempotent: only Data answering a currently-in-flight Interest counts.
 func TestQRFetchUnrequestedDataCannotWedge(t *testing.T) {
 	leaf := cd.MustParse("/1/2/3")
-	f := NewQRFetch(leaf, 2)
-	f.Start()
-	out, _ := f.HandleData(manifestData(leaf, "a", "b", "c"))
+	// Static pins the window at 2: the saturation scenario needs a pipeline
+	// that does not grow when a/b are acked.
+	f := NewFetch(leaf, flowctl.Static(), flowctl.WithWindow(2, 2, 2))
+	t0 := time.Unix(0, 0)
+	f.StartAt(t0)
+	out, _ := f.HandleDataAt(t0, manifestData(leaf, "a", "b", "c"))
 	if len(out) != 2 {
 		t.Fatalf("window: %v", names(out))
 	}
 	// Ghost object: named like ours, never in the manifest, never requested.
-	if out, done := f.HandleData(objectData(leaf, "ghost")); len(out) != 0 || done {
+	if out, done := f.HandleDataAt(t0, objectData(leaf, "ghost")); len(out) != 0 || done {
 		t.Fatalf("ghost data changed state: out=%v done=%v", names(out), done)
 	}
 	// Object c is wanted but not yet requested (window saturated by a, b).
-	if out, done := f.HandleData(objectData(leaf, "c")); len(out) != 0 || done {
+	if out, done := f.HandleDataAt(t0, objectData(leaf, "c")); len(out) != 0 || done {
 		t.Fatalf("unrequested-yet data changed state: out=%v done=%v", names(out), done)
 	}
 	// Duplicate manifest after consumption.
-	if out, done := f.HandleData(manifestData(leaf, "a", "b", "c")); len(out) != 0 || done {
+	if out, done := f.HandleDataAt(t0, manifestData(leaf, "a", "b", "c")); len(out) != 0 || done {
 		t.Fatalf("duplicate manifest changed state: out=%v done=%v", names(out), done)
 	}
-	f.HandleData(objectData(leaf, "a"))
+	f.HandleDataAt(t0, objectData(leaf, "a"))
 	// Duplicate of an already-received object.
-	if out, done := f.HandleData(objectData(leaf, "a")); len(out) != 0 || done {
+	if out, done := f.HandleDataAt(t0, objectData(leaf, "a")); len(out) != 0 || done {
 		t.Fatalf("duplicate data changed state: out=%v done=%v", names(out), done)
 	}
-	f.HandleData(objectData(leaf, "b"))
-	if _, done := f.HandleData(objectData(leaf, "c")); !done {
+	f.HandleDataAt(t0, objectData(leaf, "b"))
+	if _, done := f.HandleDataAt(t0, objectData(leaf, "c")); !done {
 		t.Fatal("fetch wedged: all wanted objects delivered but not done")
 	}
 	if f.Received() != 3 {
@@ -101,7 +106,7 @@ func TestQRFetchUnrequestedDataCannotWedge(t *testing.T) {
 
 func TestQRFetchTickRetriesWithBackoff(t *testing.T) {
 	leaf := cd.MustParse("/1/2/3")
-	f := NewQRFetch(leaf, 4)
+	f := NewFetch(leaf, flowctl.WithWindow(1, 4, 8))
 	t0 := time.Unix(0, 0)
 	f.StartAt(t0)
 	// Before the RTO: silence.
@@ -136,7 +141,8 @@ func TestQRFetchTickRetriesWithBackoff(t *testing.T) {
 
 func TestQRFetchFailsAfterMaxAttempts(t *testing.T) {
 	leaf := cd.MustParse("/1/2/3")
-	f := NewQRFetch(leaf, 4)
+	// Static keeps the legacy 5-attempt budget the assertions count.
+	f := NewFetch(leaf, flowctl.Static(), flowctl.WithWindow(4, 4, 4))
 	now := time.Unix(0, 0)
 	f.StartAt(now)
 	for i := 0; i < 2*DefaultQRMaxAttempts; i++ {
@@ -163,9 +169,78 @@ func TestQRFetchFailsAfterMaxAttempts(t *testing.T) {
 
 func TestQRFetchEmptyManifestCompletes(t *testing.T) {
 	leaf := cd.MustParse("/1/2/3")
-	f := NewQRFetch(leaf, 4)
-	f.Start()
-	if _, done := f.HandleData(manifestData(leaf)); !done {
+	f := NewFetch(leaf)
+	t0 := time.Unix(0, 0)
+	f.StartAt(t0)
+	if _, done := f.HandleDataAt(t0, manifestData(leaf)); !done {
 		t.Fatal("empty manifest must complete immediately")
+	}
+}
+
+// The AIMD pipeline: +1 per answered object up to MaxWindow, halved once
+// per retry round no matter how many Interests expired together.
+func TestQRFetchWindowAIMD(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewFetch(leaf, flowctl.WithWindow(1, 2, 8))
+	t0 := time.Unix(0, 0)
+	f.StartAt(t0)
+	ids := []string{"a", "b", "c", "d", "e", "g", "h", "i", "j", "k"}
+	out, _ := f.HandleDataAt(t0, manifestData(leaf, ids...))
+	if len(out) != 2 {
+		t.Fatalf("initial window: %v", names(out))
+	}
+	// Each answered object grows the window by one: the refill after the
+	// n-th ack issues the acked slot plus the growth slot.
+	out, _ = f.HandleDataAt(t0, objectData(leaf, "a"))
+	if f.CWnd() != 3 || len(out) != 2 {
+		t.Fatalf("after 1 ack: cwnd=%d refill=%v, want 3 and 2 Interests", f.CWnd(), names(out))
+	}
+	out, _ = f.HandleDataAt(t0, objectData(leaf, "b"))
+	if f.CWnd() != 4 || len(out) != 2 {
+		t.Fatalf("after 2 acks: cwnd=%d refill=%v", f.CWnd(), names(out))
+	}
+	// A retry round (4 in-flight Interests all expired) is ONE loss event:
+	// the window halves once, not four times.
+	out = f.Tick(t0.Add(time.Hour))
+	if len(out) != 4 {
+		t.Fatalf("retry round: %v, want all 4 in-flight", names(out))
+	}
+	if f.CWnd() != 2 {
+		t.Fatalf("cwnd after one retry round = %d, want 4/2=2", f.CWnd())
+	}
+}
+
+// Karn's algorithm at the fetch layer: Data answering a retransmitted
+// Interest must not feed the RTT estimator.
+func TestQRFetchKarnNoSampleFromRetry(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewFetch(leaf)
+	t0 := time.Unix(0, 0)
+	f.StartAt(t0)
+	f.Tick(t0.Add(time.Hour)) // manifest Interest retried
+	if _, done := f.HandleDataAt(t0.Add(2*time.Hour), manifestData(leaf)); !done {
+		t.Fatal("empty manifest must complete")
+	}
+	if got := f.SRTT(); got != 0 {
+		t.Fatalf("retried Interest was RTT-sampled: SRTT = %v", got)
+	}
+}
+
+// First-transmission Data does feed the estimator, and the adaptive retry
+// timer then tracks the observed RTT instead of the 100ms default.
+func TestQRFetchAdaptiveRTO(t *testing.T) {
+	leaf := cd.MustParse("/1/2/3")
+	f := NewFetch(leaf, flowctl.WithRTOBounds(time.Millisecond, time.Second))
+	t0 := time.Unix(0, 0)
+	f.StartAt(t0)
+	// Manifest answered 2ms after the ask: SRTT=2ms, RTO=2ms+4·1ms=6ms.
+	f.HandleDataAt(t0.Add(2*time.Millisecond), manifestData(leaf, "a"))
+	if got := f.SRTT(); got != 2*time.Millisecond {
+		t.Fatalf("SRTT = %v, want 2ms", got)
+	}
+	// The object Interest armed at t=2ms must now expire on the adaptive
+	// schedule — far sooner than the legacy fixed 100ms.
+	if out := f.Tick(t0.Add(9 * time.Millisecond)); len(out) != 1 {
+		t.Fatalf("adaptive retry did not fire at RTT scale: %v", names(out))
 	}
 }

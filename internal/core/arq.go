@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/obs/trace"
@@ -17,34 +18,70 @@ import (
 // hop-by-hop: every reliable control packet sent to a router face is stamped
 // with a per-router monotonic CtlSeq, the receiving router echoes a TypeAck
 // on the arrival face and deduplicates reprocessing, and the sender
-// retransmits unacknowledged packets with exponential backoff from
-// Router.Tick. Hop-by-hop (rather than end-to-end) matters for the Handoff
-// flood: duplicate-suppression via announceSeq means an origin-level
-// re-flood would be absorbed by the first router that already saw it, so
-// only per-hop retransmission can heal downstream loss.
+// retransmits unacknowledged packets from Router.TickTo.
+//
+// Retransmission timers are adaptive (internal/flowctl): each router face
+// carries an RFC 6298 SRTT/RTTVAR estimator fed by ack round trips, so the
+// RTO tracks the observed path instead of a compile-time constant, and
+// backoff doubles under a MaxRTO clamp so a sender keeps probing a
+// partitioned link at a bounded cadence rather than backing off into
+// silence. Karn's algorithm applies: acks for retransmitted packets are
+// never sampled, since they cannot be matched to a specific transmission.
+// Hop-by-hop (rather than end-to-end) matters for the Handoff flood:
+// duplicate-suppression via announceSeq means an origin-level re-flood would
+// be absorbed by the first router that already saw it, so only per-hop
+// retransmission can heal downstream loss.
 
-// Default ARQ parameters; override with WithARQ.
+// Legacy ARQ parameters, preserved as the Static-mode baseline tuning.
 const (
-	// DefaultARQRTO is the initial retransmission timeout.
+	// DefaultARQRTO is the initial retransmission timeout (the fixed base
+	// in flowctl Static mode, the pre-sample seed otherwise).
 	DefaultARQRTO = 50 * time.Millisecond
-	// DefaultARQMaxAttempts bounds retransmissions per packet; after this
-	// many unacknowledged resends the packet is abandoned.
+	// DefaultARQMaxAttempts is the legacy retransmission budget; adaptive
+	// configs default to flowctl.DefaultMaxAttempts instead (attempts are
+	// cheap once the RTO tracks the path).
 	DefaultARQMaxAttempts = 6
 	// arqSeenCap bounds the per-face dedup window.
 	arqSeenCap = 4096
 )
 
-// WithARQ tunes the control-plane retransmission timers: rto is the initial
-// retransmission timeout (doubled per attempt), maxAttempts bounds resends.
-func WithARQ(rto time.Duration, maxAttempts int) Option {
+// WithFlowControl tunes the control-plane ARQ through the unified flowctl
+// surface: flowctl.WithInitialRTO seeds (or, with flowctl.Static, pins) the
+// retransmission timeout, flowctl.WithRTOBounds clamps the adaptive
+// estimate and its backoff, and flowctl.WithMaxAttempts bounds resends.
+// With no options the ARQ is adaptive with the legacy 50ms initial timeout;
+// flowctl.Static() alone reproduces the legacy fixed schedule exactly
+// (50ms base, unclamped doubling, 6 attempts).
+func WithFlowControl(opts ...flowctl.Option) Option {
 	return func(r *Router) {
-		if rto > 0 {
-			r.arqRTO = rto
+		var c flowctl.Config
+		for _, o := range opts {
+			o(&c)
 		}
-		if maxAttempts > 0 {
-			r.arqMaxAttempts = maxAttempts
-		}
+		r.flow = arqDefaults(c)
 	}
+}
+
+// arqDefaults normalizes an ARQ flow config: the ARQ keeps its historical
+// 50ms initial timeout, and Static mode keeps the legacy 6-attempt budget.
+func arqDefaults(cfg flowctl.Config) flowctl.Config {
+	if cfg.InitialRTO <= 0 {
+		cfg.InitialRTO = DefaultARQRTO
+	}
+	if cfg.MaxAttempts <= 0 && cfg.Static {
+		cfg.MaxAttempts = DefaultARQMaxAttempts
+	}
+	return cfg.Norm()
+}
+
+// arqEstimator returns (lazily creating) the RTT estimator for a face.
+func (r *Router) arqEstimator(face ndn.FaceID) *flowctl.Estimator {
+	e := r.arqEst[face]
+	if e == nil {
+		e = flowctl.NewEstimator(r.flow)
+		r.arqEst[face] = e
+	}
+	return e
 }
 
 // arqKey identifies one in-flight reliable control packet.
@@ -58,6 +95,10 @@ type arqEntry struct {
 	pkt      *wire.Packet
 	attempts int
 	nextAt   time.Time
+	// sentAt is the original transmission time; retransmitted marks entries
+	// whose acks must not be RTT-sampled (Karn's algorithm).
+	sentAt        time.Time
+	retransmitted bool
 }
 
 // arqSeen is the receiver-side dedup window for one face: a bounded set of
@@ -128,7 +169,8 @@ func (s *relSink) Emit(a ndn.Action) {
 		a.Packet = &cp
 		r.arqPending[arqKey{face: a.Face, seq: r.arqSeq}] = &arqEntry{
 			pkt:    &cp,
-			nextAt: s.now.Add(r.arqRTO),
+			nextAt: s.now.Add(r.arqEstimator(a.Face).RTO()),
+			sentAt: s.now,
 		}
 	}
 	s.dst.Emit(a)
@@ -151,29 +193,32 @@ func (r *Router) arqReceive(from ndn.FaceID, pkt *wire.Packet, sink ndn.ActionSi
 	return false
 }
 
-// handleAck clears the pending entry the ack covers.
+// handleAck clears the pending entry the ack covers and, for first
+// transmissions (Karn), feeds the round trip into the face's estimator.
 func (r *Router) handleAck(now time.Time, from ndn.FaceID, pkt *wire.Packet) {
 	r.ctr.acksIn.Inc()
-	delete(r.arqPending, arqKey{face: from, seq: pkt.CtlSeq})
-}
-
-// Tick is the slice-returning wrapper over TickTo.
-func (r *Router) Tick(now time.Time) []ndn.Action {
-	if len(r.arqPending) == 0 {
-		return nil
+	k := arqKey{face: from, seq: pkt.CtlSeq}
+	e, ok := r.arqPending[k]
+	if !ok {
+		return
 	}
-	var sink ndn.SliceSink
-	r.TickTo(now, &sink)
-	return sink.Actions
+	delete(r.arqPending, k)
+	if e.retransmitted {
+		return
+	}
+	est := r.arqEstimator(from)
+	est.Observe(now.Sub(e.sentAt))
+	r.arqSRTT.Observe(float64(est.SRTT()) / float64(time.Millisecond))
+	r.arqRTO.Observe(float64(est.RTO()) / float64(time.Millisecond))
 }
 
 // TickTo drives the retransmission timers: every pending reliable packet
-// whose timeout expired is resent with doubled backoff, until
-// DefaultARQMaxAttempts (or the WithARQ override) is exhausted and the
-// packet is abandoned. Hosts call it periodically — the testbed from a
-// scheduled recurring event, the TCP daemon from its event-loop ticker.
-// Iteration is sorted so equal clocks produce equal retransmission orders
-// (deterministic replays).
+// whose adaptive timeout expired is resent with doubled (MaxRTO-clamped)
+// backoff, until the flowctl MaxAttempts budget is exhausted and the packet
+// is abandoned. Hosts call it periodically — the testbed from a scheduled
+// recurring event, the TCP daemon from its event-loop ticker. Iteration is
+// sorted so equal clocks produce equal retransmission orders (deterministic
+// replays).
 func (r *Router) TickTo(now time.Time, sink ndn.ActionSink) {
 	if len(r.arqPending) == 0 {
 		return
@@ -197,7 +242,7 @@ func (r *Router) TickTo(now time.Time, sink ndn.ActionSink) {
 			delete(r.arqPending, k) // face went away; reconnect re-syncs state
 			continue
 		}
-		if e.attempts >= r.arqMaxAttempts {
+		if e.attempts >= r.flow.MaxAttempts {
 			delete(r.arqPending, k)
 			r.ctr.retransAbandoned.Inc()
 			r.record(now, obs.EvDrop, k.face, e.pkt, "retransmission abandoned")
@@ -205,7 +250,8 @@ func (r *Router) TickTo(now time.Time, sink ndn.ActionSink) {
 			continue
 		}
 		e.attempts++
-		e.nextAt = now.Add(r.arqRTO << uint(e.attempts))
+		e.retransmitted = true
+		e.nextAt = now.Add(r.arqEstimator(k.face).BackoffRTO(e.attempts))
 		r.ctr.retransTotal.Inc()
 		r.record(now, obs.EvRetrans, k.face, e.pkt, "")
 		r.traceHop(now, trace.HopRetransmit, k.face, e.pkt)
@@ -217,3 +263,12 @@ func (r *Router) TickTo(now time.Time, sink ndn.ActionSink) {
 // ARQPending returns the number of unacknowledged reliable control packets,
 // for tests and debug exposition.
 func (r *Router) ARQPending() int { return len(r.arqPending) }
+
+// ARQSRTT returns the smoothed RTT estimate for a router face (zero before
+// the first ack sample), for tests and debug exposition.
+func (r *Router) ARQSRTT(face ndn.FaceID) time.Duration {
+	if e := r.arqEst[face]; e != nil {
+		return e.SRTT()
+	}
+	return 0
+}

@@ -6,9 +6,18 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
+
+// tickActions drives the sink-based retransmission timer and collects the
+// resends, for tests that assert on them as a slice.
+func tickActions(r *Router, now time.Time) []ndn.Action {
+	var sink ndn.SliceSink
+	r.TickTo(now, &sink)
+	return sink.Actions
+}
 
 // arqPair builds two directly linked routers with R1 hosting /rp1.
 func arqPair(t *testing.T, opts ...Option) *harness {
@@ -51,11 +60,11 @@ func TestARQRetransmitWithBackoffUntilAck(t *testing.T) {
 
 	t0 := time.Unix(0, 0)
 	// Before the RTO expires nothing is resent.
-	if out := r1.Tick(t0.Add(DefaultARQRTO / 2)); len(out) != 0 {
+	if out := tickActions(r1, t0.Add(DefaultARQRTO / 2)); len(out) != 0 {
 		t.Fatalf("premature retransmission: %v", out)
 	}
 	// After the RTO the packet is resent; backoff doubles each attempt.
-	out := r1.Tick(t0.Add(DefaultARQRTO + time.Millisecond))
+	out := tickActions(r1, t0.Add(DefaultARQRTO + time.Millisecond))
 	if len(out) != 1 || out[0].Packet.Type != wire.TypeFIBAdd {
 		t.Fatalf("first retransmission = %v, want the FIBAdd", out)
 	}
@@ -63,12 +72,12 @@ func TestARQRetransmitWithBackoffUntilAck(t *testing.T) {
 		t.Fatalf("Retransmissions = %d, want 1", r1.Stats().Retransmissions)
 	}
 	// Immediately after, the doubled backoff suppresses another resend.
-	if out := r1.Tick(t0.Add(DefaultARQRTO + 2*time.Millisecond)); len(out) != 0 {
+	if out := tickActions(r1, t0.Add(DefaultARQRTO + 2*time.Millisecond)); len(out) != 0 {
 		t.Fatalf("backoff not applied: %v", out)
 	}
 	// Deliver the retransmission; the ack must clear the pending entry.
 	h.enqueueActions("R1", out)
-	h.enqueueActions("R1", r1.Tick(t0.Add(time.Hour))) // expired again: resend
+	h.enqueueActions("R1", tickActions(r1, t0.Add(time.Hour))) // expired again: resend
 	h.run()
 	if got := r1.ARQPending(); got != 0 {
 		t.Fatalf("pending after acked retransmission = %d, want 0", got)
@@ -76,7 +85,10 @@ func TestARQRetransmitWithBackoffUntilAck(t *testing.T) {
 }
 
 func TestARQGivesUpAfterMaxAttempts(t *testing.T) {
-	h := arqPair(t, WithARQ(10*time.Millisecond, 3))
+	h := arqPair(t, WithFlowControl(
+		flowctl.WithInitialRTO(10*time.Millisecond),
+		flowctl.WithMaxAttempts(3),
+	))
 	r1 := h.routers["R1"]
 	h.queue = nil // lose the announcement forever
 
@@ -84,7 +96,7 @@ func TestARQGivesUpAfterMaxAttempts(t *testing.T) {
 	resent := 0
 	for i := 0; i < 10; i++ {
 		now = now.Add(time.Hour) // always past any backoff
-		resent += len(r1.Tick(now))
+		resent += len(tickActions(r1, now))
 	}
 	if resent != 3 {
 		t.Fatalf("resent %d times, want 3 (maxAttempts)", resent)
@@ -94,6 +106,90 @@ func TestARQGivesUpAfterMaxAttempts(t *testing.T) {
 	}
 	if r1.Stats().RetransAbandoned != 1 {
 		t.Fatalf("RetransAbandoned = %d, want 1", r1.Stats().RetransAbandoned)
+	}
+}
+
+func TestARQAckFeedsEstimator(t *testing.T) {
+	h := arqPair(t)
+	r1 := h.routers["R1"]
+	if got := r1.ARQSRTT(1); got != 0 {
+		t.Fatalf("SRTT before any ack = %v, want 0", got)
+	}
+	h.run() // announcement delivered and acked: one RTT sample
+	if got := r1.ARQSRTT(1); got <= 0 {
+		t.Fatalf("SRTT after ack = %v, want > 0 (ack must feed the estimator)", got)
+	}
+	if got := r1.Obs().Histogram("arq_srtt_ms", nil).Count(); got != 1 {
+		t.Fatalf("arq_srtt_ms observations = %d, want 1", got)
+	}
+}
+
+func TestARQKarnNoSampleFromRetransmission(t *testing.T) {
+	h := arqPair(t)
+	r1 := h.routers["R1"]
+	h.queue = nil // first transmission lost
+	out := tickActions(r1, time.Unix(0, 0).Add(time.Hour))
+	if len(out) != 1 {
+		t.Fatalf("expected one retransmission, got %v", out)
+	}
+	h.enqueueActions("R1", out)
+	h.run() // the retransmission is delivered and acked
+	if r1.ARQPending() != 0 {
+		t.Fatal("ack must clear the retransmitted entry")
+	}
+	// Karn's algorithm: the ack matched a retransmitted packet, so its
+	// round trip is ambiguous and must not be sampled.
+	if got := r1.ARQSRTT(1); got != 0 {
+		t.Fatalf("retransmitted ack was RTT-sampled: SRTT = %v", got)
+	}
+}
+
+func TestARQAdaptiveBackoffClampedToMaxRTO(t *testing.T) {
+	h := arqPair(t, WithFlowControl(
+		flowctl.WithInitialRTO(10*time.Millisecond),
+		flowctl.WithRTOBounds(time.Millisecond, 40*time.Millisecond),
+		flowctl.WithMaxAttempts(8),
+	))
+	r1 := h.routers["R1"]
+	h.queue = nil // lose everything: the sender must keep probing
+	now := time.Unix(0, 0).Add(11 * time.Millisecond)
+	resent := 0
+	for i := 0; i < 20; i++ {
+		resent += len(tickActions(r1, now))
+		now = now.Add(41 * time.Millisecond) // always past the MaxRTO clamp
+	}
+	// Unlike the legacy unclamped doubling (which would need hours of
+	// virtual time for 8 attempts), the clamp keeps every retry within one
+	// MaxRTO of the previous.
+	if resent != 8 {
+		t.Fatalf("resent %d times at MaxRTO cadence, want all 8 attempts", resent)
+	}
+	if r1.Stats().RetransAbandoned != 1 {
+		t.Fatalf("RetransAbandoned = %d, want 1 after the budget", r1.Stats().RetransAbandoned)
+	}
+}
+
+func TestARQStaticModeKeepsLegacySchedule(t *testing.T) {
+	h := arqPair(t, WithFlowControl(flowctl.Static()))
+	r1 := h.routers["R1"]
+	h.queue = nil
+	t0 := time.Unix(0, 0)
+	// Static mode keeps the legacy defaults: 50ms base, 6 attempts,
+	// unclamped doubling — resend at 50ms, then not before 50ms<<1 later.
+	if out := tickActions(r1, t0.Add(DefaultARQRTO+time.Millisecond)); len(out) != 1 {
+		t.Fatalf("first static retransmission: %v", out)
+	}
+	if out := tickActions(r1, t0.Add(DefaultARQRTO+2*DefaultARQRTO)); len(out) != 0 {
+		t.Fatalf("static backoff (rto<<1) not applied: %v", out)
+	}
+	resent := 1
+	now := t0
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Hour)
+		resent += len(tickActions(r1, now))
+	}
+	if resent != DefaultARQMaxAttempts {
+		t.Fatalf("static resends = %d, want legacy budget %d", resent, DefaultARQMaxAttempts)
 	}
 }
 
@@ -155,7 +251,7 @@ func TestARQRemoveFaceDropsState(t *testing.T) {
 	if r1.ARQPending() != 0 {
 		t.Fatal("RemoveFace must clear pending entries for the face")
 	}
-	if out := r1.Tick(time.Unix(0, 0).Add(time.Hour)); len(out) != 0 {
+	if out := tickActions(r1, time.Unix(0, 0).Add(time.Hour)); len(out) != 0 {
 		t.Fatalf("no retransmissions expected after face removal: %v", out)
 	}
 }

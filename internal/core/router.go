@@ -8,7 +8,8 @@
 // into an ndn.ActionSink. Hosts — the packet-level testbed, the TCP daemon,
 // and the trace-driven simulator — own queues, links and clocks, which is
 // also what makes the queueing behaviour measurable. Thin slice-returning
-// wrappers (HandlePacket, Tick, BecomeRP) remain at the public seam.
+// wrappers (HandlePacket, BecomeRP) remain at the public seam; timer-driven
+// retransmission is sink-only (TickTo).
 package core
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/obs/trace"
@@ -129,17 +131,20 @@ type Router struct {
 
 	// Control-plane ARQ state (see arq.go): sender-side pending
 	// retransmissions keyed by (face, CtlSeq), the per-router stamp
-	// counter, and the per-face receiver dedup windows.
-	arqSeq         uint64
-	arqPending     map[arqKey]*arqEntry
-	arqSeen        map[ndn.FaceID]*arqSeen
-	arqRTO         time.Duration
-	arqMaxAttempts int
+	// counter, the per-face receiver dedup windows, and the per-face
+	// adaptive RTT estimators governed by the flowctl config.
+	arqSeq     uint64
+	arqPending map[arqKey]*arqEntry
+	arqSeen    map[ndn.FaceID]*arqSeen
+	arqEst     map[ndn.FaceID]*flowctl.Estimator
+	flow       flowctl.Config
 
 	obsReg          *obs.Registry
 	flight          *obs.Flight
 	ctr             routerCounters
 	deliveryLatency *obs.Histogram
+	arqSRTT         *obs.Histogram
+	arqRTO          *obs.Histogram
 
 	// tracer samples publications for causal tracing; tring is this
 	// router's hop ring, bound once at construction so the hot path never
@@ -246,12 +251,12 @@ func NewRouter(name string, opts ...Option) *Router {
 		grafts:         make(map[string]*graft),
 		pendingJoins:   make(map[string][]pendingJoin),
 		announceSeq:    make(map[string]uint64),
-		arqPending:     make(map[arqKey]*arqEntry),
-		arqSeen:        make(map[ndn.FaceID]*arqSeen),
-		arqRTO:         DefaultARQRTO,
-		arqMaxAttempts: DefaultARQMaxAttempts,
-		windowSize:     DefaultLoadWindow,
-		matchMode:      copss.MatchBloomVerified,
+		arqPending: make(map[arqKey]*arqEntry),
+		arqSeen:    make(map[ndn.FaceID]*arqSeen),
+		arqEst:     make(map[ndn.FaceID]*flowctl.Estimator),
+		flow:       arqDefaults(flowctl.Config{}),
+		windowSize: DefaultLoadWindow,
+		matchMode:  copss.MatchBloomVerified,
 	}
 	for _, o := range opts {
 		o(r)
@@ -292,6 +297,8 @@ func (r *Router) instrument() {
 		ctlDupsIn:           reg.Counter("arq_dups_in"),
 	}
 	r.deliveryLatency = reg.Histogram("delivery_latency_ms", obs.LatencyBucketsMs())
+	r.arqSRTT = reg.Histogram("arq_srtt_ms", obs.LatencyBucketsMs())
+	r.arqRTO = reg.Histogram("arq_rto_ms", obs.LatencyBucketsMs())
 	reg.GaugeFunc("st_entries", func() float64 { return float64(r.st.Len()) })
 	reg.GaugeFunc("rp_table_entries", func() float64 { return float64(r.rpt.Len()) })
 	r.ndnEngine.Instrument(reg)
@@ -430,6 +437,7 @@ func (r *Router) RemoveFace(id ndn.FaceID) {
 	delete(r.faces, id)
 	r.st.RemoveFace(id)
 	delete(r.arqSeen, id)
+	delete(r.arqEst, id)
 	for k := range r.arqPending {
 		if k.face == id {
 			delete(r.arqPending, k)

@@ -188,7 +188,7 @@ func TestTraceARQRetransmit(t *testing.T) {
 		t.Fatal("every=1 did not sample the control packet")
 	}
 	t0 := time.Unix(0, 0)
-	out := r1.Tick(t0.Add(DefaultARQRTO + time.Millisecond))
+	out := tickActions(r1, t0.Add(DefaultARQRTO + time.Millisecond))
 	if len(out) != 1 {
 		t.Fatalf("retransmissions = %d, want 1", len(out))
 	}

@@ -401,7 +401,10 @@ func RunBackbone(s *BackboneSetup) (*BackboneResult, error) {
 	if s.FaultSpec != "" || s.Migrate {
 		tb.Every(t0.Add(10*time.Millisecond), 10*time.Millisecond, func(now time.Time) {
 			for id := 0; id < n; id++ {
-				tb.Emit(now, g.Name(topo.NodeID(id)), routers[id].Tick(now))
+				r := routers[id]
+				tb.EmitTo(now, g.Name(topo.NodeID(id)), func(sink ndn.ActionSink) {
+					r.TickTo(now, sink)
+				})
 			}
 		})
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
@@ -135,10 +136,10 @@ func TestBrokerQREndToEnd(t *testing.T) {
 	sc := newBrokerScenario(t)
 	pubSend := sc.addEndpoint(t, "pub", "R5", func(time.Time, *wire.Packet) []*wire.Packet { return nil })
 
-	fetch := broker.NewQRFetch(cd.MustParse("/1/1"), 15)
+	fetch := broker.NewFetch(cd.MustParse("/1/1"), flowctl.WithWindow(1, 15, 32))
 	var doneAt time.Time
 	moverSend := sc.addEndpoint(t, "mover", "R6", func(now time.Time, pkt *wire.Packet) []*wire.Packet {
-		out, done := fetch.HandleData(pkt)
+		out, done := fetch.HandleDataAt(now, pkt)
 		if done && doneAt.IsZero() {
 			doneAt = now
 		}
@@ -149,7 +150,7 @@ func TestBrokerQREndToEnd(t *testing.T) {
 	sc.publishUpdates(t, pubSend, start)
 
 	fetchAt := start.Add(500 * time.Millisecond)
-	sc.tb.Schedule(fetchAt, func(now time.Time) { moverSend(now, fetch.Start()...) })
+	sc.tb.Schedule(fetchAt, func(now time.Time) { moverSend(now, fetch.StartAt(now)...) })
 
 	if err := sc.tb.Run(fetchAt.Add(10*time.Second), 0); err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/copss"
 	"github.com/icn-gaming/gcopss/internal/core"
 	"github.com/icn-gaming/gcopss/internal/faultnet"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/obs"
 	"github.com/icn-gaming/gcopss/internal/wire"
@@ -114,7 +115,8 @@ func runChaosCellWorkers(t *testing.T, loss float64, reorder bool, stage string,
 	// ARQ retransmission timers on every router.
 	tb.Every(time.Unix(0, 0).Add(10*time.Millisecond), 10*time.Millisecond, func(now time.Time) {
 		for _, name := range rn.names {
-			tb.Emit(now, name, rn.routers[name].Tick(now))
+			r := rn.routers[name]
+			tb.EmitTo(now, name, func(sink ndn.ActionSink) { r.TickTo(now, sink) })
 		}
 	})
 
@@ -182,7 +184,7 @@ func runChaosCellWorkers(t *testing.T, loss float64, reorder bool, stage string,
 		}}})
 	})
 
-	fetch := broker.NewQRFetch(leaf, 3)
+	fetch := broker.NewFetch(leaf, flowctl.WithWindow(1, 3, 16))
 	emitInterests := func(now time.Time, pkts []*wire.Packet) {
 		var out []ndn.Action
 		for _, p := range pkts {

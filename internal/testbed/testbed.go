@@ -525,6 +525,36 @@ func (tb *Testbed) Emit(now time.Time, node string, actions []ndn.Action) {
 	}
 }
 
+// emitSink transmits actions straight onto the sending node's links as they
+// are emitted — the sink-shaped counterpart of Emit's slice walk.
+type emitSink struct {
+	tb  *Testbed
+	n   *nodeState
+	now time.Time
+}
+
+// Emit implements ndn.ActionSink.
+func (s *emitSink) Emit(a ndn.Action) {
+	l, wired := s.n.links[a.Face]
+	if !wired {
+		return
+	}
+	s.tb.transmit(s.n, l, s.now, a.Packet)
+}
+
+// EmitTo invokes fn with a sink that transmits from node at now. It is the
+// push-based counterpart of Emit for timer-driven sources — Router.TickTo
+// retransmissions above all — with the same calling rules as Emit (global
+// events, pre-Run setup, or same-node events).
+func (tb *Testbed) EmitTo(now time.Time, node string, fn func(ndn.ActionSink)) {
+	n, ok := tb.nodes[node]
+	if !ok {
+		return
+	}
+	s := emitSink{tb: tb, n: n, now: now}
+	fn(&s)
+}
+
 // latencyMatrix builds the shard-to-shard minimum single-hop latency matrix
 // from the wired links: entry [sa][sb] is the smallest delay of any directed
 // link from a shard-sa node to a shard-sb node (NoRoute when none exists).

@@ -8,6 +8,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/broker"
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/copss"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/wire"
 )
 
@@ -87,8 +88,8 @@ func TestBrokerOverTCP(t *testing.T) {
 	defer mover.Close()
 	time.Sleep(100 * time.Millisecond)
 
-	fetch := broker.NewQRFetch(cd.MustParse("/1/1"), 5)
-	for _, pkt := range fetch.Start() {
+	fetch := broker.NewFetch(cd.MustParse("/1/1"), flowctl.WithWindow(1, 5, 32))
+	for _, pkt := range fetch.StartAt(time.Now()) {
 		if err := mover.Send(pkt); err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func TestBrokerOverTCP(t *testing.T) {
 			if got.err != nil {
 				t.Fatalf("Receive: %v", got.err)
 			}
-			follow, _ := fetch.HandleData(got.pkt)
+			follow, _ := fetch.HandleDataAt(time.Now(), got.pkt)
 			for _, pkt := range follow {
 				if err := mover.Send(pkt); err != nil {
 					t.Fatal(err)

@@ -264,7 +264,9 @@ func (d *Daemon) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case now := <-tick:
-			d.dispatch(d.router.Tick(now))
+			d.sink.Reset()
+			d.router.TickTo(now, &d.sink)
+			d.dispatch(d.sink.Actions)
 		case ev := <-d.events:
 			switch {
 			case ev.fn != nil:

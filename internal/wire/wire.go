@@ -144,6 +144,15 @@ type Packet struct {
 	// the packet travels unacknowledged (legacy / client faces).
 	CtlSeq uint64
 
+	// AdvWin is a receiver-advertised flow-control window (internal/flowctl):
+	// how many snapshot objects the sender of this packet is prepared to
+	// absorb per delivery round. Carried on the session-start control
+	// multicast of a cyclic snapshot fetch; the broker caps each session
+	// rotation at the smallest advertisement among its subscribers, so slow
+	// receivers shed load explicitly instead of via drops. Zero — the common
+	// case — means no advertisement and is omitted from the encoding.
+	AdvWin uint32
+
 	// TraceID is the causal-tracing context (internal/obs/trace): a sampled
 	// first-hop router stamps a nonzero deterministic ID derived from
 	// (origin, seq, seed), and every router on the path appends hop records
@@ -232,6 +241,7 @@ const (
 	fieldCDHashes = 8
 	fieldCtlSeq   = 9
 	fieldTraceID  = 10
+	fieldAdvWin   = 11
 )
 
 const (
@@ -300,6 +310,9 @@ func bodyLen(p *Packet) int {
 	}
 	if p.TraceID != 0 {
 		n += fieldLen(uvarintLen(p.TraceID))
+	}
+	if p.AdvWin != 0 {
+		n += fieldLen(uvarintLen(uint64(p.AdvWin)))
 	}
 	return n
 }
@@ -372,6 +385,11 @@ func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 		var buf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(buf[:], p.TraceID)
 		out = appendBytesField(out, fieldTraceID, buf[:n])
+	}
+	if p.AdvWin != 0 {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(p.AdvWin))
+		out = appendBytesField(out, fieldAdvWin, buf[:n])
 	}
 	return out, nil
 }
@@ -519,6 +537,12 @@ func Decode(buf []byte) (*Packet, int, error) {
 				return nil, 0, ErrShortPacket
 			}
 			p.TraceID = v
+		case fieldAdvWin:
+			v, vn := binary.Uvarint(val)
+			if vn <= 0 || v > math.MaxUint32 {
+				return nil, 0, ErrShortPacket
+			}
+			p.AdvWin = uint32(v)
 		default:
 			// Unknown fields are skipped for forward compatibility.
 		}

@@ -51,6 +51,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			},
 		},
 		{
+			name: "multicast with advertised window",
+			pkt: Packet{
+				Type: TypeMulticast, CDs: []cd.CD{cd.MustParse("/snapctl/1/2")},
+				Payload: []byte("start"), Origin: "mover-3", AdvWin: 6,
+			},
+		},
+		{
 			name: "fib add multiple prefixes",
 			pkt:  Packet{Type: TypeFIBAdd, Name: "/rp1", CDs: []cd.CD{cd.MustParse("/1"), cd.MustParse("/2")}},
 		},
@@ -260,6 +267,7 @@ func (quickPacket) Generate(r *rand.Rand, _ int) reflect.Value {
 	p.Seq = uint64(r.Intn(1000))
 	p.SentAt = int64(r.Intn(100000))
 	p.HopCount = uint32(r.Intn(20))
+	p.AdvWin = uint32(r.Intn(8))
 	return reflect.ValueOf(quickPacket{p: p})
 }
 

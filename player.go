@@ -8,6 +8,7 @@ import (
 	"github.com/icn-gaming/gcopss/internal/broker"
 	"github.com/icn-gaming/gcopss/internal/cd"
 	"github.com/icn-gaming/gcopss/internal/core"
+	"github.com/icn-gaming/gcopss/internal/flowctl"
 	"github.com/icn-gaming/gcopss/internal/gamemap"
 	"github.com/icn-gaming/gcopss/internal/ndn"
 	"github.com/icn-gaming/gcopss/internal/wire"
@@ -190,7 +191,7 @@ func (p *Player) handlePacket(pkt *wire.Packet) {
 		sort.Strings(keys)
 		for _, key := range keys {
 			f := p.fetch.qr[key]
-			out, done := f.HandleData(pkt)
+			out, done := f.HandleDataAt(time.Now(), pkt)
 			p.fetch.out = append(p.fetch.out, out...)
 			if done {
 				p.qrReceived += f.Received()
@@ -280,9 +281,9 @@ func (p *Player) fetchSnapshots(leaves []cd.CD, mode SnapshotMode) (int, error) 
 	for _, leaf := range leaves {
 		switch mode {
 		case SnapshotQueryResponse:
-			f := broker.NewQRFetch(leaf, 15)
+			f := broker.NewFetch(leaf, flowctl.WithWindow(1, 15, 32))
 			p.fetch.qr[leaf.Key()] = f
-			initial = append(initial, f.Start()...)
+			initial = append(initial, f.StartAt(time.Now())...)
 		case SnapshotCyclic:
 			f := broker.NewCyclicFetch(leaf, p.id)
 			p.fetch.cyclic[leaf.Key()] = f
